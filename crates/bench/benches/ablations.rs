@@ -1,0 +1,138 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * outlier cost model on/off (heavy-tailed diffs);
+//! * checkpointed RLE random access vs. full decode;
+//! * hierarchical per-parent codes vs. a global dictionary;
+//! * exact vs. sampled optimizer edge weighting;
+//! * sentinel-free 2-bit multi-ref codes vs. a 3-bit sentinel variant
+//!   (simulated by re-encoding at 3 bits).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use corra_core::{ColumnGraph, HierInt, MultiRefInt, NonHierInt};
+use corra_datagen::{TaxiParams, TaxiTable};
+use corra_encodings::{DictInt, IntAccess, RleInt};
+
+const N: usize = 500_000;
+
+/// Heavy-tailed diff data: bounded diffs + 0.1% extreme spikes.
+fn heavy_tail() -> (Vec<i64>, Vec<i64>) {
+    let reference: Vec<i64> = (0..N as i64).collect();
+    let mut target: Vec<i64> = reference.iter().map(|&r| r + (r % 16)).collect();
+    for k in 0..(N / 1_000) {
+        target[k * 1_000 + 7] = (k as i64) * 1_000_003;
+    }
+    (target, reference)
+}
+
+fn outlier_model_ablation(c: &mut Criterion) {
+    let (target, reference) = heavy_tail();
+    let mut group = c.benchmark_group("ablation_outlier_model");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("with_cost_model", |b| {
+        b.iter(|| NonHierInt::encode(&target, &reference).unwrap());
+    });
+    group.bench_function("no_outliers", |b| {
+        b.iter(|| NonHierInt::encode_no_outliers(&target, &reference).unwrap());
+    });
+    group.finish();
+    // Report the size effect once (criterion tracks time; the size gap is
+    // the point of the ablation).
+    let smart = NonHierInt::encode(&target, &reference).unwrap();
+    let naive = NonHierInt::encode_no_outliers(&target, &reference).unwrap();
+    eprintln!(
+        "[ablation] outlier model: {} B vs naive {} B ({}x smaller)",
+        smart.compressed_bytes(),
+        naive.compressed_bytes(),
+        naive.compressed_bytes() / smart.compressed_bytes().max(1),
+    );
+}
+
+fn rle_checkpoint_ablation(c: &mut Criterion) {
+    // Runs of ~100: random access via binary search vs. scanning a decode.
+    let values: Vec<i64> = (0..N).map(|i| (i / 100) as i64).collect();
+    let rle = RleInt::encode(&values);
+    let mut group = c.benchmark_group("ablation_rle_access");
+    group.bench_function("checkpointed_get", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1)) % N;
+            std::hint::black_box(rle.get(i))
+        });
+    });
+    group.bench_function("full_decode", |b| {
+        let mut out = Vec::with_capacity(N);
+        b.iter(|| rle.decode_into(&mut out));
+    });
+    group.finish();
+}
+
+fn hier_vs_global_dict(c: &mut Criterion) {
+    // 1000 parents x 32 children each, children globally distinct.
+    let parents: Vec<u32> = (0..N).map(|i| (i % 1_000) as u32).collect();
+    let children: Vec<i64> =
+        (0..N).map(|i| (i % 1_000) as i64 * 100 + (i / 1_000 % 32) as i64).collect();
+    let mut group = c.benchmark_group("ablation_hier_vs_dict");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("hier_encode", |b| {
+        b.iter(|| HierInt::encode(&children, &parents, 1_000).unwrap());
+    });
+    group.bench_function("global_dict_encode", |b| {
+        b.iter(|| DictInt::encode(&children));
+    });
+    group.finish();
+    let hier = HierInt::encode(&children, &parents, 1_000).unwrap();
+    let dict = DictInt::encode(&children);
+    eprintln!(
+        "[ablation] hier {} B ({} bits/row) vs global dict {} B ({} bits/row)",
+        hier.compressed_bytes(),
+        hier.bits(),
+        dict.compressed_bytes(),
+        dict.bits(),
+    );
+}
+
+fn optimizer_sampling_ablation(c: &mut Criterion) {
+    let a: Vec<i64> = (0..N).map(|i| i as i64 % 4_096).collect();
+    let b_col: Vec<i64> = a.iter().enumerate().map(|(i, &v)| v + (i as i64 % 16)).collect();
+    let c_col: Vec<i64> = a.iter().enumerate().map(|(i, &v)| v + (i as i64 % 200) - 100).collect();
+    let cols: Vec<(&str, &[i64])> = vec![("a", &a), ("b", &b_col), ("c", &c_col)];
+    let mut group = c.benchmark_group("ablation_optimizer");
+    group.bench_function("exact", |bch| {
+        bch.iter(|| ColumnGraph::measure(&cols).unwrap());
+    });
+    group.bench_function("sampled_50k", |bch| {
+        bch.iter(|| ColumnGraph::measure_sampled(&cols, 50_000).unwrap());
+    });
+    group.finish();
+}
+
+fn multiref_code_width_ablation(c: &mut Criterion) {
+    let taxi = TaxiTable::generate(TaxiParams { rows: N, ..Default::default() }, 23);
+    let group_sums: Vec<Vec<i64>> = taxi.group_sums().into_iter().collect();
+    let mut group = c.benchmark_group("ablation_multiref_codebits");
+    group.throughput(Throughput::Elements(N as u64));
+    // 2 bits: the paper's sentinel-free design. 3 bits: what a sentinel
+    // would force (the paper's §2.3 argument).
+    for bits in [2u8, 3] {
+        group.bench_function(format!("code_bits_{bits}"), |b| {
+            b.iter(|| MultiRefInt::encode(&taxi.total_amount, &group_sums, bits).unwrap());
+        });
+    }
+    group.finish();
+    let two = MultiRefInt::encode(&taxi.total_amount, &group_sums, 2).unwrap();
+    let three = MultiRefInt::encode(&taxi.total_amount, &group_sums, 3).unwrap();
+    eprintln!(
+        "[ablation] 2-bit codes {} B vs 3-bit {} B (sentinel-free saves {:.1}%)",
+        two.compressed_bytes(),
+        three.compressed_bytes(),
+        100.0 * (1.0 - two.compressed_bytes() as f64 / three.compressed_bytes() as f64),
+    );
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = outlier_model_ablation, rle_checkpoint_ablation, hier_vs_global_dict,
+              optimizer_sampling_ablation, multiref_code_width_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benchmarks for the materializing query kernels: baseline vs.
+//! Corra at representative selectivities (the criterion-tracked counterpart
+//! of the Fig. 5/8 binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use corra_bench::block_workloads;
+use corra_bench::compress_table;
+use corra_core::{query_both, query_column, ColumnPlan, CompressionConfig};
+use corra_datagen::{LineitemDates, MessageParams, MessageTable, TaxiParams, TaxiTable};
+
+const N: usize = 500_000;
+const SELECTIVITIES: [f64; 3] = [0.01, 0.1, 1.0];
+
+fn nonhier_query(c: &mut Criterion) {
+    let table = LineitemDates::generate(N, 42).into_table();
+    let (_, baseline) = compress_table(table.clone(), &CompressionConfig::baseline());
+    let (_, corra) = compress_table(
+        table,
+        &CompressionConfig::baseline()
+            .with("l_receiptdate", ColumnPlan::NonHier { reference: "l_shipdate".into() }),
+    );
+    let mut group = c.benchmark_group("query_nonhier");
+    for sel in SELECTIVITIES {
+        let w = block_workloads(&corra, sel, 1, 5);
+        group.throughput(Throughput::Elements(w[0][0].len() as u64));
+        group.bench_with_input(BenchmarkId::new("baseline_target", sel), &w, |b, w| {
+            b.iter(|| query_column(&baseline[0], "l_receiptdate", &w[0][0]).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("corra_target", sel), &w, |b, w| {
+            b.iter(|| query_column(&corra[0], "l_receiptdate", &w[0][0]).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("corra_both", sel), &w, |b, w| {
+            b.iter(|| query_both(&corra[0], "l_receiptdate", &w[0][0]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn hier_query(c: &mut Criterion) {
+    let table = MessageTable::generate(MessageParams::scaled(N), 31).into_table();
+    let (_, baseline) = compress_table(table.clone(), &CompressionConfig::baseline());
+    let (_, corra) = compress_table(
+        table,
+        &CompressionConfig::baseline()
+            .with("ip", ColumnPlan::Hier { reference: "countryid".into() }),
+    );
+    let mut group = c.benchmark_group("query_hier");
+    for sel in SELECTIVITIES {
+        let w = block_workloads(&corra, sel, 1, 7);
+        group.throughput(Throughput::Elements(w[0][0].len() as u64));
+        group.bench_with_input(BenchmarkId::new("baseline_target", sel), &w, |b, w| {
+            b.iter(|| query_column(&baseline[0], "ip", &w[0][0]).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("corra_target", sel), &w, |b, w| {
+            b.iter(|| query_column(&corra[0], "ip", &w[0][0]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn multiref_query(c: &mut Criterion) {
+    let table = TaxiTable::generate(TaxiParams { rows: N, ..Default::default() }, 23).into_table();
+    let (_, baseline) = compress_table(table.clone(), &CompressionConfig::baseline());
+    let (_, corra) = compress_table(
+        table,
+        &CompressionConfig::baseline().with(
+            "total_amount",
+            ColumnPlan::MultiRef { groups: TaxiTable::reference_groups(), code_bits: 2 },
+        ),
+    );
+    let mut group = c.benchmark_group("query_multiref");
+    for sel in SELECTIVITIES {
+        let w = block_workloads(&corra, sel, 1, 9);
+        group.throughput(Throughput::Elements(w[0][0].len() as u64));
+        group.bench_with_input(BenchmarkId::new("baseline_target", sel), &w, |b, w| {
+            b.iter(|| query_column(&baseline[0], "total_amount", &w[0][0]).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("corra_target", sel), &w, |b, w| {
+            b.iter(|| query_column(&corra[0], "total_amount", &w[0][0]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = nonhier_query, hier_query, multiref_query
+);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! **Figure 5** — Query latency over selectivities {0.001…1.0} with
+//! materialization of the query output, as a ratio over single-column
+//! compression:
+//!
+//! * left column: non-hierarchical encoding on TPC-H lineitem,
+//!   `l_shipdate` (reference) / `l_receiptdate` (diff-encoded);
+//! * right column: hierarchical encoding on LDBC message,
+//!   `countryid` (reference) / `ip` (diff-encoded);
+//! * top row: query on the diff-encoded column; bottom row: both columns.
+//!
+//! ```sh
+//! CORRA_LAT_ROWS=1000000 cargo run --release -p corra-bench --bin fig5
+//! ```
+
+use corra_bench::{
+    block_workloads, compress_table, emit_json, median_secs, time_query_both, time_query_column,
+    time_query_two, LatencyPoint, LATENCY_REPS,
+};
+use corra_columnar::selection::figure5_selectivities;
+use corra_core::{ColumnPlan, CompressionConfig};
+use corra_datagen::{LineitemDates, MessageParams, MessageTable};
+
+fn lat_rows() -> usize {
+    std::env::var("CORRA_LAT_ROWS")
+        .ok()
+        .and_then(|s| s.replace('_', "").parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+fn main() {
+    let rows = lat_rows();
+    println!("Fig. 5 reproduction at {rows} rows (CORRA_LAT_ROWS to change)");
+    println!("paper: non-hier target-only ≤1.66x; hier target-only 1.39–1.56x;");
+    println!("       both-columns ~1.0x (non-hier) / small overhead (hier)\n");
+
+    // --- Non-hierarchical panel: lineitem.
+    let table = LineitemDates::generate(rows, 42).into_table();
+    let (_, nh_base) = compress_table(table.clone(), &CompressionConfig::baseline());
+    let (_, nh_corra) = compress_table(
+        table,
+        &CompressionConfig::baseline()
+            .with("l_receiptdate", ColumnPlan::NonHier { reference: "l_shipdate".into() }),
+    );
+
+    // --- Hierarchical panel: LDBC message.
+    let table = MessageTable::generate(MessageParams::scaled(rows), 31).into_table();
+    let (_, h_base) = compress_table(table.clone(), &CompressionConfig::baseline());
+    let (_, h_corra) = compress_table(
+        table,
+        &CompressionConfig::baseline()
+            .with("ip", ColumnPlan::Hier { reference: "countryid".into() }),
+    );
+
+    let mut series: Vec<(&str, Vec<LatencyPoint>)> = vec![
+        ("nonhier/target", Vec::new()),
+        ("nonhier/both", Vec::new()),
+        ("hier/target", Vec::new()),
+        ("hier/both", Vec::new()),
+    ];
+
+    println!(
+        "{:>11} {:>14} {:>14} {:>14} {:>14}",
+        "selectivity", "nonhier tgt", "nonhier both", "hier tgt", "hier both"
+    );
+    for sel in figure5_selectivities() {
+        let nh_w = block_workloads(&nh_corra, sel, 10, 7);
+        let h_w = block_workloads(&h_corra, sel, 10, 9);
+
+        let nh_tgt = LatencyPoint {
+            selectivity: sel,
+            baseline_secs: median_secs(LATENCY_REPS, || {
+                std::hint::black_box(time_query_column(&nh_base, "l_receiptdate", &nh_w));
+            }),
+            corra_secs: median_secs(LATENCY_REPS, || {
+                std::hint::black_box(time_query_column(&nh_corra, "l_receiptdate", &nh_w));
+            }),
+        };
+        let nh_both = LatencyPoint {
+            selectivity: sel,
+            baseline_secs: median_secs(LATENCY_REPS, || {
+                std::hint::black_box(time_query_two(&nh_base, "l_receiptdate", "l_shipdate", &nh_w));
+            }),
+            corra_secs: median_secs(LATENCY_REPS, || {
+                std::hint::black_box(time_query_both(&nh_corra, "l_receiptdate", &nh_w));
+            }),
+        };
+        let h_tgt = LatencyPoint {
+            selectivity: sel,
+            baseline_secs: median_secs(LATENCY_REPS, || {
+                std::hint::black_box(time_query_column(&h_base, "ip", &h_w));
+            }),
+            corra_secs: median_secs(LATENCY_REPS, || {
+                std::hint::black_box(time_query_column(&h_corra, "ip", &h_w));
+            }),
+        };
+        let h_both = LatencyPoint {
+            selectivity: sel,
+            baseline_secs: median_secs(LATENCY_REPS, || {
+                std::hint::black_box(time_query_two(&h_base, "ip", "countryid", &h_w));
+            }),
+            corra_secs: median_secs(LATENCY_REPS, || {
+                std::hint::black_box(time_query_both(&h_corra, "ip", &h_w));
+            }),
+        };
+        println!(
+            "{sel:>11.3} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
+            nh_tgt.ratio(),
+            nh_both.ratio(),
+            h_tgt.ratio(),
+            h_both.ratio()
+        );
+        series[0].1.push(nh_tgt);
+        series[1].1.push(nh_both);
+        series[2].1.push(h_tgt);
+        series[3].1.push(h_both);
+    }
+
+    emit_json(
+        "fig5",
+        &series
+            .iter()
+            .map(|(name, pts)| {
+                serde_json::json!({
+                    "series": name,
+                    "points": pts.iter().map(|p| {
+                        serde_json::json!({"selectivity": p.selectivity, "ratio": p.ratio()})
+                    }).collect::<Vec<_>>(),
+                })
+            })
+            .collect::<Vec<_>>(),
+    );
+}

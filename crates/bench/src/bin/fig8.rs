@@ -1,0 +1,59 @@
+//! **Figure 8** — Query latency for non-hierarchical compression with
+//! multiple reference columns (eight of them): Taxi `total_amount`,
+//! query on the diff-encoded column, ratio over single-column compression.
+//!
+//! ```sh
+//! cargo run --release -p corra-bench --bin fig8
+//! ```
+
+use corra_bench::{
+    block_workloads, compress_table, emit_json, median_secs, time_query_column, LatencyPoint,
+    LATENCY_REPS,
+};
+use corra_columnar::selection::figure5_selectivities;
+use corra_core::{ColumnPlan, CompressionConfig};
+use corra_datagen::{TaxiParams, TaxiTable};
+
+fn main() {
+    let rows = std::env::var("CORRA_LAT_ROWS")
+        .ok()
+        .and_then(|s| s.replace('_', "").parse().ok())
+        .unwrap_or(1_000_000);
+    println!("Fig. 8 reproduction at {rows} rows: multi-reference latency");
+    println!("paper shape: high ratio at low selectivity (scattered fetches across");
+    println!("8 reference columns), stabilizing ~2x; slight rise at 1.0 (outliers)\n");
+
+    let taxi = TaxiTable::generate(TaxiParams { rows, ..Default::default() }, 23);
+    let table = taxi.into_table();
+    let corra_cfg = CompressionConfig::baseline().with(
+        "total_amount",
+        ColumnPlan::MultiRef { groups: TaxiTable::reference_groups(), code_bits: 2 },
+    );
+    let (_, baseline) = compress_table(table.clone(), &CompressionConfig::baseline());
+    let (_, corra) = compress_table(table, &corra_cfg);
+
+    let mut points = Vec::new();
+    println!("{:>11} {:>10}", "selectivity", "ratio");
+    for sel in figure5_selectivities() {
+        let w = block_workloads(&corra, sel, 10, 21);
+        let p = LatencyPoint {
+            selectivity: sel,
+            baseline_secs: median_secs(LATENCY_REPS, || {
+                std::hint::black_box(time_query_column(&baseline, "total_amount", &w));
+            }),
+            corra_secs: median_secs(LATENCY_REPS, || {
+                std::hint::black_box(time_query_column(&corra, "total_amount", &w));
+            }),
+        };
+        println!("{sel:>11.3} {:>9.2}x", p.ratio());
+        points.push(p);
+    }
+
+    emit_json(
+        "fig8",
+        &points
+            .iter()
+            .map(|p| serde_json::json!({"selectivity": p.selectivity, "ratio": p.ratio()}))
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,224 @@
+//! Data blocks: the unit of compression.
+//!
+//! Following the paper's experimental setup (§3): *"We split all datasets
+//! into data blocks of 1M tuples. Each data block is completely
+//! self-contained: all information required to decompress it is contained
+//! within the block itself."*
+//!
+//! [`Table`] is an uncompressed collection of aligned columns;
+//! [`Table::into_blocks`] splits it into [`DataBlock`]s of at most
+//! [`DEFAULT_BLOCK_ROWS`] rows each.
+
+use crate::column::Column;
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+
+/// The paper's block size: one million tuples.
+pub const DEFAULT_BLOCK_ROWS: usize = 1_000_000;
+
+/// An uncompressed table: a schema plus aligned columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Creates a table, validating column alignment against the schema.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        if schema.len() != columns.len() {
+            return Err(Error::invalid(format!(
+                "schema has {} fields but {} columns provided",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if c.len() != rows {
+                return Err(Error::LengthMismatch { left: rows, right: c.len() });
+            }
+            let type_ok = match c {
+                Column::Int64(_) => f.data_type().is_integer_like(),
+                Column::Utf8(_) => !f.data_type().is_integer_like(),
+            };
+            if !type_ok {
+                return Err(Error::TypeMismatch {
+                    expected: f.data_type().name(),
+                    found: c.physical_type(),
+                });
+            }
+        }
+        Ok(Self { schema, columns, rows })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The column named `name`.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// Total uncompressed size in bytes.
+    pub fn plain_bytes(&self) -> usize {
+        self.columns.iter().map(Column::plain_bytes).sum()
+    }
+
+    /// Splits the table into self-contained blocks of at most `block_rows`
+    /// rows (the last block may be shorter).
+    pub fn into_blocks(self, block_rows: usize) -> Vec<DataBlock> {
+        assert!(block_rows > 0, "block size must be positive");
+        if self.rows == 0 {
+            return Vec::new();
+        }
+        let mut blocks = Vec::with_capacity(self.rows.div_ceil(block_rows));
+        let mut start = 0;
+        while start < self.rows {
+            let end = (start + block_rows).min(self.rows);
+            let cols: Vec<Column> =
+                self.columns.iter().map(|c| c.slice(start, end)).collect();
+            blocks.push(DataBlock { schema: self.schema.clone(), columns: cols, rows: end - start });
+            start = end;
+        }
+        blocks
+    }
+}
+
+/// An uncompressed slice of a table, the unit handed to the block compressor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataBlock {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl DataBlock {
+    /// Creates a block directly (single-block tables, tests).
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        let t = Table::new(schema, columns)?;
+        Ok(Self { schema: t.schema, columns: t.columns, rows: t.rows })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows in this block.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The column named `name`.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// The column at schema position `i`.
+    pub fn column_at(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Total uncompressed size in bytes.
+    pub fn plain_bytes(&self) -> usize {
+        self.columns.iter().map(Column::plain_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DataType;
+    use crate::schema::Field;
+    use crate::strings::StringPool;
+
+    fn schema2() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("s", DataType::Utf8),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn table_validates_alignment() {
+        let bad = Table::new(
+            schema2(),
+            vec![Column::from(vec![1i64, 2]), Column::from(StringPool::from_iter(["x"]))],
+        );
+        assert!(matches!(bad, Err(Error::LengthMismatch { left: 2, right: 1 })));
+    }
+
+    #[test]
+    fn table_validates_types() {
+        let bad = Table::new(
+            schema2(),
+            vec![Column::from(vec![1i64]), Column::from(vec![2i64])],
+        );
+        assert!(matches!(bad, Err(Error::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn table_validates_field_count() {
+        let bad = Table::new(schema2(), vec![Column::from(vec![1i64])]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = Table::new(
+            schema2(),
+            vec![Column::from(vec![7i64, 8]), Column::from(StringPool::from_iter(["x", "y"]))],
+        )
+        .unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.column("a").unwrap().as_i64().unwrap(), &[7, 8]);
+        assert!(t.column("zz").is_err());
+        assert_eq!(t.plain_bytes(), 16 + (2 + 3 * 4));
+    }
+
+    #[test]
+    fn split_into_blocks() {
+        let n = 2_500;
+        let t = Table::new(
+            Schema::new(vec![Field::new("v", DataType::Int64)]).unwrap(),
+            vec![Column::from((0..n as i64).collect::<Vec<_>>())],
+        )
+        .unwrap();
+        let blocks = t.into_blocks(1_000);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].rows(), 1_000);
+        assert_eq!(blocks[1].rows(), 1_000);
+        assert_eq!(blocks[2].rows(), 500);
+        assert_eq!(blocks[2].column("v").unwrap().as_i64().unwrap()[0], 2_000);
+    }
+
+    #[test]
+    fn empty_table_yields_no_blocks() {
+        let t = Table::new(
+            Schema::new(vec![Field::new("v", DataType::Int64)]).unwrap(),
+            vec![Column::from(Vec::<i64>::new())],
+        )
+        .unwrap();
+        assert!(t.into_blocks(100).is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! In-memory (uncompressed) typed columns.
+//!
+//! Corra's experiments deal with integer-like data (dates and timestamps as
+//! epoch units, money as integer cents, zip codes as integers, dictionary
+//! codes) and strings (city names, states). [`Column`] is the uncompressed
+//! representation that encodings consume and that queries materialize into.
+
+use crate::error::{Error, Result};
+use crate::strings::StringPool;
+
+/// Logical data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integers; also used for dates (epoch days), timestamps
+    /// (epoch seconds) and money (integer cents).
+    Int64,
+    /// Days since the Unix epoch (physically `i64`).
+    Date,
+    /// Seconds since the Unix epoch (physically `i64`).
+    Timestamp,
+    /// UTF-8 strings.
+    Utf8,
+}
+
+impl DataType {
+    /// Whether the type is physically a 64-bit integer.
+    pub fn is_integer_like(self) -> bool {
+        !matches!(self, DataType::Utf8)
+    }
+
+    /// Uncompressed bytes per value (strings report pointer-free average
+    /// separately via the pool).
+    pub fn plain_width(self) -> usize {
+        8
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int64 => "int64",
+            DataType::Date => "date",
+            DataType::Timestamp => "timestamp",
+            DataType::Utf8 => "utf8",
+        }
+    }
+}
+
+/// An uncompressed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer-like values (see [`DataType`] for interpretations).
+    Int64(Vec<i64>),
+    /// String values stored in a flattened pool (one entry per row).
+    Utf8(StringPool),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.len(),
+            Column::Utf8(p) => p.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The physical type tag of this column.
+    pub fn physical_type(&self) -> &'static str {
+        match self {
+            Column::Int64(_) => "int64",
+            Column::Utf8(_) => "utf8",
+        }
+    }
+
+    /// Borrows the integer values.
+    pub fn as_i64(&self) -> Result<&[i64]> {
+        match self {
+            Column::Int64(v) => Ok(v),
+            Column::Utf8(_) => {
+                Err(Error::TypeMismatch { expected: "int64", found: "utf8" })
+            }
+        }
+    }
+
+    /// Borrows the string pool.
+    pub fn as_utf8(&self) -> Result<&StringPool> {
+        match self {
+            Column::Utf8(p) => Ok(p),
+            Column::Int64(_) => {
+                Err(Error::TypeMismatch { expected: "utf8", found: "int64" })
+            }
+        }
+    }
+
+    /// Uncompressed in-memory size in bytes (the "uncompressed" comparator in
+    /// the latency experiments: 8 bytes per integer, flattened bytes+offsets
+    /// for strings).
+    pub fn plain_bytes(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.len() * 8,
+            Column::Utf8(p) => p.heap_bytes(),
+        }
+    }
+
+    /// Returns a sub-column covering rows `start..end` (used to split a
+    /// table into self-contained 1M-tuple blocks).
+    pub fn slice(&self, start: usize, end: usize) -> Column {
+        assert!(start <= end && end <= self.len(), "slice {start}..{end} of {}", self.len());
+        match self {
+            Column::Int64(v) => Column::Int64(v[start..end].to_vec()),
+            Column::Utf8(p) => {
+                let mut pool = StringPool::new();
+                for i in start..end {
+                    pool.push(p.get(i));
+                }
+                Column::Utf8(pool)
+            }
+        }
+    }
+}
+
+impl From<Vec<i64>> for Column {
+    fn from(v: Vec<i64>) -> Self {
+        Column::Int64(v)
+    }
+}
+
+impl From<StringPool> for Column {
+    fn from(p: StringPool) -> Self {
+        Column::Utf8(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datatype_properties() {
+        assert!(DataType::Int64.is_integer_like());
+        assert!(DataType::Date.is_integer_like());
+        assert!(DataType::Timestamp.is_integer_like());
+        assert!(!DataType::Utf8.is_integer_like());
+        assert_eq!(DataType::Date.name(), "date");
+        assert_eq!(DataType::Int64.plain_width(), 8);
+    }
+
+    #[test]
+    fn int_column_accessors() {
+        let col = Column::from(vec![1i64, 2, 3]);
+        assert_eq!(col.len(), 3);
+        assert!(!col.is_empty());
+        assert_eq!(col.as_i64().unwrap(), &[1, 2, 3]);
+        assert!(col.as_utf8().is_err());
+        assert_eq!(col.plain_bytes(), 24);
+        assert_eq!(col.physical_type(), "int64");
+    }
+
+    #[test]
+    fn string_column_accessors() {
+        let col = Column::from(StringPool::from_iter(["a", "bb"]));
+        assert_eq!(col.len(), 2);
+        assert!(col.as_i64().is_err());
+        assert_eq!(col.as_utf8().unwrap().get(1), "bb");
+        assert_eq!(col.physical_type(), "utf8");
+    }
+
+    #[test]
+    fn slice_int() {
+        let col = Column::from((0..10i64).collect::<Vec<_>>());
+        let s = col.slice(3, 7);
+        assert_eq!(s.as_i64().unwrap(), &[3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn slice_strings() {
+        let col = Column::from(StringPool::from_iter(["a", "b", "c", "d"]));
+        let s = col.slice(1, 3);
+        let pool = s.as_utf8().unwrap();
+        assert_eq!(pool.get(0), "b");
+        assert_eq!(pool.get(1), "c");
+    }
+
+    #[test]
+    #[should_panic(expected = "slice")]
+    fn slice_out_of_bounds_panics() {
+        Column::from(vec![1i64]).slice(0, 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Error types shared across the Corra workspace substrate.
+
+use std::fmt;
+
+/// Convenience alias used throughout the substrate.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced by the columnar substrate and the encodings built on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A value does not fit into the requested bit width.
+    WidthOverflow {
+        /// The offending value.
+        value: u64,
+        /// The requested width.
+        bits: u8,
+    },
+    /// A bit width outside `0..=64` was requested.
+    InvalidBitWidth(u8),
+    /// Serialized data is malformed or truncated.
+    Corrupt(String),
+    /// Two columns that must be aligned have different lengths.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// A column was used with an operation for an incompatible data type.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// What it found.
+        found: &'static str,
+    },
+    /// A named column is missing from a schema or block.
+    ColumnNotFound(String),
+    /// A row or dictionary index is out of bounds.
+    IndexOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+    /// Input data violates a documented invariant (e.g. taxi cleaning rules).
+    InvalidData(String),
+}
+
+impl Error {
+    /// Shorthand for [`Error::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        Error::Corrupt(msg.into())
+    }
+
+    /// Shorthand for [`Error::InvalidData`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::InvalidData(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::WidthOverflow { value, bits } => {
+                write!(f, "value {value} does not fit in {bits} bits")
+            }
+            Error::InvalidBitWidth(bits) => write!(f, "invalid bit width {bits} (max 64)"),
+            Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::LengthMismatch { left, right } => {
+                write!(f, "column length mismatch: {left} vs {right}")
+            }
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            Error::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds (len {len})")
+            }
+            Error::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::WidthOverflow { value: 8, bits: 3 }.to_string(),
+            "value 8 does not fit in 3 bits"
+        );
+        assert_eq!(Error::InvalidBitWidth(65).to_string(), "invalid bit width 65 (max 64)");
+        assert_eq!(Error::corrupt("oops").to_string(), "corrupt data: oops");
+        assert_eq!(
+            Error::LengthMismatch { left: 1, right: 2 }.to_string(),
+            "column length mismatch: 1 vs 2"
+        );
+        assert_eq!(Error::ColumnNotFound("zip".into()).to_string(), "column not found: zip");
+        assert_eq!(
+            Error::IndexOutOfBounds { index: 9, len: 3 }.to_string(),
+            "index 9 out of bounds (len 3)"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::corrupt("x"));
+    }
+}

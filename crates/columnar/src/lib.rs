@@ -1,0 +1,39 @@
+//! # corra-columnar
+//!
+//! Columnar storage substrate for the [Corra](https://arxiv.org/abs/2403.17229)
+//! correlation-aware compression library.
+//!
+//! This crate provides the building blocks every encoding scheme sits on:
+//!
+//! * [`bitpack::BitPackedVec`] — fixed-width bit packing with O(1) random
+//!   access, the physical layer of FOR, Dict, and all Corra encodings;
+//! * [`column::Column`] / [`block::Table`] / [`block::DataBlock`] — typed
+//!   uncompressed columns split into self-contained 1M-tuple blocks (the
+//!   paper's unit of compression);
+//! * [`strings::StringPool`] — the flattened distinct-string array used by
+//!   dictionary encodings;
+//! * [`selection::SelectionVector`] — the uniform random selection vectors
+//!   driving the query-latency experiments;
+//! * [`stats`] — exact column statistics feeding the encoding choosers;
+//! * [`temporal`] — from-scratch civil-date ↔ epoch-day conversion.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bitpack;
+pub mod block;
+pub mod column;
+pub mod error;
+pub mod schema;
+pub mod selection;
+pub mod stats;
+pub mod strings;
+pub mod temporal;
+
+pub use bitpack::BitPackedVec;
+pub use block::{DataBlock, Table, DEFAULT_BLOCK_ROWS};
+pub use column::{Column, DataType};
+pub use error::{Error, Result};
+pub use schema::{Field, Schema};
+pub use selection::SelectionVector;
+pub use strings::{StringDictBuilder, StringPool};

@@ -1,0 +1,117 @@
+//! Table schemas: named, typed fields.
+
+use crate::column::DataType;
+use crate::error::{Error, Result};
+
+/// A named, typed field in a table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    name: String,
+    data_type: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self { name: name.into(), data_type }
+    }
+
+    /// The field name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The field type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+}
+
+/// An ordered collection of fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidData`] on duplicate field names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(Error::invalid(format!("duplicate field name: {}", f.name)));
+            }
+        }
+        Ok(Self { fields })
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the field named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| Error::ColumnNotFound(name.to_owned()))
+    }
+
+    /// The field named `name`.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        Ok(&self.fields[self.index_of(name)?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("shipdate", DataType::Date),
+            Field::new("commitdate", DataType::Date),
+            Field::new("receiptdate", DataType::Date),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("commitdate").unwrap(), 1);
+        assert_eq!(s.field("receiptdate").unwrap().data_type(), DataType::Date);
+        assert!(matches!(s.index_of("missing"), Err(Error::ColumnNotFound(_))));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let r = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Utf8),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::default();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

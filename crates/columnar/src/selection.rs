@@ -1,0 +1,196 @@
+//! Selection vectors for the query-latency experiments.
+//!
+//! The paper (§3, Experimental Setup): *"When measuring query latency, we
+//! generate 10 uniform random selection vectors for each individual
+//! selectivity (as done, e.g., in Lang et al.). In the experiment, we
+//! decompress and materialize the values at the specified positions."*
+//!
+//! A [`SelectionVector`] is a sorted list of distinct row positions within a
+//! block. [`sample_uniform`] draws one by including each row independently…
+//! no — by a uniform fixed-size sample without replacement, matching the
+//! "uniform random selection vector of selectivity s" construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sorted vector of distinct row positions to materialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionVector {
+    positions: Vec<u32>,
+}
+
+impl SelectionVector {
+    /// Creates a selection vector from positions; sorts and deduplicates.
+    pub fn new(mut positions: Vec<u32>) -> Self {
+        positions.sort_unstable();
+        positions.dedup();
+        Self { positions }
+    }
+
+    /// Creates a selection covering every row in `0..rows`.
+    pub fn all(rows: usize) -> Self {
+        Self { positions: (0..rows as u32).collect() }
+    }
+
+    /// The selected positions, ascending and distinct.
+    #[inline]
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Number of selected rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether nothing is selected.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The realized selectivity w.r.t. a block of `rows` rows.
+    pub fn selectivity(&self, rows: usize) -> f64 {
+        if rows == 0 {
+            0.0
+        } else {
+            self.positions.len() as f64 / rows as f64
+        }
+    }
+
+    /// Checks every position is `< rows`.
+    pub fn validate(&self, rows: usize) -> bool {
+        self.positions.last().map_or(true, |&p| (p as usize) < rows)
+    }
+}
+
+/// Draws a uniform random selection vector of `k = round(selectivity * rows)`
+/// distinct positions (Floyd's algorithm, O(k) expected).
+pub fn sample_uniform(rows: usize, selectivity: f64, rng: &mut StdRng) -> SelectionVector {
+    assert!((0.0..=1.0).contains(&selectivity), "selectivity must be in [0,1]");
+    let k = ((rows as f64) * selectivity).round() as usize;
+    let k = k.min(rows);
+    if k == rows {
+        return SelectionVector::all(rows);
+    }
+    // Floyd's sampling: uniform k-subset of 0..rows.
+    let mut chosen = rustc_hash::FxHashSet::default();
+    chosen.reserve(k);
+    for j in (rows - k)..rows {
+        let t = rng.gen_range(0..=j as u64) as u32;
+        if !chosen.insert(t) {
+            chosen.insert(j as u32);
+        }
+    }
+    let mut positions: Vec<u32> = chosen.into_iter().collect();
+    positions.sort_unstable();
+    SelectionVector { positions }
+}
+
+/// Generates the paper's per-selectivity workload: `n` independent uniform
+/// selection vectors (the paper uses `n = 10`).
+pub fn workload(rows: usize, selectivity: f64, n: usize, seed: u64) -> Vec<SelectionVector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| sample_uniform(rows, selectivity, &mut rng)).collect()
+}
+
+/// The selectivity grid of Fig. 5: {0.001, 0.002, …, 0.009, 0.01, 0.02, …,
+/// 0.09, 0.1, 0.2, …, 0.9, 1.0}.
+pub fn figure5_selectivities() -> Vec<f64> {
+    let mut out = Vec::new();
+    for i in 1..10 {
+        out.push(i as f64 * 0.001);
+    }
+    for i in 1..10 {
+        out.push(i as f64 * 0.01);
+    }
+    for i in 1..=10 {
+        out.push(i as f64 * 0.1);
+    }
+    out
+}
+
+/// The zoom-in selectivities of Fig. 6/7: {0.005, 0.01, 0.05, 0.1}.
+pub fn zoom_selectivities() -> [f64; 4] {
+    [0.005, 0.01, 0.05, 0.1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let sel = SelectionVector::new(vec![5, 1, 5, 3]);
+        assert_eq!(sel.positions(), &[1, 3, 5]);
+        assert_eq!(sel.len(), 3);
+    }
+
+    #[test]
+    fn all_covers_everything() {
+        let sel = SelectionVector::all(4);
+        assert_eq!(sel.positions(), &[0, 1, 2, 3]);
+        assert!((sel.selectivity(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_size_matches_selectivity() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let sel = sample_uniform(100_000, 0.01, &mut rng);
+        assert_eq!(sel.len(), 1_000);
+        assert!(sel.validate(100_000));
+        // Sorted & distinct.
+        assert!(sel.positions().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sample_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_uniform(1000, 0.0, &mut rng).is_empty());
+        assert_eq!(sample_uniform(1000, 1.0, &mut rng).len(), 1000);
+        assert!(sample_uniform(0, 0.5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Mean position of a 10% sample of 0..10000 should be near 5000.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0f64;
+        let mut count = 0usize;
+        for _ in 0..20 {
+            let sel = sample_uniform(10_000, 0.1, &mut rng);
+            sum += sel.positions().iter().map(|&p| p as f64).sum::<f64>();
+            count += sel.len();
+        }
+        let mean = sum / count as f64;
+        assert!((mean - 5_000.0).abs() < 200.0, "mean {mean}");
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let a = workload(10_000, 0.05, 10, 99);
+        let b = workload(10_000, 0.05, 10, 99);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        // Vectors within one workload differ from each other.
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn selectivity_grid_matches_figure5() {
+        let grid = figure5_selectivities();
+        assert_eq!(grid.len(), 28);
+        assert!((grid[0] - 0.001).abs() < 1e-12);
+        assert!((grid[9] - 0.01).abs() < 1e-12);
+        assert!((grid[27] - 1.0).abs() < 1e-12);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let sel = SelectionVector::new(vec![0, 10]);
+        assert!(sel.validate(11));
+        assert!(!sel.validate(10));
+    }
+}

@@ -1,0 +1,202 @@
+//! Column statistics used by the encoding choosers and the optimizer.
+
+use rustc_hash::FxHashSet;
+
+use crate::column::Column;
+use crate::strings::StringPool;
+
+/// Statistics over an integer column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntStats {
+    /// Minimum value (0 if the column is empty).
+    pub min: i64,
+    /// Maximum value (0 if the column is empty).
+    pub max: i64,
+    /// Exact number of distinct values.
+    pub distinct: usize,
+    /// Number of rows.
+    pub count: usize,
+    /// Number of maximal runs of equal adjacent values.
+    pub runs: usize,
+}
+
+impl IntStats {
+    /// Computes exact statistics in one pass (plus a hash set for distinct).
+    pub fn compute(values: &[i64]) -> Self {
+        if values.is_empty() {
+            return Self { min: 0, max: 0, distinct: 0, count: 0, runs: 0 };
+        }
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        let mut runs = 1usize;
+        let mut distinct = FxHashSet::default();
+        let mut prev = values[0];
+        for (i, &v) in values.iter().enumerate() {
+            min = min.min(v);
+            max = max.max(v);
+            distinct.insert(v);
+            if i > 0 && v != prev {
+                runs += 1;
+            }
+            prev = v;
+        }
+        Self { min, max, distinct: distinct.len(), count: values.len(), runs }
+    }
+
+    /// The value range `max - min` as u64 (saturating at domain edges).
+    pub fn range(&self) -> u64 {
+        (self.max as i128 - self.min as i128).max(0) as u64
+    }
+
+    /// Bits needed for FOR encoding over this range.
+    pub fn for_bits(&self) -> u8 {
+        crate::bitpack::bits_needed(self.range())
+    }
+
+    /// Bits needed for dictionary codes.
+    pub fn dict_bits(&self) -> u8 {
+        if self.distinct <= 1 {
+            0
+        } else {
+            crate::bitpack::bits_needed(self.distinct as u64 - 1)
+        }
+    }
+}
+
+/// Statistics over a string column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StringStats {
+    /// Exact number of distinct strings.
+    pub distinct: usize,
+    /// Number of rows.
+    pub count: usize,
+    /// Total bytes of the distinct strings (dictionary payload size).
+    pub distinct_bytes: usize,
+    /// Total bytes across all rows (uncompressed payload).
+    pub total_bytes: usize,
+}
+
+impl StringStats {
+    /// Computes exact statistics.
+    pub fn compute(pool: &StringPool) -> Self {
+        let mut distinct: FxHashSet<&str> = FxHashSet::default();
+        let mut total_bytes = 0usize;
+        for s in pool.iter() {
+            total_bytes += s.len();
+            distinct.insert(s);
+        }
+        let distinct_bytes = distinct.iter().map(|s| s.len()).sum();
+        Self { distinct: distinct.len(), count: pool.len(), distinct_bytes, total_bytes }
+    }
+
+    /// Bits needed for dictionary codes.
+    pub fn dict_bits(&self) -> u8 {
+        if self.distinct <= 1 {
+            0
+        } else {
+            crate::bitpack::bits_needed(self.distinct as u64 - 1)
+        }
+    }
+}
+
+/// Statistics for either column kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnStats {
+    /// Integer column statistics.
+    Int(IntStats),
+    /// String column statistics.
+    Str(StringStats),
+}
+
+impl ColumnStats {
+    /// Computes statistics for `column`.
+    pub fn compute(column: &Column) -> Self {
+        match column {
+            Column::Int64(v) => ColumnStats::Int(IntStats::compute(v)),
+            Column::Utf8(p) => ColumnStats::Str(StringStats::compute(p)),
+        }
+    }
+
+    /// Row count.
+    pub fn count(&self) -> usize {
+        match self {
+            ColumnStats::Int(s) => s.count,
+            ColumnStats::Str(s) => s.count,
+        }
+    }
+
+    /// Distinct-value count.
+    pub fn distinct(&self) -> usize {
+        match self {
+            ColumnStats::Int(s) => s.distinct,
+            ColumnStats::Str(s) => s.distinct,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_stats_basic() {
+        let s = IntStats::compute(&[5, 3, 3, 8, 5]);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 8);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.runs, 4); // 5 | 3 3 | 8 | 5
+        assert_eq!(s.range(), 5);
+        assert_eq!(s.for_bits(), 3);
+        assert_eq!(s.dict_bits(), 2);
+    }
+
+    #[test]
+    fn int_stats_empty_and_constant() {
+        let e = IntStats::compute(&[]);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.for_bits(), 0);
+        let c = IntStats::compute(&[7, 7, 7]);
+        assert_eq!(c.range(), 0);
+        assert_eq!(c.for_bits(), 0);
+        assert_eq!(c.dict_bits(), 0);
+        assert_eq!(c.runs, 1);
+    }
+
+    #[test]
+    fn int_stats_negative_range() {
+        let s = IntStats::compute(&[-100, 100]);
+        assert_eq!(s.range(), 200);
+        assert_eq!(s.for_bits(), 8);
+    }
+
+    #[test]
+    fn int_stats_extreme_range() {
+        let s = IntStats::compute(&[i64::MIN, i64::MAX]);
+        assert_eq!(s.range(), u64::MAX);
+        assert_eq!(s.for_bits(), 64);
+    }
+
+    #[test]
+    fn string_stats() {
+        let pool = StringPool::from_iter(["NYC", "Naples", "NYC", "NYC"]);
+        let s = StringStats::compute(&pool);
+        assert_eq!(s.distinct, 2);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.distinct_bytes, 3 + 6);
+        assert_eq!(s.total_bytes, 3 * 3 + 6);
+        assert_eq!(s.dict_bits(), 1);
+    }
+
+    #[test]
+    fn column_stats_dispatch() {
+        let c = Column::from(vec![1i64, 2, 2]);
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.distinct(), 2);
+        let c = Column::from(StringPool::from_iter(["a"]));
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.distinct(), 1);
+    }
+}

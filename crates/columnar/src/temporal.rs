@@ -1,0 +1,147 @@
+//! Date and timestamp utilities.
+//!
+//! Dates are stored as days since the Unix epoch (1970-01-01) and timestamps
+//! as seconds since the epoch, matching how the paper's datasets store their
+//! date-valued columns before bit-packing. Implemented from scratch (civil
+//! calendar algorithms after Howard Hinnant's public-domain derivation) so
+//! the workspace has no external date dependency.
+
+/// A civil (proleptic Gregorian) calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CivilDate {
+    /// Year, e.g. 1992.
+    pub year: i32,
+    /// Month in `1..=12`.
+    pub month: u8,
+    /// Day of month in `1..=31`.
+    pub day: u8,
+}
+
+impl CivilDate {
+    /// Creates a date, panicking on out-of-range month/day (debug aid).
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        assert!((1..=31).contains(&day), "day {day} out of range");
+        Self { year, month, day }
+    }
+}
+
+/// Converts a civil date to days since the Unix epoch.
+pub fn date_to_epoch_days(d: CivilDate) -> i64 {
+    let y = if d.month <= 2 { d.year as i64 - 1 } else { d.year as i64 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (d.month as i64 + 9) % 12; // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + d.day as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Converts days since the Unix epoch back to a civil date.
+pub fn epoch_days_to_date(days: i64) -> CivilDate {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let day = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+    let month = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+    let year = if month <= 2 { y + 1 } else { y } as i32;
+    CivilDate { year, month, day }
+}
+
+/// Formats epoch days as `YYYY-MM-DD`.
+pub fn format_epoch_days(days: i64) -> String {
+    let d = epoch_days_to_date(days);
+    format!("{:04}-{:02}-{:02}", d.year, d.month, d.day)
+}
+
+/// Parses `YYYY-MM-DD` into epoch days. Returns `None` on malformed input.
+pub fn parse_date(s: &str) -> Option<i64> {
+    let mut it = s.split('-');
+    let year: i32 = it.next()?.parse().ok()?;
+    let month: u8 = it.next()?.parse().ok()?;
+    let day: u8 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    Some(date_to_epoch_days(CivilDate { year, month, day }))
+}
+
+/// Seconds per day, for timestamp arithmetic.
+pub const SECONDS_PER_DAY: i64 = 86_400;
+
+/// Converts epoch days + seconds-within-day to an epoch-seconds timestamp.
+pub fn timestamp(days: i64, secs_in_day: i64) -> i64 {
+    debug_assert!((0..SECONDS_PER_DAY).contains(&secs_in_day));
+    days * SECONDS_PER_DAY + secs_in_day
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(date_to_epoch_days(CivilDate::new(1970, 1, 1)), 0);
+        assert_eq!(epoch_days_to_date(0), CivilDate::new(1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // TPC-H date domain boundaries.
+        assert_eq!(date_to_epoch_days(CivilDate::new(1992, 1, 1)), 8_035);
+        assert_eq!(date_to_epoch_days(CivilDate::new(1998, 12, 31)), 10_591);
+        // The paper's Fig. 1 sample dates.
+        assert_eq!(format_epoch_days(date_to_epoch_days(CivilDate::new(1992, 1, 2))), "1992-01-02");
+        assert_eq!(format_epoch_days(date_to_epoch_days(CivilDate::new(2024, 6, 8))), "2024-06-08");
+    }
+
+    #[test]
+    fn roundtrip_across_range() {
+        // Every 13th day over ~80 years, crossing leap years and centuries.
+        for days in (-10_000..30_000).step_by(13) {
+            let d = epoch_days_to_date(days);
+            assert_eq!(date_to_epoch_days(d), days, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        let feb29_2000 = date_to_epoch_days(CivilDate::new(2000, 2, 29));
+        let mar1_2000 = date_to_epoch_days(CivilDate::new(2000, 3, 1));
+        assert_eq!(mar1_2000 - feb29_2000, 1);
+        // 1900 was not a leap year: Feb 28 -> Mar 1 is 1 day.
+        let feb28_1900 = date_to_epoch_days(CivilDate::new(1900, 2, 28));
+        let mar1_1900 = date_to_epoch_days(CivilDate::new(1900, 3, 1));
+        assert_eq!(mar1_1900 - feb28_1900, 1);
+    }
+
+    #[test]
+    fn parse_and_format() {
+        assert_eq!(parse_date("1992-03-10"), Some(date_to_epoch_days(CivilDate::new(1992, 3, 10))));
+        assert_eq!(format_epoch_days(parse_date("1998-12-01").unwrap()), "1998-12-01");
+        assert_eq!(parse_date("not-a-date"), None);
+        assert_eq!(parse_date("1992-13-01"), None);
+        assert_eq!(parse_date("1992-01-32"), None);
+        assert_eq!(parse_date("1992-01"), None);
+        assert_eq!(parse_date("1992-01-01-01"), None);
+    }
+
+    #[test]
+    fn tpch_domain_width_is_12_bits() {
+        // The paper stores shipdate in 12 bits: range 1992-01-01..1998-12-31.
+        let lo = parse_date("1992-01-01").unwrap();
+        let hi = parse_date("1998-12-31").unwrap();
+        let range = (hi - lo) as u64;
+        assert_eq!(crate::bitpack::bits_needed(range), 12);
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        assert_eq!(timestamp(0, 0), 0);
+        assert_eq!(timestamp(1, 3_600), 90_000);
+    }
+}

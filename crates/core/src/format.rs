@@ -1,0 +1,361 @@
+//! The self-contained on-disk block format.
+//!
+//! Per the paper's setup, "each data block is completely self-contained: all
+//! information required to decompress it is contained within the block
+//! itself" — dictionaries, hierarchical metadata arrays, outlier regions and
+//! the cross-column wiring all serialize into one buffer.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   "CORA"          4 bytes
+//! version u16             currently 1
+//! rows    u32
+//! n_cols  u16
+//! per column:
+//!   name_len u16 | name bytes (UTF-8)
+//!   codec_tag u8 | codec payload
+//! ```
+
+use bytes::{Buf, BufMut};
+use corra_columnar::error::{Error, Result};
+use corra_columnar::strings::StringPool;
+use corra_encodings::{DictStr, IntEncoding};
+
+use crate::compressor::{ColumnCodec, CompressedBlock};
+use crate::hier::{HierInt, HierStr};
+use crate::multiref::MultiRefInt;
+use crate::nonhier::NonHierInt;
+
+/// File magic identifying a Corra block.
+pub const MAGIC: [u8; 4] = *b"CORA";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+const TAG_INT: u8 = 0;
+const TAG_STR: u8 = 1;
+const TAG_PLAIN_STR: u8 = 2;
+const TAG_NONHIER: u8 = 3;
+const TAG_HIER_INT: u8 = 4;
+const TAG_HIER_STR: u8 = 5;
+const TAG_MULTIREF: u8 = 6;
+
+impl CompressedBlock {
+    /// Serializes the block into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.total_bytes() + 64);
+        buf.put_slice(&MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u32_le(self.rows() as u32);
+        buf.put_u16_le(self.names().len() as u16);
+        for (i, name) in self.names().iter().enumerate() {
+            buf.put_u16_le(name.len() as u16);
+            buf.put_slice(name.as_bytes());
+            write_codec(self.codec_at(i), &mut buf);
+        }
+        buf
+    }
+
+    /// Deserializes a block previously produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on bad magic, unsupported version,
+    /// truncation, or any inconsistent codec payload.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Self> {
+        if buf.remaining() < 4 + 2 + 4 + 2 {
+            return Err(Error::corrupt("block header truncated"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(Error::corrupt("bad magic"));
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(Error::corrupt(format!("unsupported version {version}")));
+        }
+        let rows = buf.get_u32_le();
+        let n_cols = buf.get_u16_le() as usize;
+        let mut names = Vec::with_capacity(n_cols);
+        let mut codecs = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            if buf.remaining() < 2 {
+                return Err(Error::corrupt("column name header truncated"));
+            }
+            let name_len = buf.get_u16_le() as usize;
+            if buf.remaining() < name_len {
+                return Err(Error::corrupt("column name truncated"));
+            }
+            let mut name_bytes = vec![0u8; name_len];
+            buf.copy_to_slice(&mut name_bytes);
+            let name = String::from_utf8(name_bytes)
+                .map_err(|_| Error::corrupt("column name not UTF-8"))?;
+            let codec = read_codec(&mut buf, n_cols)?;
+            names.push(name);
+            codecs.push(codec);
+        }
+        CompressedBlock::from_parts(rows, names, codecs)
+    }
+
+    /// Internal constructor used by deserialization, with wiring validation.
+    pub(crate) fn from_parts(
+        rows: u32,
+        names: Vec<String>,
+        codecs: Vec<ColumnCodec>,
+    ) -> Result<Self> {
+        // Validate references point at vertical columns.
+        for codec in &codecs {
+            let refs: Vec<u32> = match codec {
+                ColumnCodec::NonHier { reference, .. }
+                | ColumnCodec::HierInt { reference, .. }
+                | ColumnCodec::HierStr { reference, .. } => vec![*reference],
+                ColumnCodec::MultiRef { groups, .. } => {
+                    groups.iter().flatten().copied().collect()
+                }
+                _ => Vec::new(),
+            };
+            for r in refs {
+                let Some(target) = codecs.get(r as usize) else {
+                    return Err(Error::corrupt("codec reference out of range"));
+                };
+                if target.is_horizontal() {
+                    return Err(Error::corrupt("codec references a horizontal column"));
+                }
+            }
+        }
+        Ok(Self::new_unchecked(rows, names, codecs))
+    }
+}
+
+fn write_codec(codec: &ColumnCodec, buf: &mut Vec<u8>) {
+    match codec {
+        ColumnCodec::Int(enc) => {
+            buf.put_u8(TAG_INT);
+            enc.write_to(buf);
+        }
+        ColumnCodec::Str(enc) => {
+            buf.put_u8(TAG_STR);
+            enc.write_to(buf);
+        }
+        ColumnCodec::PlainStr(pool) => {
+            buf.put_u8(TAG_PLAIN_STR);
+            pool.write_to(buf);
+        }
+        ColumnCodec::NonHier { enc, reference } => {
+            buf.put_u8(TAG_NONHIER);
+            buf.put_u32_le(*reference);
+            enc.write_to(buf);
+        }
+        ColumnCodec::HierInt { enc, reference } => {
+            buf.put_u8(TAG_HIER_INT);
+            buf.put_u32_le(*reference);
+            enc.write_to(buf);
+        }
+        ColumnCodec::HierStr { enc, reference } => {
+            buf.put_u8(TAG_HIER_STR);
+            buf.put_u32_le(*reference);
+            enc.write_to(buf);
+        }
+        ColumnCodec::MultiRef { enc, groups } => {
+            buf.put_u8(TAG_MULTIREF);
+            buf.put_u8(groups.len() as u8);
+            for group in groups {
+                buf.put_u16_le(group.len() as u16);
+                for &g in group {
+                    buf.put_u32_le(g);
+                }
+            }
+            enc.write_to(buf);
+        }
+    }
+}
+
+fn read_codec(buf: &mut &[u8], n_cols: usize) -> Result<ColumnCodec> {
+    if buf.remaining() < 1 {
+        return Err(Error::corrupt("codec tag truncated"));
+    }
+    let tag = buf.get_u8();
+    let read_ref = |buf: &mut &[u8]| -> Result<u32> {
+        if buf.remaining() < 4 {
+            return Err(Error::corrupt("codec reference truncated"));
+        }
+        let r = buf.get_u32_le();
+        if r as usize >= n_cols {
+            return Err(Error::corrupt("codec reference out of range"));
+        }
+        Ok(r)
+    };
+    match tag {
+        TAG_INT => Ok(ColumnCodec::Int(IntEncoding::read_from(buf)?)),
+        TAG_STR => Ok(ColumnCodec::Str(DictStr::read_from(buf)?)),
+        TAG_PLAIN_STR => Ok(ColumnCodec::PlainStr(StringPool::read_from(buf)?)),
+        TAG_NONHIER => {
+            let reference = read_ref(buf)?;
+            Ok(ColumnCodec::NonHier { enc: NonHierInt::read_from(buf)?, reference })
+        }
+        TAG_HIER_INT => {
+            let reference = read_ref(buf)?;
+            Ok(ColumnCodec::HierInt { enc: HierInt::read_from(buf)?, reference })
+        }
+        TAG_HIER_STR => {
+            let reference = read_ref(buf)?;
+            Ok(ColumnCodec::HierStr { enc: HierStr::read_from(buf)?, reference })
+        }
+        TAG_MULTIREF => {
+            if buf.remaining() < 1 {
+                return Err(Error::corrupt("multiref group count truncated"));
+            }
+            let n_groups = buf.get_u8() as usize;
+            let mut groups = Vec::with_capacity(n_groups);
+            for _ in 0..n_groups {
+                if buf.remaining() < 2 {
+                    return Err(Error::corrupt("multiref group header truncated"));
+                }
+                let n = buf.get_u16_le() as usize;
+                let mut group = Vec::with_capacity(n);
+                for _ in 0..n {
+                    group.push(read_ref(buf)?);
+                }
+                groups.push(group);
+            }
+            Ok(ColumnCodec::MultiRef { enc: MultiRefInt::read_from(buf)?, groups })
+        }
+        t => Err(Error::corrupt(format!("unknown codec tag {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::{ColumnPlan, CompressionConfig};
+    use corra_columnar::block::DataBlock;
+    use corra_columnar::column::{Column, DataType};
+    use corra_columnar::schema::{Field, Schema};
+
+    fn mixed_block(n: usize) -> (DataBlock, CompressionConfig) {
+        let city_pool =
+            StringPool::from_iter((0..n).map(|i| ["NYC", "Albany", "Naples"][i % 3]));
+        let zip: Vec<i64> = (0..n).map(|i| 10_000 + (i % 3) as i64 * 50 + (i / 3 % 4) as i64).collect();
+        let ship: Vec<i64> = (0..n).map(|i| 8_035 + (i as i64 % 2_000)).collect();
+        let receipt: Vec<i64> =
+            ship.iter().enumerate().map(|(i, &s)| s + 1 + (i as i64 % 30)).collect();
+        let fee: Vec<i64> = (0..n).map(|i| 100 + (i as i64 % 10)).collect();
+        let extra: Vec<i64> = vec![25; n];
+        let total: Vec<i64> = (0..n)
+            .map(|i| if i % 2 == 0 { fee[i] } else { fee[i] + extra[i] })
+            .collect();
+        let block = DataBlock::new(
+            Schema::new(vec![
+                Field::new("city", DataType::Utf8),
+                Field::new("zip", DataType::Int64),
+                Field::new("l_shipdate", DataType::Date),
+                Field::new("l_receiptdate", DataType::Date),
+                Field::new("fee", DataType::Int64),
+                Field::new("extra", DataType::Int64),
+                Field::new("total", DataType::Int64),
+            ])
+            .unwrap(),
+            vec![
+                Column::Utf8(city_pool),
+                Column::Int64(zip),
+                Column::Int64(ship),
+                Column::Int64(receipt),
+                Column::Int64(fee),
+                Column::Int64(extra),
+                Column::Int64(total),
+            ],
+        )
+        .unwrap();
+        let cfg = CompressionConfig::baseline()
+            .with("zip", ColumnPlan::Hier { reference: "city".into() })
+            .with("l_receiptdate", ColumnPlan::NonHier { reference: "l_shipdate".into() })
+            .with(
+                "total",
+                ColumnPlan::MultiRef {
+                    groups: vec![vec!["fee".into()], vec!["extra".into()]],
+                    code_bits: 2,
+                },
+            );
+        (block, cfg)
+    }
+
+    #[test]
+    fn full_block_roundtrip_every_codec() {
+        let (block, cfg) = mixed_block(3_000);
+        let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
+        let bytes = compressed.to_bytes();
+        let back = CompressedBlock::from_bytes(&bytes).unwrap();
+        assert_eq!(back, compressed);
+        // Decompression from the deserialized block is identical too.
+        for name in ["city", "zip", "l_shipdate", "l_receiptdate", "fee", "extra", "total"] {
+            assert_eq!(
+                &back.decompress(name).unwrap(),
+                block.column(name).unwrap(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let (block, cfg) = mixed_block(100);
+        let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
+        let mut bytes = compressed.to_bytes();
+        bytes[0] = b'X';
+        assert!(CompressedBlock::from_bytes(&bytes).is_err());
+        let mut bytes = compressed.to_bytes();
+        bytes[4] = 0xFF;
+        assert!(CompressedBlock::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let (block, cfg) = mixed_block(200);
+        let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
+        let bytes = compressed.to_bytes();
+        // Cut at a sweep of offsets; must error, never panic.
+        for cut in (0..bytes.len()).step_by(bytes.len() / 37 + 1) {
+            assert!(CompressedBlock::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_reference() {
+        let (block, cfg) = mixed_block(50);
+        let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
+        let bytes = compressed.to_bytes();
+        // Find the nonhier codec's reference field and corrupt it. Rather
+        // than byte-surgery, rebuild with a hostile reference through the
+        // public API: a block claiming reference 99 must fail validation.
+        let mut hostile = bytes.clone();
+        // The wire format is deterministic; flip every u32 that matches the
+        // shipdate reference index (2) following a NONHIER tag.
+        let mut corrupted = false;
+        for i in 0..hostile.len() - 5 {
+            if hostile[i] == TAG_NONHIER
+                && hostile[i + 1..i + 5] == 2u32.to_le_bytes()
+            {
+                hostile[i + 1..i + 5].copy_from_slice(&99u32.to_le_bytes());
+                corrupted = true;
+                break;
+            }
+        }
+        assert!(corrupted, "did not find nonhier reference to corrupt");
+        assert!(CompressedBlock::from_bytes(&hostile).is_err());
+    }
+
+    #[test]
+    fn empty_block_roundtrips() {
+        let block = DataBlock::new(
+            Schema::new(vec![Field::new("v", DataType::Int64)]).unwrap(),
+            vec![Column::Int64(Vec::new())],
+        )
+        .unwrap();
+        let compressed =
+            CompressedBlock::compress(&block, &CompressionConfig::baseline()).unwrap();
+        let bytes = compressed.to_bytes();
+        let back = CompressedBlock::from_bytes(&bytes).unwrap();
+        assert_eq!(back.rows(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # corra-core
+//!
+//! The Corra paper's contribution: **horizontal, correlation-aware column
+//! encodings** that express a *diff-encoded* column in terms of one or more
+//! *reference* columns, plus the machinery to pick and apply the optimal
+//! configuration.
+//!
+//! * [`nonhier::NonHierInt`] — §2.1 single-reference diff encoding
+//!   (`commitdate` stored as its offset from `shipdate`);
+//! * [`hier::HierInt`] / [`hier::HierStr`] — §2.2 hierarchical encoding
+//!   (per-city zip-code groups with the Fig. 3 values/offsets metadata and
+//!   Alg. 1 access);
+//! * [`multiref::MultiRefInt`] — §2.3 multi-reference arithmetic-logic
+//!   encoding with 2-bit formula codes;
+//! * [`outlier::OutlierRegion`] — the Fig. 4 index/value exception region
+//!   shared by the diff encoders;
+//! * [`optimizer::ColumnGraph`] — the Fig. 2 cost-based greedy configuration
+//!   selection;
+//! * [`detect`] — automatic correlation detection (the paper's future-work
+//!   §4, implemented as an extension);
+//! * [`compressor::CompressedBlock`] — self-contained block compression
+//!   combining vertical and horizontal codecs;
+//! * [`format`] — the versioned serialized block layout;
+//! * [`query`] — the materializing query kernels of the latency experiments.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod compressor;
+pub mod detect;
+pub mod format;
+pub mod hier;
+pub mod multiref;
+pub mod nonhier;
+pub mod optimizer;
+pub mod outlier;
+pub mod query;
+
+pub use compressor::{
+    compress_blocks, ColumnCodec, ColumnPlan, CompressedBlock, CompressionConfig,
+};
+pub use hier::{HierInt, HierStr};
+pub use multiref::{Formula, FormulaStats, MultiRefInt};
+pub use nonhier::{plan_window, NonHierInt, WindowPlan};
+pub use optimizer::{apply_assignment, Assignment, ColumnGraph, EncodedColumn};
+pub use outlier::OutlierRegion;
+pub use query::{query_both, query_column, query_two_columns, QueryOutput};

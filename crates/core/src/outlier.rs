@@ -1,0 +1,231 @@
+//! The outlier storage architecture (paper §2.3, Fig. 4).
+//!
+//! Rows whose value cannot be reconstructed from the reference column(s) are
+//! stored verbatim in a separate region holding two aligned arrays: the
+//! row indices and the original values. Because the *index* identifies an
+//! outlier, the per-row code at an outlier position can hold "any value from
+//! existing encoding values" — no sentinel code is needed, which is exactly
+//! how the paper keeps multi-reference codes at 2 bits.
+
+use bytes::{Buf, BufMut};
+use corra_columnar::error::{Error, Result};
+use rustc_hash::FxHashMap;
+
+/// Bytes charged per outlier in cost models: 4 (index) + 8 (value).
+pub const OUTLIER_COST_BYTES: usize = 12;
+
+/// Sparse (row index → original value) exception storage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutlierRegion {
+    /// Sorted, distinct row indices.
+    indices: Vec<u32>,
+    /// Original values, aligned with `indices`.
+    values: Vec<i64>,
+}
+
+impl OutlierRegion {
+    /// Creates an empty region.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from pre-sorted pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidData`] if indices are not strictly increasing.
+    pub fn from_sorted(indices: Vec<u32>, values: Vec<i64>) -> Result<Self> {
+        if indices.len() != values.len() {
+            return Err(Error::LengthMismatch { left: indices.len(), right: values.len() });
+        }
+        if indices.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::invalid("outlier indices must be strictly increasing"));
+        }
+        Ok(Self { indices, values })
+    }
+
+    /// Appends an outlier; must be called with increasing indices.
+    pub fn push(&mut self, index: u32, value: i64) {
+        debug_assert!(self.indices.last().is_none_or(|&last| last < index));
+        self.indices.push(index);
+        self.values.push(value);
+    }
+
+    /// Number of outliers.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether there are no outliers.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The outlier rate relative to `rows`.
+    pub fn rate(&self, rows: usize) -> f64 {
+        if rows == 0 {
+            0.0
+        } else {
+            self.len() as f64 / rows as f64
+        }
+    }
+
+    /// Point lookup by row index (binary search; used for random access).
+    #[inline]
+    pub fn lookup(&self, index: u32) -> Option<i64> {
+        self.indices.binary_search(&index).ok().map(|k| self.values[k])
+    }
+
+    /// Whether `index` is an outlier position.
+    #[inline]
+    pub fn contains(&self, index: u32) -> bool {
+        self.indices.binary_search(&index).is_ok()
+    }
+
+    /// Builds the index→value map the paper's decompression uses: *"we first
+    /// extract these two arrays from the outlier section to establish a
+    /// mapping from outlier indexes to the outlier values"* (§2.3).
+    pub fn build_map(&self) -> FxHashMap<u32, i64> {
+        self.indices.iter().copied().zip(self.values.iter().copied()).collect()
+    }
+
+    /// Iterates `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, i64)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Overwrites `out[index]` for every outlier (bulk decompression patch).
+    pub fn patch(&self, out: &mut [i64]) {
+        for (idx, v) in self.iter() {
+            out[idx as usize] = v;
+        }
+    }
+
+    /// Size charged to the compressed column for this region.
+    pub fn compressed_bytes(&self) -> usize {
+        self.indices.len() * 4 + self.values.len() * 8
+    }
+
+    /// Serialized length of [`write_to`](Self::write_to).
+    pub fn serialized_len(&self) -> usize {
+        8 + self.indices.len() * 12
+    }
+
+    /// Writes `count (u64) | indices | values`.
+    pub fn write_to(&self, buf: &mut impl BufMut) {
+        buf.put_u64_le(self.indices.len() as u64);
+        for &i in &self.indices {
+            buf.put_u32_le(i);
+        }
+        for &v in &self.values {
+            buf.put_i64_le(v);
+        }
+    }
+
+    /// Reads back a [`write_to`](Self::write_to) payload.
+    pub fn read_from(buf: &mut impl Buf) -> Result<Self> {
+        if buf.remaining() < 8 {
+            return Err(Error::corrupt("outlier region header truncated"));
+        }
+        let count = buf.get_u64_le() as usize;
+        if buf.remaining() < count * 12 {
+            return Err(Error::corrupt("outlier region payload truncated"));
+        }
+        let mut indices = Vec::with_capacity(count);
+        for _ in 0..count {
+            indices.push(buf.get_u32_le());
+        }
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(buf.get_i64_le());
+        }
+        Self::from_sorted(indices, values).map_err(|_| Error::corrupt("outlier indices unsorted"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OutlierRegion {
+        OutlierRegion::from_sorted(vec![1, 2, 100], vec![555, -7, 42]).unwrap()
+    }
+
+    #[test]
+    fn lookup_and_contains() {
+        let r = sample();
+        assert_eq!(r.lookup(1), Some(555));
+        assert_eq!(r.lookup(2), Some(-7));
+        assert_eq!(r.lookup(100), Some(42));
+        assert_eq!(r.lookup(3), None);
+        assert!(r.contains(2));
+        assert!(!r.contains(0));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn rejects_unsorted() {
+        assert!(OutlierRegion::from_sorted(vec![2, 1], vec![0, 0]).is_err());
+        assert!(OutlierRegion::from_sorted(vec![1, 1], vec![0, 0]).is_err());
+        assert!(OutlierRegion::from_sorted(vec![1], vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn push_builds_incrementally() {
+        let mut r = OutlierRegion::new();
+        assert!(r.is_empty());
+        r.push(3, 10);
+        r.push(9, 20);
+        assert_eq!(r.lookup(9), Some(20));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn map_matches_arrays() {
+        let r = sample();
+        let m = r.build_map();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[&100], 42);
+    }
+
+    #[test]
+    fn patch_overwrites() {
+        let r = sample();
+        let mut out = vec![0i64; 101];
+        r.patch(&mut out);
+        assert_eq!(out[1], 555);
+        assert_eq!(out[2], -7);
+        assert_eq!(out[100], 42);
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn rate_and_size() {
+        let r = sample();
+        assert!((r.rate(1000) - 0.003).abs() < 1e-12);
+        assert_eq!(r.compressed_bytes(), 3 * 12);
+        assert_eq!(OutlierRegion::new().rate(0), 0.0);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let r = sample();
+        let mut buf = Vec::new();
+        r.write_to(&mut buf);
+        assert_eq!(buf.len(), r.serialized_len());
+        let back = OutlierRegion::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, r);
+        assert!(OutlierRegion::read_from(&mut &buf[..10]).is_err());
+    }
+
+    #[test]
+    fn serialization_rejects_unsorted() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&5u32.to_le_bytes());
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&1i64.to_le_bytes());
+        buf.extend_from_slice(&2i64.to_le_bytes());
+        assert!(OutlierRegion::read_from(&mut buf.as_slice()).is_err());
+    }
+}

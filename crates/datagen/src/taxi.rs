@@ -1,0 +1,419 @@
+//! NYC Yellow Taxi trip generator.
+//!
+//! Reproduces the two correlations the paper exploits plus the cleaning
+//! rules it applies (§3, Datasets):
+//!
+//! * (`pickup`, `dropoff`) timestamps — dropoff = pickup + trip duration,
+//!   bounded (mostly minutes, heavy tail up to < 24 h), so the diff column
+//!   needs far fewer bits than the timestamps (30.6 % saving);
+//! * the monetary columns — `total_amount` follows one of the Table 1
+//!   arithmetic formulas over reference groups
+//!   A = {mta_tax, fare_amount, improvement_surcharge, extra, tip_amount,
+//!   tolls_amount}, B = {congestion_surcharge}, C = {airport_fee} with the
+//!   paper's probabilities (A 31.19 %, A+B 62.44 %, A+C 2.69 %,
+//!   A+B+C 3.33 %, outliers 0.32 %).
+//!
+//! Money is integer cents. Cleaning (dropoff ≥ pickup, no negative money,
+//! total ≤ $100) holds by construction; [`clean`] additionally validates /
+//! filters externally supplied rows, which the failure-injection tests use.
+
+use corra_columnar::block::Table;
+use corra_columnar::column::{Column, DataType};
+use corra_columnar::error::{Error, Result};
+use corra_columnar::schema::{Field, Schema};
+use corra_columnar::temporal::{parse_date, SECONDS_PER_DAY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Group A reference columns (paper §2.3).
+pub const GROUP_A: [&str; 6] = [
+    "mta_tax",
+    "fare_amount",
+    "improvement_surcharge",
+    "extra",
+    "tip_amount",
+    "tolls_amount",
+];
+/// Group B reference column.
+pub const GROUP_B: [&str; 1] = ["congestion_surcharge"];
+/// Group C reference column.
+pub const GROUP_C: [&str; 1] = ["airport_fee"];
+
+/// The paper's Table 1 mixture probabilities.
+pub const P_A: f64 = 0.3119;
+/// Probability of `A + B`.
+pub const P_AB: f64 = 0.6244;
+/// Probability of `A + C`.
+pub const P_AC: f64 = 0.0269;
+/// Probability of `A + B + C`.
+pub const P_ABC: f64 = 0.0333;
+// Remainder (0.32 %) is outliers.
+
+/// Upper bound on cleaned money values: $100 in cents.
+pub const MAX_MONEY_CENTS: i64 = 10_000;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaxiParams {
+    /// Number of trips.
+    pub rows: usize,
+    /// Maximum trip duration in seconds (tail bound; default just under a
+    /// day, matching the cleaned dataset's duration spread).
+    pub max_duration_secs: i64,
+}
+
+impl Default for TaxiParams {
+    fn default() -> Self {
+        Self { rows: 1_000_000, max_duration_secs: SECONDS_PER_DAY - 1 }
+    }
+}
+
+/// Raw generated trip columns. All money columns are integer cents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaxiTable {
+    /// Pickup timestamp (epoch seconds).
+    pub pickup: Vec<i64>,
+    /// Dropoff timestamp (epoch seconds).
+    pub dropoff: Vec<i64>,
+    /// Metered fare.
+    pub fare_amount: Vec<i64>,
+    /// MTA tax (50¢ flat).
+    pub mta_tax: Vec<i64>,
+    /// Improvement surcharge (30¢ flat).
+    pub improvement_surcharge: Vec<i64>,
+    /// Rush-hour / overnight extra.
+    pub extra: Vec<i64>,
+    /// Tip.
+    pub tip_amount: Vec<i64>,
+    /// Tolls.
+    pub tolls_amount: Vec<i64>,
+    /// Congestion surcharge ($2.50 when present).
+    pub congestion_surcharge: Vec<i64>,
+    /// Airport fee ($1.25 when present).
+    pub airport_fee: Vec<i64>,
+    /// Total amount, following the Table 1 mixture.
+    pub total_amount: Vec<i64>,
+}
+
+impl TaxiTable {
+    /// Generates with the given parameters.
+    pub fn generate(params: TaxiParams, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let year_start = parse_date("2023-01-01").expect("valid literal") * SECONDS_PER_DAY;
+        let year_secs = 365 * SECONDS_PER_DAY;
+        let n = params.rows;
+        let mut t = TaxiTable {
+            pickup: Vec::with_capacity(n),
+            dropoff: Vec::with_capacity(n),
+            fare_amount: Vec::with_capacity(n),
+            mta_tax: Vec::with_capacity(n),
+            improvement_surcharge: Vec::with_capacity(n),
+            extra: Vec::with_capacity(n),
+            tip_amount: Vec::with_capacity(n),
+            tolls_amount: Vec::with_capacity(n),
+            congestion_surcharge: Vec::with_capacity(n),
+            airport_fee: Vec::with_capacity(n),
+            total_amount: Vec::with_capacity(n),
+        };
+        for _ in 0..n {
+            let pickup = year_start + rng.gen_range(0..year_secs);
+            // Trip duration: log-uniform-ish, mostly minutes, capped tail.
+            let duration = {
+                let u: f64 = rng.gen();
+                let secs = (60.0 * (params.max_duration_secs as f64 / 60.0).powf(u)) as i64;
+                secs.clamp(30, params.max_duration_secs)
+            };
+            t.pickup.push(pickup);
+            t.dropoff.push(pickup + duration);
+            // Group A components, kept small enough that totals stay ≤ $100.
+            let fare = rng.gen_range(350..=6_000);
+            let mta = 50;
+            let improvement = 30;
+            let extra = *[0i64, 50, 100].get(rng.gen_range(0..3)).expect("static") ;
+            let tip = (fare as f64 * rng.gen_range(0.0..0.25)) as i64;
+            let tolls = if rng.gen_bool(0.06) { rng.gen_range(200..=1_200) } else { 0 };
+            let a = fare + mta + improvement + extra + tip + tolls;
+            let b = 250; // congestion surcharge
+            let c = 125; // airport fee
+            t.fare_amount.push(fare);
+            t.mta_tax.push(mta);
+            t.improvement_surcharge.push(improvement);
+            t.extra.push(extra);
+            t.tip_amount.push(tip);
+            t.tolls_amount.push(tolls);
+            t.congestion_surcharge.push(b);
+            t.airport_fee.push(c);
+            let u: f64 = rng.gen();
+            let total = if u < P_A {
+                a
+            } else if u < P_A + P_AB {
+                a + b
+            } else if u < P_A + P_AB + P_AC {
+                a + c
+            } else if u < P_A + P_AB + P_AC + P_ABC {
+                a + b + c
+            } else {
+                // Outlier: a rounded/odd total no formula explains, still
+                // within the cleaned range.
+                (a + rng.gen_range(1..=199)).min(MAX_MONEY_CENTS)
+            };
+            t.total_amount.push(total.min(MAX_MONEY_CENTS));
+        }
+        t
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.pickup.len()
+    }
+
+    /// The reference groups as column-name lists (A, B, C).
+    pub fn reference_groups() -> Vec<Vec<String>> {
+        vec![
+            GROUP_A.iter().map(|s| (*s).to_owned()).collect(),
+            GROUP_B.iter().map(|s| (*s).to_owned()).collect(),
+            GROUP_C.iter().map(|s| (*s).to_owned()).collect(),
+        ]
+    }
+
+    /// Per-row sums of groups A, B, C (reference inputs for
+    /// [`corra_core::MultiRefInt`]-style encoding).
+    pub fn group_sums(&self) -> [Vec<i64>; 3] {
+        let n = self.rows();
+        let mut a = vec![0i64; n];
+        for col in [
+            &self.mta_tax,
+            &self.fare_amount,
+            &self.improvement_surcharge,
+            &self.extra,
+            &self.tip_amount,
+            &self.tolls_amount,
+        ] {
+            for (acc, &v) in a.iter_mut().zip(col.iter()) {
+                *acc += v;
+            }
+        }
+        [a, self.congestion_surcharge.clone(), self.airport_fee.clone()]
+    }
+
+    /// Wraps into a [`Table`].
+    pub fn into_table(self) -> Table {
+        Table::new(
+            schema(),
+            vec![
+                Column::Int64(self.pickup),
+                Column::Int64(self.dropoff),
+                Column::Int64(self.fare_amount),
+                Column::Int64(self.mta_tax),
+                Column::Int64(self.improvement_surcharge),
+                Column::Int64(self.extra),
+                Column::Int64(self.tip_amount),
+                Column::Int64(self.tolls_amount),
+                Column::Int64(self.congestion_surcharge),
+                Column::Int64(self.airport_fee),
+                Column::Int64(self.total_amount),
+            ],
+        )
+        .expect("generator produces aligned columns")
+    }
+}
+
+/// The trip schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("pickup", DataType::Timestamp),
+        Field::new("dropoff", DataType::Timestamp),
+        Field::new("fare_amount", DataType::Int64),
+        Field::new("mta_tax", DataType::Int64),
+        Field::new("improvement_surcharge", DataType::Int64),
+        Field::new("extra", DataType::Int64),
+        Field::new("tip_amount", DataType::Int64),
+        Field::new("tolls_amount", DataType::Int64),
+        Field::new("congestion_surcharge", DataType::Int64),
+        Field::new("airport_fee", DataType::Int64),
+        Field::new("total_amount", DataType::Int64),
+    ])
+    .expect("distinct field names")
+}
+
+/// The paper's cleaning pass: *"remove rows where the drop-off happens
+/// before pickup, and remove the tuples where the money column is negative
+/// or out-of-range (> 100$)"*. Returns the number of rows removed.
+pub fn clean(t: &mut TaxiTable) -> usize {
+    let n = t.rows();
+    let keep: Vec<bool> = (0..n)
+        .map(|i| {
+            t.dropoff[i] >= t.pickup[i]
+                && money_ok(t.fare_amount[i])
+                && money_ok(t.mta_tax[i])
+                && money_ok(t.improvement_surcharge[i])
+                && money_ok(t.extra[i])
+                && money_ok(t.tip_amount[i])
+                && money_ok(t.tolls_amount[i])
+                && money_ok(t.congestion_surcharge[i])
+                && money_ok(t.airport_fee[i])
+                && money_ok(t.total_amount[i])
+        })
+        .collect();
+    let removed = keep.iter().filter(|&&k| !k).count();
+    if removed > 0 {
+        retain_by(&mut t.pickup, &keep);
+        retain_by(&mut t.dropoff, &keep);
+        retain_by(&mut t.fare_amount, &keep);
+        retain_by(&mut t.mta_tax, &keep);
+        retain_by(&mut t.improvement_surcharge, &keep);
+        retain_by(&mut t.extra, &keep);
+        retain_by(&mut t.tip_amount, &keep);
+        retain_by(&mut t.tolls_amount, &keep);
+        retain_by(&mut t.congestion_surcharge, &keep);
+        retain_by(&mut t.airport_fee, &keep);
+        retain_by(&mut t.total_amount, &keep);
+    }
+    removed
+}
+
+/// Strict validation variant of [`clean`]: errors on the first dirty row
+/// instead of filtering.
+pub fn validate(t: &TaxiTable) -> Result<()> {
+    for i in 0..t.rows() {
+        if t.dropoff[i] < t.pickup[i] {
+            return Err(Error::invalid(format!("row {i}: dropoff before pickup")));
+        }
+        for (name, col) in [
+            ("fare_amount", &t.fare_amount),
+            ("total_amount", &t.total_amount),
+            ("tip_amount", &t.tip_amount),
+            ("tolls_amount", &t.tolls_amount),
+        ] {
+            if !money_ok(col[i]) {
+                return Err(Error::invalid(format!("row {i}: {name} out of range")));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn money_ok(cents: i64) -> bool {
+    (0..=MAX_MONEY_CENTS).contains(&cents)
+}
+
+fn retain_by<T>(v: &mut Vec<T>, keep: &[bool]) {
+    let mut i = 0;
+    v.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TaxiTable {
+        TaxiTable::generate(TaxiParams { rows: 50_000, ..Default::default() }, 17)
+    }
+
+    #[test]
+    fn deterministic_and_clean_by_construction() {
+        let a = small();
+        let b = TaxiTable::generate(TaxiParams { rows: 50_000, ..Default::default() }, 17);
+        assert_eq!(a, b);
+        assert!(validate(&a).is_ok());
+        let mut c = a.clone();
+        assert_eq!(clean(&mut c), 0);
+    }
+
+    #[test]
+    fn durations_bounded() {
+        let t = small();
+        for i in 0..t.rows() {
+            let d = t.dropoff[i] - t.pickup[i];
+            assert!((30..SECONDS_PER_DAY).contains(&d), "duration {d}");
+        }
+    }
+
+    #[test]
+    fn mixture_matches_table1() {
+        let t = TaxiTable::generate(TaxiParams { rows: 200_000, ..Default::default() }, 99);
+        let [a, b, c] = t.group_sums();
+        let mut counts = [0usize; 5]; // A, A+B, A+C, A+B+C, outlier
+        for i in 0..t.rows() {
+            let total = t.total_amount[i];
+            // Classify by first matching formula in paper order.
+            if total == a[i] {
+                counts[0] += 1;
+            } else if total == a[i] + b[i] {
+                counts[1] += 1;
+            } else if total == a[i] + c[i] {
+                counts[2] += 1;
+            } else if total == a[i] + b[i] + c[i] {
+                counts[3] += 1;
+            } else {
+                counts[4] += 1;
+            }
+        }
+        let n = t.rows() as f64;
+        assert!((counts[0] as f64 / n - P_A).abs() < 0.01, "A {}", counts[0] as f64 / n);
+        assert!((counts[1] as f64 / n - P_AB).abs() < 0.01, "A+B {}", counts[1] as f64 / n);
+        assert!((counts[2] as f64 / n - P_AC).abs() < 0.005);
+        assert!((counts[3] as f64 / n - P_ABC).abs() < 0.005);
+        let outlier_rate = counts[4] as f64 / n;
+        assert!((outlier_rate - 0.0035).abs() < 0.004, "outliers {outlier_rate}");
+    }
+
+    #[test]
+    fn clean_filters_dirty_rows() {
+        let mut t = small();
+        let n = t.rows();
+        // Inject violations.
+        t.dropoff[0] = t.pickup[0] - 1;
+        t.fare_amount[1] = -5;
+        t.total_amount[2] = MAX_MONEY_CENTS + 1;
+        assert!(validate(&t).is_err());
+        let removed = clean(&mut t);
+        assert_eq!(removed, 3);
+        assert_eq!(t.rows(), n - 3);
+        assert!(validate(&t).is_ok());
+    }
+
+    #[test]
+    fn group_sums_align_with_columns() {
+        let t = small();
+        let [a, _, _] = t.group_sums();
+        for i in (0..t.rows()).step_by(1_000) {
+            let expect = t.mta_tax[i]
+                + t.fare_amount[i]
+                + t.improvement_surcharge[i]
+                + t.extra[i]
+                + t.tip_amount[i]
+                + t.tolls_amount[i];
+            assert_eq!(a[i], expect);
+        }
+    }
+
+    #[test]
+    fn table_wrapping_and_groups() {
+        let t = small().into_table();
+        assert_eq!(t.schema().len(), 11);
+        let groups = TaxiTable::reference_groups();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].len(), 6);
+        for g in groups.iter().flatten() {
+            assert!(t.column(g).is_ok(), "{g}");
+        }
+    }
+
+    #[test]
+    fn timestamp_vs_duration_bits() {
+        // Vertical pickup/dropoff need ~25 bits (year of seconds); the diff
+        // needs ≤ 17 (< 1 day) — the (pickup, dropoff) saving of Tab. 2.
+        let t = small();
+        let stats = corra_columnar::stats::IntStats::compute(&t.dropoff);
+        assert!(stats.for_bits() >= 24);
+        let diffs: Vec<i64> =
+            t.dropoff.iter().zip(&t.pickup).map(|(&d, &p)| d - p).collect();
+        let dstats = corra_columnar::stats::IntStats::compute(&diffs);
+        assert!(dstats.for_bits() <= 17, "{}", dstats.for_bits());
+    }
+}

@@ -1,0 +1,149 @@
+//! TPC-H `lineitem` date-column generator.
+//!
+//! Follows the TPC-H 3.0.1 specification's column definitions, which are
+//! what make the paper's Table 2 numbers exact:
+//!
+//! * `o_orderdate`  — uniform in `[1992-01-01, 1998-12-31 − 151 days]`;
+//! * `l_shipdate`   — `orderdate + uniform[1, 121]`;
+//! * `l_commitdate` — `orderdate + uniform[30, 90]`;
+//! * `l_receiptdate`— `shipdate + uniform[1, 30]`.
+//!
+//! Hence `receiptdate − shipdate ∈ [1, 30]` (5 bits — the paper's 37.5 MB at
+//! SF 10) and `commitdate − shipdate ∈ [-91, 89]` (8 bits — 60 MB), while
+//! each date column alone spans ~2557 days (12 bits — 90 MB).
+
+use corra_columnar::block::Table;
+use corra_columnar::column::{Column, DataType};
+use corra_columnar::schema::{Field, Schema};
+use corra_columnar::temporal::parse_date;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rows per TPC-H scale factor unit (lineitem has ~6M rows per SF).
+pub const ROWS_PER_SF: usize = 6_000_000;
+
+/// Raw generated date columns (epoch days).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineitemDates {
+    /// `l_shipdate` as epoch days.
+    pub shipdate: Vec<i64>,
+    /// `l_commitdate` as epoch days.
+    pub commitdate: Vec<i64>,
+    /// `l_receiptdate` as epoch days.
+    pub receiptdate: Vec<i64>,
+}
+
+impl LineitemDates {
+    /// Generates `rows` rows with the spec's distributions.
+    pub fn generate(rows: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = parse_date("1992-01-01").expect("valid literal");
+        let end = parse_date("1998-12-31").expect("valid literal");
+        let order_hi = end - 151; // spec: ENDDATE − 151 days
+        let mut shipdate = Vec::with_capacity(rows);
+        let mut commitdate = Vec::with_capacity(rows);
+        let mut receiptdate = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let orderdate = rng.gen_range(start..=order_hi);
+            let ship = orderdate + rng.gen_range(1..=121);
+            let commit = orderdate + rng.gen_range(30..=90);
+            let receipt = ship + rng.gen_range(1..=30);
+            shipdate.push(ship);
+            commitdate.push(commit);
+            receiptdate.push(receipt);
+        }
+        Self { shipdate, commitdate, receiptdate }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.shipdate.len()
+    }
+
+    /// Wraps the columns into a [`Table`] with the paper's column names.
+    pub fn into_table(self) -> Table {
+        Table::new(
+            schema(),
+            vec![
+                Column::Int64(self.shipdate),
+                Column::Int64(self.commitdate),
+                Column::Int64(self.receiptdate),
+            ],
+        )
+        .expect("generator produces aligned columns")
+    }
+}
+
+/// The three-date schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("l_shipdate", DataType::Date),
+        Field::new("l_commitdate", DataType::Date),
+        Field::new("l_receiptdate", DataType::Date),
+    ])
+    .expect("distinct field names")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corra_columnar::bitpack::bits_needed;
+    use corra_columnar::stats::IntStats;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = LineitemDates::generate(1_000, 42);
+        let b = LineitemDates::generate(1_000, 42);
+        assert_eq!(a, b);
+        let c = LineitemDates::generate(1_000, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spec_bounds_hold() {
+        let d = LineitemDates::generate(50_000, 1);
+        let start = parse_date("1992-01-02").unwrap(); // earliest ship = order+1
+        let end = parse_date("1998-12-31").unwrap();
+        for i in 0..d.rows() {
+            assert!(d.shipdate[i] >= start && d.shipdate[i] <= end);
+            let rs = d.receiptdate[i] - d.shipdate[i];
+            assert!((1..=30).contains(&rs), "receipt-ship {rs}");
+            let cs = d.commitdate[i] - d.shipdate[i];
+            assert!((-91..=89).contains(&cs), "commit-ship {cs}");
+        }
+    }
+
+    #[test]
+    fn bitwidths_match_paper() {
+        let d = LineitemDates::generate(200_000, 7);
+        // Vertical: every date column needs 12 bits (2557-day domain).
+        let ship = IntStats::compute(&d.shipdate);
+        assert_eq!(ship.for_bits(), 12);
+        let receipt = IntStats::compute(&d.receiptdate);
+        assert_eq!(receipt.for_bits(), 12);
+        // Horizontal: receipt-ship needs 5 bits, commit-ship needs 8.
+        let rs: Vec<i64> =
+            d.receiptdate.iter().zip(&d.shipdate).map(|(&r, &s)| r - s).collect();
+        let rs_stats = IntStats::compute(&rs);
+        assert_eq!(bits_needed(rs_stats.range()), 5);
+        let cs: Vec<i64> =
+            d.commitdate.iter().zip(&d.shipdate).map(|(&c, &s)| c - s).collect();
+        let cs_stats = IntStats::compute(&cs);
+        assert_eq!(bits_needed(cs_stats.range()), 8);
+    }
+
+    #[test]
+    fn table_wrapping() {
+        let t = LineitemDates::generate(500, 3).into_table();
+        assert_eq!(t.rows(), 500);
+        assert_eq!(t.schema().len(), 3);
+        assert!(t.column("l_receiptdate").is_ok());
+    }
+
+    #[test]
+    fn empty_generation() {
+        let d = LineitemDates::generate(0, 0);
+        assert_eq!(d.rows(), 0);
+        assert_eq!(d.into_table().rows(), 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Dictionary encoding followed by bit-packing, for integers and strings.
+//!
+//! The second half of the paper's baseline. Distinct values are collected
+//! into a dictionary (sorted for integers so codes preserve order; flattened
+//! [`StringPool`] for strings, per §3: "To store column strings, we use Dict
+//! encoding and pack the distinct strings into a flattened array"), and each
+//! row stores a bit-packed code.
+
+use bytes::{Buf, BufMut};
+use corra_columnar::bitpack::BitPackedVec;
+use corra_columnar::error::{Error, Result};
+use corra_columnar::strings::{StringDictBuilder, StringPool};
+use rustc_hash::FxHashMap;
+
+use crate::traits::{IntAccess, StrAccess, Validate};
+
+/// Dictionary-encoded integer column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictInt {
+    /// Sorted distinct values.
+    dict: Vec<i64>,
+    /// Per-row bit-packed code into `dict`.
+    codes: BitPackedVec,
+}
+
+impl DictInt {
+    /// Encodes `values`.
+    pub fn encode(values: &[i64]) -> Self {
+        let mut dict: Vec<i64> = values.to_vec();
+        dict.sort_unstable();
+        dict.dedup();
+        let index: FxHashMap<i64, u32> =
+            dict.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+        let codes: Vec<u64> = values.iter().map(|v| index[v] as u64).collect();
+        Self { dict, codes: BitPackedVec::pack_minimal(&codes) }
+    }
+
+    /// The sorted dictionary.
+    pub fn dict(&self) -> &[i64] {
+        &self.dict
+    }
+
+    /// Code bit width.
+    pub fn bits(&self) -> u8 {
+        self.codes.bits()
+    }
+
+    /// The code at row `i` (used when a dict column serves as hierarchical
+    /// reference).
+    #[inline]
+    pub fn code_at(&self, i: usize) -> u32 {
+        self.codes.get(i) as u32
+    }
+
+    /// Code access skipping the bounds assertion (validated hot paths).
+    #[inline]
+    pub fn code_at_unchecked(&self, i: usize) -> u32 {
+        self.codes.get_unchecked_len(i) as u32
+    }
+
+    /// Value access skipping the bounds assertion (validated hot paths).
+    #[inline]
+    pub fn value_at_unchecked(&self, i: usize) -> i64 {
+        self.dict[self.codes.get_unchecked_len(i) as usize]
+    }
+
+    /// Serialized length of [`write_to`](Self::write_to).
+    pub fn serialized_len(&self) -> usize {
+        8 + self.dict.len() * 8 + self.codes.serialized_len()
+    }
+
+    /// Writes `dict_len (u64) | dict | codes`.
+    pub fn write_to(&self, buf: &mut impl BufMut) {
+        buf.put_u64_le(self.dict.len() as u64);
+        for &v in &self.dict {
+            buf.put_i64_le(v);
+        }
+        self.codes.write_to(buf);
+    }
+
+    /// Reads back a [`write_to`](Self::write_to) payload.
+    pub fn read_from(buf: &mut impl Buf) -> Result<Self> {
+        if buf.remaining() < 8 {
+            return Err(Error::corrupt("dict-int header truncated"));
+        }
+        let dict_len = buf.get_u64_le() as usize;
+        if buf.remaining() < dict_len * 8 {
+            return Err(Error::corrupt("dict-int dictionary truncated"));
+        }
+        let mut dict = Vec::with_capacity(dict_len);
+        for _ in 0..dict_len {
+            dict.push(buf.get_i64_le());
+        }
+        let codes = BitPackedVec::read_from(buf)?;
+        let out = Self { dict, codes };
+        out.validate()?;
+        Ok(out)
+    }
+}
+
+impl IntAccess for DictInt {
+    fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> i64 {
+        self.dict[self.codes.get(i) as usize]
+    }
+
+    fn compressed_bytes(&self) -> usize {
+        // dictionary values + width byte + tightly packed codes.
+        self.dict.len() * 8 + 1 + self.codes.tight_bytes()
+    }
+}
+
+impl Validate for DictInt {
+    fn validate(&self) -> Result<()> {
+        if self.dict.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::corrupt("dict-int dictionary not strictly sorted"));
+        }
+        for i in 0..self.codes.len() {
+            if self.codes.get(i) as usize >= self.dict.len() {
+                return Err(Error::corrupt("dict-int code out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Dictionary-encoded string column with a flattened distinct-string pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictStr {
+    /// Distinct strings in first-occurrence order.
+    pool: StringPool,
+    /// Per-row bit-packed code into `pool`.
+    codes: BitPackedVec,
+}
+
+impl DictStr {
+    /// Encodes an iterator of rows.
+    pub fn encode<'a>(values: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut builder = StringDictBuilder::new();
+        let codes: Vec<u64> = values.into_iter().map(|s| builder.intern(s) as u64).collect();
+        Self { pool: builder.finish(), codes: BitPackedVec::pack_minimal(&codes) }
+    }
+
+    /// Encodes from a per-row pool.
+    pub fn encode_pool(pool: &StringPool) -> Self {
+        Self::encode(pool.iter())
+    }
+
+    /// The distinct-string pool (dictionary).
+    pub fn pool(&self) -> &StringPool {
+        &self.pool
+    }
+
+    /// Code bit width.
+    pub fn bits(&self) -> u8 {
+        self.codes.bits()
+    }
+
+    /// Number of distinct strings.
+    pub fn distinct(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The code at row `i` — the reference accessor used by hierarchical
+    /// encoding ("the city … has been dict-encoded in advance", Alg. 1).
+    #[inline]
+    pub fn code_at(&self, i: usize) -> u32 {
+        self.codes.get(i) as u32
+    }
+
+    /// Code access skipping the bounds assertion (validated hot paths).
+    #[inline]
+    pub fn code_at_unchecked(&self, i: usize) -> u32 {
+        self.codes.get_unchecked_len(i) as u32
+    }
+
+    /// Serialized length of [`write_to`](Self::write_to).
+    pub fn serialized_len(&self) -> usize {
+        self.pool.serialized_len() + self.codes.serialized_len()
+    }
+
+    /// Writes `pool | codes`.
+    pub fn write_to(&self, buf: &mut impl BufMut) {
+        self.pool.write_to(buf);
+        self.codes.write_to(buf);
+    }
+
+    /// Reads back a [`write_to`](Self::write_to) payload.
+    pub fn read_from(buf: &mut impl Buf) -> Result<Self> {
+        let pool = StringPool::read_from(buf)?;
+        let codes = BitPackedVec::read_from(buf)?;
+        let out = Self { pool, codes };
+        out.validate()?;
+        Ok(out)
+    }
+}
+
+impl StrAccess for DictStr {
+    fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> &str {
+        self.pool.get(self.codes.get(i) as usize)
+    }
+
+    fn compressed_bytes(&self) -> usize {
+        // flattened distinct strings + offsets + width byte + packed codes.
+        self.pool.heap_bytes() + 1 + self.codes.tight_bytes()
+    }
+}
+
+impl Validate for DictStr {
+    fn validate(&self) -> Result<()> {
+        for i in 0..self.codes.len() {
+            if self.codes.get(i) as usize >= self.pool.len() {
+                return Err(Error::corrupt("dict-str code out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corra_columnar::selection::SelectionVector;
+
+    #[test]
+    fn dict_int_roundtrip() {
+        let values = vec![500i64, 100, 500, 300, 100, 500];
+        let enc = DictInt::encode(&values);
+        assert_eq!(enc.dict(), &[100, 300, 500]);
+        assert_eq!(enc.bits(), 2);
+        let mut out = Vec::new();
+        enc.decode_into(&mut out);
+        assert_eq!(out, values);
+        assert_eq!(enc.get(3), 300);
+    }
+
+    #[test]
+    fn dict_int_codes_preserve_order() {
+        // Sorted dictionary means code comparison == value comparison.
+        let enc = DictInt::encode(&[30, 10, 20]);
+        assert!(enc.code_at(1) < enc.code_at(2));
+        assert!(enc.code_at(2) < enc.code_at(0));
+    }
+
+    #[test]
+    fn dict_int_single_value() {
+        let enc = DictInt::encode(&[7; 100]);
+        assert_eq!(enc.bits(), 0);
+        assert_eq!(enc.get(50), 7);
+        // dictionary 8B + width byte
+        assert_eq!(enc.compressed_bytes(), 9);
+    }
+
+    #[test]
+    fn dict_int_serialization() {
+        let enc = DictInt::encode(&[5, 1, 5, 9, 1]);
+        let mut buf = Vec::new();
+        enc.write_to(&mut buf);
+        assert_eq!(buf.len(), enc.serialized_len());
+        let back = DictInt::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, enc);
+    }
+
+    #[test]
+    fn dict_int_rejects_corrupt_dictionary() {
+        let enc = DictInt::encode(&[1, 2, 3]);
+        let mut buf = Vec::new();
+        enc.write_to(&mut buf);
+        // Swap first two dictionary entries to break sortedness.
+        let (a, b) = (buf[8], buf[16]);
+        buf[8] = b;
+        buf[16] = a;
+        assert!(DictInt::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn dict_str_roundtrip() {
+        let enc = DictStr::encode(["NYC", "Naples", "NYC", "Cortland", "NYC"]);
+        assert_eq!(enc.len(), 5);
+        assert_eq!(enc.distinct(), 3);
+        assert_eq!(enc.bits(), 2);
+        assert_eq!(enc.get(0), "NYC");
+        assert_eq!(enc.get(3), "Cortland");
+        // First-occurrence order codes.
+        assert_eq!(enc.code_at(0), 0);
+        assert_eq!(enc.code_at(1), 1);
+        assert_eq!(enc.code_at(3), 2);
+    }
+
+    #[test]
+    fn dict_str_gather() {
+        let enc = DictStr::encode(["a", "b", "c", "a"]);
+        let sel = SelectionVector::new(vec![1, 3]);
+        let mut out = Vec::new();
+        enc.gather_into(&sel, &mut out);
+        assert_eq!(out, vec!["b".to_owned(), "a".to_owned()]);
+    }
+
+    #[test]
+    fn dict_str_serialization() {
+        let enc = DictStr::encode(["x", "yy", "x", "zzz"]);
+        let mut buf = Vec::new();
+        enc.write_to(&mut buf);
+        assert_eq!(buf.len(), enc.serialized_len());
+        let back = DictStr::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, enc);
+        assert!(DictStr::read_from(&mut &buf[..3]).is_err());
+    }
+
+    #[test]
+    fn dict_str_size_accounting() {
+        let enc = DictStr::encode(["ab", "cd", "ab", "ab"]);
+        // pool: 4 bytes + 3 offsets * 4 = 16; codes: 1 bit * 4 rows -> 1 byte (+1 width byte)
+        assert_eq!(enc.compressed_bytes(), 4 + 12 + 1 + 1);
+    }
+
+    #[test]
+    fn empty_columns() {
+        let enc = DictInt::encode(&[]);
+        assert!(enc.is_empty());
+        let enc = DictStr::encode([]);
+        assert!(enc.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # corra-encodings
+//!
+//! Single-column ("vertical") encoding schemes — the status quo the Corra
+//! paper improves on, and its experimental baseline.
+//!
+//! Implemented schemes:
+//!
+//! * [`plain::PlainInt`] / [`plain::PlainStr`] — uncompressed comparators;
+//! * [`ffor::ForInt`] — Frame-of-Reference + bit-packing;
+//! * [`dict::DictInt`] / [`dict::DictStr`] — dictionary + bit-packing with a
+//!   flattened distinct-string array;
+//! * [`rle::RleInt`] — run-length with a checkpoint index;
+//! * [`delta::DeltaInt`] — delta with miniblock restarts;
+//! * [`frequency::FrequencyInt`] — frequent values + exception region.
+//!
+//! The paper's baseline chooser ([`chooser::choose_int_baseline`]) considers
+//! only FOR and Dict, "because they allow for fast random access into the
+//! compressed column"; [`chooser::choose_int_full`] covers all schemes for
+//! ablation studies.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chooser;
+pub mod delta;
+pub mod dict;
+pub mod ffor;
+pub mod frequency;
+pub mod plain;
+pub mod rle;
+pub mod traits;
+
+pub use chooser::{choose_int_baseline, choose_int_full, choose_str_baseline, IntEncoding};
+pub use delta::DeltaInt;
+pub use dict::{DictInt, DictStr};
+pub use ffor::ForInt;
+pub use frequency::FrequencyInt;
+pub use plain::{PlainInt, PlainStr};
+pub use rle::RleInt;
+pub use traits::{IntAccess, StrAccess, Validate};

@@ -1,0 +1,142 @@
+//! Property-based tests: every encoding is a lossless, random-access
+//! bijection and survives serialization.
+
+use corra_encodings::{
+    choose_int_baseline, choose_int_full, DeltaInt, DictInt, DictStr, ForInt, FrequencyInt,
+    IntAccess, IntEncoding, PlainInt, RleInt, StrAccess,
+};
+use corra_columnar::selection::SelectionVector;
+use proptest::prelude::*;
+
+/// Value generators covering the paper's data shapes: dense ranges (dates),
+/// few-distinct (dictionary material), runs, and adversarial randoms.
+fn int_column() -> impl Strategy<Value = Vec<i64>> {
+    prop_oneof![
+        prop::collection::vec(8_000i64..11_000, 0..400),          // date-like
+        prop::collection::vec(-100i64..100, 0..400),              // small diffs
+        prop::collection::vec(prop::sample::select(vec![1i64, 5, 1_000_000, -7]), 0..400),
+        prop::collection::vec(any::<i64>(), 0..200),              // adversarial
+    ]
+}
+
+fn check_roundtrip(enc: &impl IntAccess, values: &[i64]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(enc.len(), values.len());
+    let mut out = Vec::new();
+    enc.decode_into(&mut out);
+    prop_assert_eq!(&out, values);
+    // Random access agrees at a few probes.
+    for i in [0, values.len() / 2, values.len().saturating_sub(1)] {
+        if i < values.len() {
+            prop_assert_eq!(enc.get(i), values[i]);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn for_roundtrip(values in int_column()) {
+        check_roundtrip(&ForInt::encode(&values), &values)?;
+    }
+
+    #[test]
+    fn dict_roundtrip(values in int_column()) {
+        check_roundtrip(&DictInt::encode(&values), &values)?;
+    }
+
+    #[test]
+    fn rle_roundtrip(values in int_column()) {
+        check_roundtrip(&RleInt::encode(&values), &values)?;
+    }
+
+    #[test]
+    fn delta_roundtrip(values in int_column()) {
+        check_roundtrip(&DeltaInt::encode(&values), &values)?;
+    }
+
+    #[test]
+    fn frequency_roundtrip(values in int_column(), k in 1usize..16) {
+        check_roundtrip(&FrequencyInt::encode(&values, k), &values)?;
+    }
+
+    #[test]
+    fn plain_roundtrip(values in int_column()) {
+        check_roundtrip(&PlainInt::encode(&values), &values)?;
+    }
+
+    /// get(i) == full decode[i] at every position, for the chosen encoding.
+    #[test]
+    fn chooser_random_access_consistent(values in int_column()) {
+        for enc in [choose_int_baseline(&values), choose_int_full(&values)] {
+            let mut full = Vec::new();
+            enc.decode_into(&mut full);
+            for (i, &v) in full.iter().enumerate() {
+                prop_assert_eq!(enc.get(i), v);
+            }
+        }
+    }
+
+    /// gather == decode-then-index for arbitrary selections.
+    #[test]
+    fn gather_equals_pointwise(
+        values in prop::collection::vec(-5_000i64..5_000, 1..300),
+        raw_sel in prop::collection::vec(any::<u32>(), 0..50),
+    ) {
+        let n = values.len() as u32;
+        let sel = SelectionVector::new(raw_sel.into_iter().map(|p| p % n).collect());
+        let enc = choose_int_full(&values);
+        let mut got = Vec::new();
+        enc.gather_into(&sel, &mut got);
+        let want: Vec<i64> = sel.positions().iter().map(|&p| values[p as usize]).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Serialization roundtrip for the chosen encoding of arbitrary data.
+    #[test]
+    fn encoding_serde_roundtrip(values in int_column()) {
+        let enc = choose_int_full(&values);
+        let mut buf = Vec::new();
+        enc.write_to(&mut buf);
+        prop_assert_eq!(buf.len(), enc.serialized_len());
+        let back = IntEncoding::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, enc);
+    }
+
+    /// Truncated serialized encodings error, never panic.
+    #[test]
+    fn encoding_truncation_errors(values in prop::collection::vec(0i64..100, 1..100), frac in 0.0f64..1.0) {
+        let enc = choose_int_full(&values);
+        let mut buf = Vec::new();
+        enc.write_to(&mut buf);
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        let slice = &buf[..cut];
+        prop_assert!(IntEncoding::read_from(&mut &slice[..]).is_err());
+    }
+
+    /// Dict-str roundtrips arbitrary strings.
+    #[test]
+    fn dict_str_roundtrip(strings in prop::collection::vec("[a-zA-Z ]{0,12}", 0..100)) {
+        let enc = DictStr::encode(strings.iter().map(String::as_str));
+        prop_assert_eq!(enc.len(), strings.len());
+        for (i, s) in strings.iter().enumerate() {
+            prop_assert_eq!(enc.get(i), s.as_str());
+        }
+        let mut buf = Vec::new();
+        enc.write_to(&mut buf);
+        let back = DictStr::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, enc);
+    }
+
+    /// The full chooser's pick is minimal among all candidates it considers.
+    #[test]
+    fn full_chooser_is_minimal(values in int_column()) {
+        let chosen = choose_int_full(&values);
+        let for_b = ForInt::encode(&values).compressed_bytes();
+        let dict_b = DictInt::encode(&values).compressed_bytes();
+        let rle_b = RleInt::encode(&values).compressed_bytes();
+        let delta_b = DeltaInt::encode(&values).compressed_bytes();
+        let plain_b = PlainInt::encode(&values).compressed_bytes();
+        let min = for_b.min(dict_b).min(rle_b).min(delta_b).min(plain_b);
+        prop_assert!(chosen.compressed_bytes() <= min);
+    }
+}

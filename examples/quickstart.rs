@@ -1,0 +1,68 @@
+//! Quickstart: compress a correlated table with Corra, compare against the
+//! single-column baseline, and run a few random-access queries.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use corra::datagen::LineitemDates;
+use corra::prelude::*;
+
+fn main() {
+    // 1. Generate TPC-H-style correlated date columns (see the paper's
+    //    Fig. 1: commitdate and receiptdate track shipdate closely).
+    let rows = 1_000_000;
+    let table = LineitemDates::generate(rows, 42).into_table();
+    println!("generated lineitem date columns: {rows} rows");
+
+    // 2. Split into self-contained 1M-tuple blocks (paper §3).
+    let mut blocks = table.into_blocks(DEFAULT_BLOCK_ROWS);
+    let block = blocks.remove(0);
+
+    // 3. Compress: baseline (best single-column scheme per column) vs.
+    //    Corra (diff-encode both dependent dates w.r.t. shipdate).
+    let baseline_cfg = CompressionConfig::baseline();
+    let corra_cfg = CompressionConfig::baseline()
+        .with("l_commitdate", ColumnPlan::NonHier { reference: "l_shipdate".into() })
+        .with("l_receiptdate", ColumnPlan::NonHier { reference: "l_shipdate".into() });
+
+    let baseline = CompressedBlock::compress(&block, &baseline_cfg).expect("baseline compress");
+    let corra = CompressedBlock::compress(&block, &corra_cfg).expect("corra compress");
+
+    println!("\n{:<16} {:>14} {:>14} {:>8}", "column", "baseline", "corra", "saving");
+    for col in ["l_shipdate", "l_commitdate", "l_receiptdate"] {
+        let b = baseline.column_bytes(col).unwrap();
+        let c = corra.column_bytes(col).unwrap();
+        let saving = 100.0 * (1.0 - c as f64 / b as f64);
+        println!("{col:<16} {b:>12} B {c:>12} B {saving:>6.1}%");
+    }
+    println!(
+        "\nblock total: baseline {} B -> corra {} B",
+        baseline.total_bytes(),
+        corra.total_bytes()
+    );
+
+    // 4. Self-contained serialization: everything needed to decompress
+    //    travels inside the block.
+    let bytes = corra.to_bytes();
+    let restored = CompressedBlock::from_bytes(&bytes).expect("roundtrip");
+    println!("serialized block: {} B (magic CORA, version 1)", bytes.len());
+
+    // 5. Random-access query at selectivity 0.001 — Corra fetches the
+    //    reference column under the hood (Alg. 1 access pattern).
+    let sel_vectors = corra::columnar::selection::workload(restored.rows(), 0.001, 1, 7);
+    let out = query_column(&restored, "l_receiptdate", &sel_vectors[0]).expect("query");
+    println!(
+        "queried l_receiptdate at selectivity 0.001: {} values, first = {}",
+        out.len(),
+        corra::columnar::temporal::format_epoch_days(out.as_int().unwrap()[0]),
+    );
+
+    // 6. Querying both columns amortizes the reference fetch entirely.
+    let (tgt, rf) = query_both(&restored, "l_receiptdate", &sel_vectors[0]).expect("query both");
+    println!(
+        "queried both columns: receipt[0] = {}, ship[0] = {}",
+        corra::columnar::temporal::format_epoch_days(tgt.as_int().unwrap()[0]),
+        corra::columnar::temporal::format_epoch_days(rf.as_int().unwrap()[0]),
+    );
+}
