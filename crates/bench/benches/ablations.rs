@@ -7,10 +7,10 @@
 //! * sentinel-free 2-bit multi-ref codes vs. a 3-bit sentinel variant
 //!   (simulated by re-encoding at 3 bits).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use corra_core::{ColumnGraph, HierInt, MultiRefInt, NonHierInt};
 use corra_datagen::{TaxiParams, TaxiTable};
 use corra_encodings::{DictInt, IntAccess, RleInt};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const N: usize = 500_000;
 
@@ -69,8 +69,9 @@ fn rle_checkpoint_ablation(c: &mut Criterion) {
 fn hier_vs_global_dict(c: &mut Criterion) {
     // 1000 parents x 32 children each, children globally distinct.
     let parents: Vec<u32> = (0..N).map(|i| (i % 1_000) as u32).collect();
-    let children: Vec<i64> =
-        (0..N).map(|i| (i % 1_000) as i64 * 100 + (i / 1_000 % 32) as i64).collect();
+    let children: Vec<i64> = (0..N)
+        .map(|i| (i % 1_000) as i64 * 100 + (i / 1_000 % 32) as i64)
+        .collect();
     let mut group = c.benchmark_group("ablation_hier_vs_dict");
     group.throughput(Throughput::Elements(N as u64));
     group.bench_function("hier_encode", |b| {
@@ -93,8 +94,16 @@ fn hier_vs_global_dict(c: &mut Criterion) {
 
 fn optimizer_sampling_ablation(c: &mut Criterion) {
     let a: Vec<i64> = (0..N).map(|i| i as i64 % 4_096).collect();
-    let b_col: Vec<i64> = a.iter().enumerate().map(|(i, &v)| v + (i as i64 % 16)).collect();
-    let c_col: Vec<i64> = a.iter().enumerate().map(|(i, &v)| v + (i as i64 % 200) - 100).collect();
+    let b_col: Vec<i64> = a
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v + (i as i64 % 16))
+        .collect();
+    let c_col: Vec<i64> = a
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v + (i as i64 % 200) - 100)
+        .collect();
     let cols: Vec<(&str, &[i64])> = vec![("a", &a), ("b", &b_col), ("c", &c_col)];
     let mut group = c.benchmark_group("ablation_optimizer");
     group.bench_function("exact", |bch| {
@@ -107,7 +116,13 @@ fn optimizer_sampling_ablation(c: &mut Criterion) {
 }
 
 fn multiref_code_width_ablation(c: &mut Criterion) {
-    let taxi = TaxiTable::generate(TaxiParams { rows: N, ..Default::default() }, 23);
+    let taxi = TaxiTable::generate(
+        TaxiParams {
+            rows: N,
+            ..Default::default()
+        },
+        23,
+    );
     let group_sums: Vec<Vec<i64>> = taxi.group_sums().into_iter().collect();
     let mut group = c.benchmark_group("ablation_multiref_codebits");
     group.throughput(Throughput::Elements(N as u64));

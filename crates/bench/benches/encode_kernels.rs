@@ -2,11 +2,11 @@
 //! vertical schemes, and Corra's horizontal schemes (encode + full decode
 //! throughput at block scale).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use corra_columnar::bitpack::BitPackedVec;
 use corra_core::{HierInt, MultiRefInt, NonHierInt};
 use corra_datagen::{LineitemDates, TaxiParams, TaxiTable};
 use corra_encodings::{DeltaInt, DictInt, ForInt, IntAccess, RleInt};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const N: usize = 1_000_000;
 
@@ -15,8 +15,9 @@ fn bitpack_benches(c: &mut Criterion) {
     group.throughput(Throughput::Elements(N as u64));
     for bits in [5u8, 12, 27] {
         let mask = (1u64 << bits) - 1;
-        let values: Vec<u64> =
-            (0..N as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) & mask).collect();
+        let values: Vec<u64> = (0..N as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) & mask)
+            .collect();
         group.bench_with_input(BenchmarkId::new("pack", bits), &values, |b, v| {
             b.iter(|| BitPackedVec::pack(v, bits).unwrap());
         });
@@ -58,7 +59,13 @@ fn vertical_benches(c: &mut Criterion) {
 
 fn corra_benches(c: &mut Criterion) {
     let dates = LineitemDates::generate(N, 42);
-    let taxi = TaxiTable::generate(TaxiParams { rows: N, ..Default::default() }, 23);
+    let taxi = TaxiTable::generate(
+        TaxiParams {
+            rows: N,
+            ..Default::default()
+        },
+        23,
+    );
     let group_sums: Vec<Vec<i64>> = taxi.group_sums().into_iter().collect();
 
     let mut group = c.benchmark_group("corra_encode");

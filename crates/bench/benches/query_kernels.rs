@@ -2,11 +2,11 @@
 //! Corra at representative selectivities (the criterion-tracked counterpart
 //! of the Fig. 5/8 binaries).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use corra_bench::block_workloads;
 use corra_bench::compress_table;
 use corra_core::{query_both, query_column, ColumnPlan, CompressionConfig};
 use corra_datagen::{LineitemDates, MessageParams, MessageTable, TaxiParams, TaxiTable};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const N: usize = 500_000;
 const SELECTIVITIES: [f64; 3] = [0.01, 0.1, 1.0];
@@ -16,8 +16,12 @@ fn nonhier_query(c: &mut Criterion) {
     let (_, baseline) = compress_table(table.clone(), &CompressionConfig::baseline());
     let (_, corra) = compress_table(
         table,
-        &CompressionConfig::baseline()
-            .with("l_receiptdate", ColumnPlan::NonHier { reference: "l_shipdate".into() }),
+        &CompressionConfig::baseline().with(
+            "l_receiptdate",
+            ColumnPlan::NonHier {
+                reference: "l_shipdate".into(),
+            },
+        ),
     );
     let mut group = c.benchmark_group("query_nonhier");
     for sel in SELECTIVITIES {
@@ -41,8 +45,12 @@ fn hier_query(c: &mut Criterion) {
     let (_, baseline) = compress_table(table.clone(), &CompressionConfig::baseline());
     let (_, corra) = compress_table(
         table,
-        &CompressionConfig::baseline()
-            .with("ip", ColumnPlan::Hier { reference: "countryid".into() }),
+        &CompressionConfig::baseline().with(
+            "ip",
+            ColumnPlan::Hier {
+                reference: "countryid".into(),
+            },
+        ),
     );
     let mut group = c.benchmark_group("query_hier");
     for sel in SELECTIVITIES {
@@ -59,13 +67,23 @@ fn hier_query(c: &mut Criterion) {
 }
 
 fn multiref_query(c: &mut Criterion) {
-    let table = TaxiTable::generate(TaxiParams { rows: N, ..Default::default() }, 23).into_table();
+    let table = TaxiTable::generate(
+        TaxiParams {
+            rows: N,
+            ..Default::default()
+        },
+        23,
+    )
+    .into_table();
     let (_, baseline) = compress_table(table.clone(), &CompressionConfig::baseline());
     let (_, corra) = compress_table(
         table,
         &CompressionConfig::baseline().with(
             "total_amount",
-            ColumnPlan::MultiRef { groups: TaxiTable::reference_groups(), code_bits: 2 },
+            ColumnPlan::MultiRef {
+                groups: TaxiTable::reference_groups(),
+                code_bits: 2,
+            },
         ),
     );
     let mut group = c.benchmark_group("query_multiref");

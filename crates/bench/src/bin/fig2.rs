@@ -43,7 +43,11 @@ fn main() {
     for (i, a) in assignment.iter().enumerate() {
         match a {
             Assignment::Vertical => {
-                println!("  {}: vertical, {:.1} MB", columns[i].0, mb(graph.self_cost(i)));
+                println!(
+                    "  {}: vertical, {:.1} MB",
+                    columns[i].0,
+                    mb(graph.self_cost(i))
+                );
             }
             Assignment::DiffEncoded { reference } => println!(
                 "  {}: diff-encoded w.r.t. {}, {:.1} MB",
@@ -62,7 +66,11 @@ fn main() {
 
     // Sanity: greedy matches the exhaustive optimum on this 3-column graph.
     let (_, best) = graph.exhaustive_best();
-    assert_eq!(graph.total_cost(&assignment), best, "greedy must be optimal here");
+    assert_eq!(
+        graph.total_cost(&assignment),
+        best,
+        "greedy must be optimal here"
+    );
     println!("greedy verified optimal by exhaustive search over all valid configurations");
 
     emit_json(

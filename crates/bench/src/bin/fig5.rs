@@ -38,8 +38,12 @@ fn main() {
     let (_, nh_base) = compress_table(table.clone(), &CompressionConfig::baseline());
     let (_, nh_corra) = compress_table(
         table,
-        &CompressionConfig::baseline()
-            .with("l_receiptdate", ColumnPlan::NonHier { reference: "l_shipdate".into() }),
+        &CompressionConfig::baseline().with(
+            "l_receiptdate",
+            ColumnPlan::NonHier {
+                reference: "l_shipdate".into(),
+            },
+        ),
     );
 
     // --- Hierarchical panel: LDBC message.
@@ -47,8 +51,12 @@ fn main() {
     let (_, h_base) = compress_table(table.clone(), &CompressionConfig::baseline());
     let (_, h_corra) = compress_table(
         table,
-        &CompressionConfig::baseline()
-            .with("ip", ColumnPlan::Hier { reference: "countryid".into() }),
+        &CompressionConfig::baseline().with(
+            "ip",
+            ColumnPlan::Hier {
+                reference: "countryid".into(),
+            },
+        ),
     );
 
     let mut series: Vec<(&str, Vec<LatencyPoint>)> = vec![
@@ -78,7 +86,12 @@ fn main() {
         let nh_both = LatencyPoint {
             selectivity: sel,
             baseline_secs: median_secs(LATENCY_REPS, || {
-                std::hint::black_box(time_query_two(&nh_base, "l_receiptdate", "l_shipdate", &nh_w));
+                std::hint::black_box(time_query_two(
+                    &nh_base,
+                    "l_receiptdate",
+                    "l_shipdate",
+                    &nh_w,
+                ));
             }),
             corra_secs: median_secs(LATENCY_REPS, || {
                 std::hint::black_box(time_query_both(&nh_corra, "l_receiptdate", &nh_w));

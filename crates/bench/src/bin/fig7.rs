@@ -23,8 +23,12 @@ fn main() {
 
     let table = MessageTable::generate(MessageParams::scaled(rows), 31).into_table();
     let plain_cfg = CompressionConfig::plain_for(&["countryid", "ip"]);
-    let corra_cfg = CompressionConfig::baseline()
-        .with("ip", ColumnPlan::Hier { reference: "countryid".into() });
+    let corra_cfg = CompressionConfig::baseline().with(
+        "ip",
+        ColumnPlan::Hier {
+            reference: "countryid".into(),
+        },
+    );
     let (_, uncompressed) = compress_table(table.clone(), &plain_cfg);
     let (_, baseline) = compress_table(table.clone(), &CompressionConfig::baseline());
     let (_, corra) = compress_table(table, &corra_cfg);
@@ -46,7 +50,10 @@ fn main() {
         let c = median_secs(LATENCY_REPS, || {
             std::hint::black_box(time_query_column(&corra, "ip", &w));
         }) * ms;
-        println!("{sel:>11.3} {:>7} | {u:>9.2} ms {b:>9.2} ms {c:>9.2} ms", "target");
+        println!(
+            "{sel:>11.3} {:>7} | {u:>9.2} ms {b:>9.2} ms {c:>9.2} ms",
+            "target"
+        );
         json.push(serde_json::json!({
             "selectivity": sel, "mode": "target",
             "uncompressed_ms": u, "single_ms": b, "corra_ms": c,
@@ -60,7 +67,10 @@ fn main() {
         let c2 = median_secs(LATENCY_REPS, || {
             std::hint::black_box(time_query_both(&corra, "ip", &w));
         }) * ms;
-        println!("{sel:>11.3} {:>7} | {u2:>9.2} ms {b2:>9.2} ms {c2:>9.2} ms", "both");
+        println!(
+            "{sel:>11.3} {:>7} | {u2:>9.2} ms {b2:>9.2} ms {c2:>9.2} ms",
+            "both"
+        );
         json.push(serde_json::json!({
             "selectivity": sel, "mode": "both",
             "uncompressed_ms": u2, "single_ms": b2, "corra_ms": c2,

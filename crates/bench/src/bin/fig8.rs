@@ -23,11 +23,20 @@ fn main() {
     println!("paper shape: high ratio at low selectivity (scattered fetches across");
     println!("8 reference columns), stabilizing ~2x; slight rise at 1.0 (outliers)\n");
 
-    let taxi = TaxiTable::generate(TaxiParams { rows, ..Default::default() }, 23);
+    let taxi = TaxiTable::generate(
+        TaxiParams {
+            rows,
+            ..Default::default()
+        },
+        23,
+    );
     let table = taxi.into_table();
     let corra_cfg = CompressionConfig::baseline().with(
         "total_amount",
-        ColumnPlan::MultiRef { groups: TaxiTable::reference_groups(), code_bits: 2 },
+        ColumnPlan::MultiRef {
+            groups: TaxiTable::reference_groups(),
+            code_bits: 2,
+        },
     );
     let (_, baseline) = compress_table(table.clone(), &CompressionConfig::baseline());
     let (_, corra) = compress_table(table, &corra_cfg);

@@ -12,7 +12,13 @@ use corra_datagen::{rows_from_env, TaxiParams, TaxiTable};
 
 fn main() {
     let rows = rows_from_env();
-    let taxi = TaxiTable::generate(TaxiParams { rows, ..Default::default() }, 23);
+    let taxi = TaxiTable::generate(
+        TaxiParams {
+            rows,
+            ..Default::default()
+        },
+        23,
+    );
     println!("Table 1 reproduction: Taxi total_amount vs reference groups, {rows} rows\n");
 
     let [a, b, c] = taxi.group_sums();
@@ -27,16 +33,28 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(code, (f, count))| {
-            (f.describe(), *count as f64 / stats.rows as f64, format!("{code:02b}"))
+            (
+                f.describe(),
+                *count as f64 / stats.rows as f64,
+                format!("{code:02b}"),
+            )
         })
         .collect();
     rows_out.sort_by(|x, y| x.0.len().cmp(&y.0.len()).then(x.0.cmp(&y.0)));
 
-    println!("{:<16} {:>12} {:>16}", "Group", "Probability", "Binary Encoding");
+    println!(
+        "{:<16} {:>12} {:>16}",
+        "Group", "Probability", "Binary Encoding"
+    );
     for (desc, prob, code) in &rows_out {
         println!("{desc:<16} {:>11.2}% {code:>16}", prob * 100.0);
     }
-    println!("{:<16} {:>11.2}% {:>16}", "None", stats.outlier_rate() * 100.0, "outlier");
+    println!(
+        "{:<16} {:>11.2}% {:>16}",
+        "None",
+        stats.outlier_rate() * 100.0,
+        "outlier"
+    );
 
     println!("\npaper:      A 31.19%  A+B 62.44%  A+C 2.69%  A+B+C 3.33%  outlier 0.32%");
     println!(

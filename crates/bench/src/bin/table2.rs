@@ -8,7 +8,9 @@
 //! Sizes are measured at `CORRA_ROWS` scale and extrapolated linearly to
 //! the paper's row counts for the MB columns; saving rates are scale-free.
 
-use corra_bench::{column_bytes, compress_table, emit_json, paper_scale, print_size_table, SizeRow};
+use corra_bench::{
+    column_bytes, compress_table, emit_json, paper_scale, print_size_table, SizeRow,
+};
 use corra_core::{ColumnPlan, CompressionConfig};
 use corra_datagen::{
     rows_from_env, DmvParams, DmvTable, LineitemDates, MessageParams, MessageTable, TaxiParams,
@@ -25,8 +27,18 @@ fn main() {
         let table = LineitemDates::generate(rows, 42).into_table();
         let baseline_cfg = CompressionConfig::baseline();
         let corra_cfg = CompressionConfig::baseline()
-            .with("l_commitdate", ColumnPlan::NonHier { reference: "l_shipdate".into() })
-            .with("l_receiptdate", ColumnPlan::NonHier { reference: "l_shipdate".into() });
+            .with(
+                "l_commitdate",
+                ColumnPlan::NonHier {
+                    reference: "l_shipdate".into(),
+                },
+            )
+            .with(
+                "l_receiptdate",
+                ColumnPlan::NonHier {
+                    reference: "l_shipdate".into(),
+                },
+            );
         let (_, base) = compress_table(table.clone(), &baseline_cfg);
         let (_, corra) = compress_table(table, &corra_cfg);
         for (col, paper_saving) in [("l_receiptdate", 0.583), ("l_commitdate", 0.333)] {
@@ -46,13 +58,30 @@ fn main() {
 
     // --- Taxi: dropoff vs pickup (§2.1) and total_amount vs groups (§2.3).
     {
-        let taxi = TaxiTable::generate(TaxiParams { rows, ..Default::default() }, 23);
+        let taxi = TaxiTable::generate(
+            TaxiParams {
+                rows,
+                ..Default::default()
+            },
+            23,
+        );
         let groups = TaxiTable::reference_groups();
         let table = taxi.into_table();
         let baseline_cfg = CompressionConfig::baseline();
         let corra_cfg = CompressionConfig::baseline()
-            .with("dropoff", ColumnPlan::NonHier { reference: "pickup".into() })
-            .with("total_amount", ColumnPlan::MultiRef { groups, code_bits: 2 });
+            .with(
+                "dropoff",
+                ColumnPlan::NonHier {
+                    reference: "pickup".into(),
+                },
+            )
+            .with(
+                "total_amount",
+                ColumnPlan::MultiRef {
+                    groups,
+                    code_bits: 2,
+                },
+            );
         let (_, base) = compress_table(table.clone(), &baseline_cfg);
         let (_, corra) = compress_table(table, &corra_cfg);
         out.push(SizeRow {
@@ -84,10 +113,18 @@ fn main() {
     {
         let table = DmvTable::generate(DmvParams::scaled(rows), 11).into_table();
         let baseline_cfg = CompressionConfig::baseline();
-        let zip_cfg = CompressionConfig::baseline()
-            .with("zip", ColumnPlan::Hier { reference: "city".into() });
-        let city_cfg = CompressionConfig::baseline()
-            .with("city", ColumnPlan::Hier { reference: "state".into() });
+        let zip_cfg = CompressionConfig::baseline().with(
+            "zip",
+            ColumnPlan::Hier {
+                reference: "city".into(),
+            },
+        );
+        let city_cfg = CompressionConfig::baseline().with(
+            "city",
+            ColumnPlan::Hier {
+                reference: "state".into(),
+            },
+        );
         let (_, base) = compress_table(table.clone(), &baseline_cfg);
         let (_, zip_comp) = compress_table(table.clone(), &zip_cfg);
         let (_, city_comp) = compress_table(table, &city_cfg);
@@ -119,8 +156,12 @@ fn main() {
     {
         let table = MessageTable::generate(MessageParams::scaled(rows), 31).into_table();
         let baseline_cfg = CompressionConfig::baseline();
-        let corra_cfg = CompressionConfig::baseline()
-            .with("ip", ColumnPlan::Hier { reference: "countryid".into() });
+        let corra_cfg = CompressionConfig::baseline().with(
+            "ip",
+            ColumnPlan::Hier {
+                reference: "countryid".into(),
+            },
+        );
         let (_, base) = compress_table(table.clone(), &baseline_cfg);
         let (_, corra) = compress_table(table, &corra_cfg);
         out.push(SizeRow {
@@ -137,7 +178,15 @@ fn main() {
     }
 
     // Order rows like the paper's Table 2.
-    let order = ["l_receiptdate", "l_commitdate", "dropff", "zip-code", "city", "ip", "total_amount"];
+    let order = [
+        "l_receiptdate",
+        "l_commitdate",
+        "dropff",
+        "zip-code",
+        "city",
+        "ip",
+        "total_amount",
+    ];
     out.sort_by_key(|r| order.iter().position(|&c| c == r.column).unwrap_or(99));
     print_size_table(&out);
     emit_json("table2", &out);

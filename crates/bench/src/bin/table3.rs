@@ -56,7 +56,13 @@ fn main() {
     }
 
     // --- (pickup, dropff).
-    let taxi = TaxiTable::generate(TaxiParams { rows, ..Default::default() }, 23);
+    let taxi = TaxiTable::generate(
+        TaxiParams {
+            rows,
+            ..Default::default()
+        },
+        23,
+    );
     {
         let base = baseline_bytes(&taxi.dropoff);
         let corra = NonHierInt::encode(&taxi.dropoff, &taxi.pickup).expect("corra");

@@ -23,7 +23,7 @@ pub mod paper_scale {
 }
 
 /// One row of a compression-size experiment (Table 2 shape).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SizeRow {
     /// Dataset label as printed in the paper.
     pub dataset: String,
@@ -43,6 +43,24 @@ pub struct SizeRow {
     pub paper_rows: usize,
     /// Paper's reported saving rate (fraction), for the comparison column.
     pub paper_saving: f64,
+}
+
+// The serde shim has no derive macro (offline build, see shims/README.md),
+// so Serialize is spelled out by hand.
+impl serde::Serialize for SizeRow {
+    fn to_value(&self) -> serde::Value {
+        serde_json::json!({
+            "dataset": self.dataset,
+            "column": self.column,
+            "encoding": self.encoding,
+            "reference": self.reference,
+            "baseline_bytes": self.baseline_bytes,
+            "corra_bytes": self.corra_bytes,
+            "rows": self.rows,
+            "paper_rows": self.paper_rows,
+            "paper_saving": self.paper_saving,
+        })
+    }
 }
 
 impl SizeRow {
@@ -88,7 +106,10 @@ pub fn emit_json<T: serde::Serialize>(label: &str, value: &T) {
 }
 
 /// Splits a table into paper-sized blocks and compresses with `config`.
-pub fn compress_table(table: Table, config: &CompressionConfig) -> (Vec<DataBlock>, Vec<CompressedBlock>) {
+pub fn compress_table(
+    table: Table,
+    config: &CompressionConfig,
+) -> (Vec<DataBlock>, Vec<CompressedBlock>) {
     let blocks = table.into_blocks(DEFAULT_BLOCK_ROWS);
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let compressed =
@@ -98,7 +119,10 @@ pub fn compress_table(table: Table, config: &CompressionConfig) -> (Vec<DataBloc
 
 /// Sums a column's compressed bytes across blocks.
 pub fn column_bytes(blocks: &[CompressedBlock], column: &str) -> usize {
-    blocks.iter().map(|b| b.column_bytes(column).expect("column exists")).sum()
+    blocks
+        .iter()
+        .map(|b| b.column_bytes(column).expect("column exists"))
+        .sum()
 }
 
 /// Times `f` over `reps` repetitions and returns the median seconds.
@@ -185,7 +209,7 @@ pub fn block_workloads(
 }
 
 /// A latency measurement at one selectivity (Fig. 5/8 shape).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyPoint {
     /// Selectivity of the workload.
     pub selectivity: f64,
@@ -193,6 +217,16 @@ pub struct LatencyPoint {
     pub baseline_secs: f64,
     /// Corra seconds.
     pub corra_secs: f64,
+}
+
+impl serde::Serialize for LatencyPoint {
+    fn to_value(&self) -> serde::Value {
+        serde_json::json!({
+            "selectivity": self.selectivity,
+            "baseline_secs": self.baseline_secs,
+            "corra_secs": self.corra_secs,
+        })
+    }
 }
 
 impl LatencyPoint {
@@ -237,7 +271,11 @@ mod tests {
 
     #[test]
     fn latency_ratio() {
-        let p = LatencyPoint { selectivity: 0.01, baseline_secs: 2.0, corra_secs: 3.0 };
+        let p = LatencyPoint {
+            selectivity: 0.01,
+            baseline_secs: 2.0,
+            corra_secs: 3.0,
+        };
         assert!((p.ratio() - 1.5).abs() < 1e-12);
     }
 }

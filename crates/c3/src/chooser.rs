@@ -103,9 +103,14 @@ mod tests {
 
     #[test]
     fn picks_dfor_for_bounded_diffs() {
-        let reference: Vec<i64> = (0..20_000).map(|i| 8_000 + (i as i64 * 13 % 2_500)).collect();
-        let target: Vec<i64> =
-            reference.iter().enumerate().map(|(i, &r)| r + 1 + (i as i64 % 30)).collect();
+        let reference: Vec<i64> = (0..20_000)
+            .map(|i| 8_000 + (i as i64 * 13 % 2_500))
+            .collect();
+        let target: Vec<i64> = reference
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| r + 1 + (i as i64 % 30))
+            .collect();
         let enc = choose(&target, &reference).unwrap();
         // DFOR and Numerical tie here (slope 1); either is acceptable, but
         // it must decode losslessly and be small.
@@ -118,8 +123,11 @@ mod tests {
     #[test]
     fn picks_numerical_for_affine() {
         let reference: Vec<i64> = (0..20_000).map(|i| i as i64).collect();
-        let target: Vec<i64> =
-            reference.iter().enumerate().map(|(i, &r)| 5 * r + (i as i64 % 4)).collect();
+        let target: Vec<i64> = reference
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| 5 * r + (i as i64 % 4))
+            .collect();
         let enc = choose(&target, &reference).unwrap();
         assert_eq!(enc.scheme(), "Numerical");
     }

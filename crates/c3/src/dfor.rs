@@ -17,14 +17,25 @@ impl Dfor {
     /// Encodes `target` against `reference`.
     pub fn encode(target: &[i64], reference: &[i64]) -> Result<Self> {
         if target.len() != reference.len() {
-            return Err(Error::LengthMismatch { left: target.len(), right: reference.len() });
+            return Err(Error::LengthMismatch {
+                left: target.len(),
+                right: reference.len(),
+            });
         }
-        let diffs: Vec<i64> =
-            target.iter().zip(reference).map(|(&t, &r)| t.wrapping_sub(r)).collect();
+        let diffs: Vec<i64> = target
+            .iter()
+            .zip(reference)
+            .map(|(&t, &r)| t.wrapping_sub(r))
+            .collect();
         let base = diffs.iter().copied().min().unwrap_or(0);
-        let offsets: Vec<u64> =
-            diffs.iter().map(|&d| (d as i128 - base as i128) as u64).collect();
-        Ok(Self { base, diffs: BitPackedVec::pack_minimal(&offsets) })
+        let offsets: Vec<u64> = diffs
+            .iter()
+            .map(|&d| (d as i128 - base as i128) as u64)
+            .collect();
+        Ok(Self {
+            base,
+            diffs: BitPackedVec::pack_minimal(&offsets),
+        })
     }
 
     /// Number of rows.
@@ -53,7 +64,10 @@ impl Dfor {
     /// Bulk decode.
     pub fn decode_into(&self, reference: &[i64], out: &mut Vec<i64>) -> Result<()> {
         if reference.len() != self.len() {
-            return Err(Error::LengthMismatch { left: reference.len(), right: self.len() });
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len(),
+            });
         }
         out.clear();
         out.reserve(self.len());
@@ -79,8 +93,11 @@ mod tests {
     #[test]
     fn roundtrip() {
         let reference: Vec<i64> = (0..1_000).map(|i| 8_000 + i as i64).collect();
-        let target: Vec<i64> =
-            reference.iter().enumerate().map(|(i, &r)| r + 1 + (i as i64 % 30)).collect();
+        let target: Vec<i64> = reference
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| r + 1 + (i as i64 % 30))
+            .collect();
         let enc = Dfor::encode(&target, &reference).unwrap();
         assert_eq!(enc.bits(), 5);
         let mut out = Vec::new();

@@ -1,7 +1,7 @@
 //! C3's hierarchical-family encoding: per-reference-value child
 //! dictionaries with the per-row group index compressed via FOR.
 //!
-//! The Corra paper describes C3 as "explor[ing] more implementations of
+//! The Corra paper describes C3 as "explor\[ing\] more implementations of
 //! hierarchical encoding schemes, e.g., using FOR for the diff-encoded
 //! column", and its 1-to-1 scheme as the special case where the child is
 //! directly inferable from the reference. [`HierFor`] covers both: each
@@ -31,7 +31,10 @@ impl HierFor {
     /// Encodes `target` against `reference`.
     pub fn encode(target: &[i64], reference: &[i64]) -> Result<Self> {
         if target.len() != reference.len() {
-            return Err(Error::LengthMismatch { left: target.len(), right: reference.len() });
+            return Err(Error::LengthMismatch {
+                left: target.len(),
+                right: reference.len(),
+            });
         }
         // Group children per reference value, insertion-ordered.
         let mut groups: FxHashMap<i64, Vec<i64>> = FxHashMap::default();
@@ -54,7 +57,12 @@ impl HierFor {
             children.extend_from_slice(&groups[k]);
             offsets.push(children.len() as u32);
         }
-        Ok(Self { ref_keys, children, offsets, codes: BitPackedVec::pack_minimal(&raw_codes) })
+        Ok(Self {
+            ref_keys,
+            children,
+            offsets,
+            codes: BitPackedVec::pack_minimal(&raw_codes),
+        })
     }
 
     /// Number of rows.
@@ -89,7 +97,10 @@ impl HierFor {
     /// Bulk decode.
     pub fn decode_into(&self, reference: &[i64], out: &mut Vec<i64>) -> Result<()> {
         if reference.len() != self.len() {
-            return Err(Error::LengthMismatch { left: reference.len(), right: self.len() });
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len(),
+            });
         }
         out.clear();
         out.reserve(self.len());
@@ -99,8 +110,7 @@ impl HierFor {
                 .binary_search(&r)
                 .map_err(|_| Error::invalid("reference value unseen at encode time"))?;
             out.push(
-                self.children
-                    [(self.offsets[k] + self.codes.get_unchecked_len(i) as u32) as usize],
+                self.children[(self.offsets[k] + self.codes.get_unchecked_len(i) as u32) as usize],
             );
         }
         Ok(())
@@ -123,8 +133,9 @@ mod tests {
     fn roundtrip_hierarchical() {
         // 50 parents, 4 children each.
         let reference: Vec<i64> = (0..10_000).map(|i| (i % 50) as i64).collect();
-        let target: Vec<i64> =
-            (0..10_000).map(|i| (i % 50) as i64 * 1_000 + (i / 50 % 4) as i64).collect();
+        let target: Vec<i64> = (0..10_000)
+            .map(|i| (i % 50) as i64 * 1_000 + (i / 50 % 4) as i64)
+            .collect();
         let enc = HierFor::encode(&target, &reference).unwrap();
         assert_eq!(enc.bits(), 2);
         assert!(!enc.is_one_to_one());

@@ -35,7 +35,10 @@ impl Numerical {
     /// slope (quantized to fixed point).
     pub fn encode(target: &[i64], reference: &[i64]) -> Result<Self> {
         if target.len() != reference.len() {
-            return Err(Error::LengthMismatch { left: target.len(), right: reference.len() });
+            return Err(Error::LengthMismatch {
+                left: target.len(),
+                right: reference.len(),
+            });
         }
         let slope = fit_slope(target, reference);
         Self::encode_with_slope(target, reference, slope)
@@ -44,7 +47,10 @@ impl Numerical {
     /// Encodes with an explicit fixed-point slope numerator.
     pub fn encode_with_slope(target: &[i64], reference: &[i64], slope_num: i64) -> Result<Self> {
         if target.len() != reference.len() {
-            return Err(Error::LengthMismatch { left: target.len(), right: reference.len() });
+            return Err(Error::LengthMismatch {
+                left: target.len(),
+                right: reference.len(),
+            });
         }
         let residuals_raw: Vec<i64> = target
             .iter()
@@ -52,9 +58,15 @@ impl Numerical {
             .map(|(&t, &r)| t.wrapping_sub(predict(slope_num, r)))
             .collect();
         let base = residuals_raw.iter().copied().min().unwrap_or(0);
-        let offsets: Vec<u64> =
-            residuals_raw.iter().map(|&d| (d as i128 - base as i128) as u64).collect();
-        Ok(Self { slope_num, base, residuals: BitPackedVec::pack_minimal(&offsets) })
+        let offsets: Vec<u64> = residuals_raw
+            .iter()
+            .map(|&d| (d as i128 - base as i128) as u64)
+            .collect();
+        Ok(Self {
+            slope_num,
+            base,
+            residuals: BitPackedVec::pack_minimal(&offsets),
+        })
     }
 
     /// The fitted slope as a float (for reporting).
@@ -88,7 +100,10 @@ impl Numerical {
     /// Bulk decode.
     pub fn decode_into(&self, reference: &[i64], out: &mut Vec<i64>) -> Result<()> {
         if reference.len() != self.len() {
-            return Err(Error::LengthMismatch { left: reference.len(), right: self.len() });
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len(),
+            });
         }
         out.clear();
         out.reserve(self.len());
@@ -139,8 +154,11 @@ mod tests {
     #[test]
     fn slope_one_equals_diff_behaviour() {
         let reference: Vec<i64> = (0..1_000).map(|i| 5_000 + i as i64).collect();
-        let target: Vec<i64> =
-            reference.iter().enumerate().map(|(i, &r)| r + (i as i64 % 16)).collect();
+        let target: Vec<i64> = reference
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| r + (i as i64 % 16))
+            .collect();
         let enc = Numerical::encode(&target, &reference).unwrap();
         assert!((enc.slope() - 1.0).abs() < 0.01, "slope {}", enc.slope());
         let mut out = Vec::new();
@@ -153,8 +171,11 @@ mod tests {
         // target ≈ 3·ref + noise: diff range grows with ref (bad for DFOR),
         // affine residual stays tiny.
         let reference: Vec<i64> = (0..10_000).map(|i| i as i64).collect();
-        let target: Vec<i64> =
-            reference.iter().enumerate().map(|(i, &r)| 3 * r + (i as i64 % 8)).collect();
+        let target: Vec<i64> = reference
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| 3 * r + (i as i64 % 8))
+            .collect();
         let num = Numerical::encode(&target, &reference).unwrap();
         let dfor = crate::dfor::Dfor::encode(&target, &reference).unwrap();
         assert!(
@@ -170,7 +191,9 @@ mod tests {
 
     #[test]
     fn lossless_on_uncorrelated_data() {
-        let reference: Vec<i64> = (0..500).map(|i| (i as i64).wrapping_mul(2_654_435_761)).collect();
+        let reference: Vec<i64> = (0..500)
+            .map(|i| (i as i64).wrapping_mul(2_654_435_761))
+            .collect();
         let target: Vec<i64> = (0..500).map(|i| (i as i64 * 97) % 1_000).collect();
         let enc = Numerical::encode(&target, &reference).unwrap();
         let mut out = Vec::new();
@@ -185,8 +208,11 @@ mod tests {
     fn fractional_slope() {
         // target = ref/2 + small noise.
         let reference: Vec<i64> = (0..4_000).map(|i| i as i64 * 2).collect();
-        let target: Vec<i64> =
-            reference.iter().enumerate().map(|(i, &r)| r / 2 + (i as i64 % 4)).collect();
+        let target: Vec<i64> = reference
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| r / 2 + (i as i64 % 4))
+            .collect();
         let enc = Numerical::encode(&target, &reference).unwrap();
         assert!((enc.slope() - 0.5).abs() < 0.01);
         assert!(enc.bits() <= 4, "bits {}", enc.bits());
@@ -212,8 +238,7 @@ mod tests {
     fn explicit_slope() {
         let reference: Vec<i64> = (0..100).collect();
         let target: Vec<i64> = reference.iter().map(|&r| 2 * r).collect();
-        let enc =
-            Numerical::encode_with_slope(&target, &reference, 2 << SLOPE_SHIFT).unwrap();
+        let enc = Numerical::encode_with_slope(&target, &reference, 2 << SLOPE_SHIFT).unwrap();
         assert_eq!(enc.bits(), 0); // perfect fit
         let mut out = Vec::new();
         enc.decode_into(&reference, &mut out).unwrap();

@@ -29,7 +29,10 @@ impl OneToOne {
     /// exceptions.
     pub fn encode(target: &[i64], reference: &[i64]) -> Result<Self> {
         if target.len() != reference.len() {
-            return Err(Error::LengthMismatch { left: target.len(), right: reference.len() });
+            return Err(Error::LengthMismatch {
+                left: target.len(),
+                right: reference.len(),
+            });
         }
         let mut map: FxHashMap<i64, i64> = FxHashMap::default();
         let mut exc_pos = Vec::new();
@@ -50,7 +53,13 @@ impl OneToOne {
         let mut pairs: Vec<(i64, i64)> = map.into_iter().collect();
         pairs.sort_unstable_by_key(|&(k, _)| k);
         let (ref_keys, mapped) = pairs.into_iter().unzip();
-        Ok(Self { len: target.len(), ref_keys, mapped, exc_pos, exc_val })
+        Ok(Self {
+            len: target.len(),
+            ref_keys,
+            mapped,
+            exc_pos,
+            exc_val,
+        })
     }
 
     /// Number of rows.
@@ -88,7 +97,10 @@ impl OneToOne {
     /// Bulk decode.
     pub fn decode_into(&self, reference: &[i64], out: &mut Vec<i64>) -> Result<()> {
         if reference.len() != self.len {
-            return Err(Error::LengthMismatch { left: reference.len(), right: self.len });
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len,
+            });
         }
         out.clear();
         out.reserve(self.len);

@@ -55,7 +55,11 @@ impl BitPackedVec {
             if let Some(&v) = values.iter().find(|&&v| v != 0) {
                 return Err(Error::WidthOverflow { value: v, bits });
             }
-            return Ok(Self { bits, len: values.len(), words: Vec::new() });
+            return Ok(Self {
+                bits,
+                len: values.len(),
+                words: Vec::new(),
+            });
         }
         let mask = mask_for(bits);
         let total_bits = (values.len() as u64) * bits as u64;
@@ -75,7 +79,11 @@ impl BitPackedVec {
             }
             bit_pos += bits as u64;
         }
-        Ok(Self { bits, len: values.len(), words })
+        Ok(Self {
+            bits,
+            len: values.len(),
+            words,
+        })
     }
 
     /// Packs `values` using the minimal width that fits them all.
@@ -245,7 +253,7 @@ impl BitPackedVec {
             return Err(Error::corrupt("bitpack word count mismatch"));
         }
         let len = len_raw as usize;
-        if buf.remaining() < n_words * 8 {
+        if buf.remaining() < n_words.saturating_mul(8) {
             return Err(Error::corrupt("bitpack payload truncated"));
         }
         let mut words = Vec::with_capacity(n_words);
@@ -258,7 +266,7 @@ impl BitPackedVec {
 
 #[inline]
 fn mask_for(bits: u8) -> u64 {
-    debug_assert!(bits >= 1 && bits <= 64);
+    debug_assert!((1..=64).contains(&bits));
     if bits == 64 {
         u64::MAX
     } else {
@@ -348,9 +356,14 @@ mod tests {
     fn word_straddling_widths() {
         // Widths that do not divide 64 force values across word boundaries.
         for bits in [3u8, 5, 7, 11, 13, 17, 23, 29, 31, 33, 47, 63] {
-            let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
-            let values: Vec<u64> =
-                (0..500u64).map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15)) & mask).collect();
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1 << bits) - 1
+            };
+            let values: Vec<u64> = (0..500u64)
+                .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15)) & mask)
+                .collect();
             let packed = BitPackedVec::pack(&values, bits).unwrap();
             assert_eq!(packed.unpack(), values, "width {bits}");
             for (i, &v) in values.iter().enumerate() {
@@ -397,7 +410,10 @@ mod tests {
         let positions = vec![0u32, 999, 512, 1, 77];
         let mut out = Vec::new();
         packed.gather_into(&positions, &mut out);
-        assert_eq!(out, vec![values[0], values[999], values[512], values[1], values[77]]);
+        assert_eq!(
+            out,
+            vec![values[0], values[999], values[512], values[1], values[77]]
+        );
     }
 
     #[test]
@@ -418,7 +434,10 @@ mod tests {
         packed.write_to(&mut buf);
         for cut in [0, 1, 8, buf.len() - 1] {
             let slice = &buf[..cut];
-            assert!(BitPackedVec::read_from(&mut &slice[..]).is_err(), "cut {cut}");
+            assert!(
+                BitPackedVec::read_from(&mut &slice[..]).is_err(),
+                "cut {cut}"
+            );
         }
     }
 

@@ -37,7 +37,10 @@ impl Table {
         let rows = columns.first().map_or(0, Column::len);
         for (f, c) in schema.fields().iter().zip(&columns) {
             if c.len() != rows {
-                return Err(Error::LengthMismatch { left: rows, right: c.len() });
+                return Err(Error::LengthMismatch {
+                    left: rows,
+                    right: c.len(),
+                });
             }
             let type_ok = match c {
                 Column::Int64(_) => f.data_type().is_integer_like(),
@@ -50,7 +53,11 @@ impl Table {
                 });
             }
         }
-        Ok(Self { schema, columns, rows })
+        Ok(Self {
+            schema,
+            columns,
+            rows,
+        })
     }
 
     /// The schema.
@@ -89,9 +96,12 @@ impl Table {
         let mut start = 0;
         while start < self.rows {
             let end = (start + block_rows).min(self.rows);
-            let cols: Vec<Column> =
-                self.columns.iter().map(|c| c.slice(start, end)).collect();
-            blocks.push(DataBlock { schema: self.schema.clone(), columns: cols, rows: end - start });
+            let cols: Vec<Column> = self.columns.iter().map(|c| c.slice(start, end)).collect();
+            blocks.push(DataBlock {
+                schema: self.schema.clone(),
+                columns: cols,
+                rows: end - start,
+            });
             start = end;
         }
         blocks
@@ -110,7 +120,11 @@ impl DataBlock {
     /// Creates a block directly (single-block tables, tests).
     pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self> {
         let t = Table::new(schema, columns)?;
-        Ok(Self { schema: t.schema, columns: t.columns, rows: t.rows })
+        Ok(Self {
+            schema: t.schema,
+            columns: t.columns,
+            rows: t.rows,
+        })
     }
 
     /// The schema.
@@ -163,9 +177,15 @@ mod tests {
     fn table_validates_alignment() {
         let bad = Table::new(
             schema2(),
-            vec![Column::from(vec![1i64, 2]), Column::from(StringPool::from_iter(["x"]))],
+            vec![
+                Column::from(vec![1i64, 2]),
+                Column::from(StringPool::from_iter(["x"])),
+            ],
         );
-        assert!(matches!(bad, Err(Error::LengthMismatch { left: 2, right: 1 })));
+        assert!(matches!(
+            bad,
+            Err(Error::LengthMismatch { left: 2, right: 1 })
+        ));
     }
 
     #[test]
@@ -187,7 +207,10 @@ mod tests {
     fn column_lookup() {
         let t = Table::new(
             schema2(),
-            vec![Column::from(vec![7i64, 8]), Column::from(StringPool::from_iter(["x", "y"]))],
+            vec![
+                Column::from(vec![7i64, 8]),
+                Column::from(StringPool::from_iter(["x", "y"])),
+            ],
         )
         .unwrap();
         assert_eq!(t.rows(), 2);

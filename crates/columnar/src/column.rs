@@ -80,9 +80,10 @@ impl Column {
     pub fn as_i64(&self) -> Result<&[i64]> {
         match self {
             Column::Int64(v) => Ok(v),
-            Column::Utf8(_) => {
-                Err(Error::TypeMismatch { expected: "int64", found: "utf8" })
-            }
+            Column::Utf8(_) => Err(Error::TypeMismatch {
+                expected: "int64",
+                found: "utf8",
+            }),
         }
     }
 
@@ -90,9 +91,10 @@ impl Column {
     pub fn as_utf8(&self) -> Result<&StringPool> {
         match self {
             Column::Utf8(p) => Ok(p),
-            Column::Int64(_) => {
-                Err(Error::TypeMismatch { expected: "utf8", found: "int64" })
-            }
+            Column::Int64(_) => Err(Error::TypeMismatch {
+                expected: "utf8",
+                found: "int64",
+            }),
         }
     }
 
@@ -109,7 +111,11 @@ impl Column {
     /// Returns a sub-column covering rows `start..end` (used to split a
     /// table into self-contained 1M-tuple blocks).
     pub fn slice(&self, start: usize, end: usize) -> Column {
-        assert!(start <= end && end <= self.len(), "slice {start}..{end} of {}", self.len());
+        assert!(
+            start <= end && end <= self.len(),
+            "slice {start}..{end} of {}",
+            self.len()
+        );
         match self {
             Column::Int64(v) => Column::Int64(v[start..end].to_vec()),
             Column::Utf8(p) => {

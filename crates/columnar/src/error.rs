@@ -93,13 +93,19 @@ mod tests {
             Error::WidthOverflow { value: 8, bits: 3 }.to_string(),
             "value 8 does not fit in 3 bits"
         );
-        assert_eq!(Error::InvalidBitWidth(65).to_string(), "invalid bit width 65 (max 64)");
+        assert_eq!(
+            Error::InvalidBitWidth(65).to_string(),
+            "invalid bit width 65 (max 64)"
+        );
         assert_eq!(Error::corrupt("oops").to_string(), "corrupt data: oops");
         assert_eq!(
             Error::LengthMismatch { left: 1, right: 2 }.to_string(),
             "column length mismatch: 1 vs 2"
         );
-        assert_eq!(Error::ColumnNotFound("zip".into()).to_string(), "column not found: zip");
+        assert_eq!(
+            Error::ColumnNotFound("zip".into()).to_string(),
+            "column not found: zip"
+        );
         assert_eq!(
             Error::IndexOutOfBounds { index: 9, len: 3 }.to_string(),
             "index 9 out of bounds (len 3)"

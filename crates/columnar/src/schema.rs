@@ -13,7 +13,10 @@ pub struct Field {
 impl Field {
     /// Creates a field.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Self { name: name.into(), data_type }
+        Self {
+            name: name.into(),
+            data_type,
+        }
     }
 
     /// The field name.
@@ -96,7 +99,10 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert_eq!(s.index_of("commitdate").unwrap(), 1);
         assert_eq!(s.field("receiptdate").unwrap().data_type(), DataType::Date);
-        assert!(matches!(s.index_of("missing"), Err(Error::ColumnNotFound(_))));
+        assert!(matches!(
+            s.index_of("missing"),
+            Err(Error::ColumnNotFound(_))
+        ));
     }
 
     #[test]

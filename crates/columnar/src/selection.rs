@@ -29,7 +29,9 @@ impl SelectionVector {
 
     /// Creates a selection covering every row in `0..rows`.
     pub fn all(rows: usize) -> Self {
-        Self { positions: (0..rows as u32).collect() }
+        Self {
+            positions: (0..rows as u32).collect(),
+        }
     }
 
     /// The selected positions, ascending and distinct.
@@ -61,14 +63,17 @@ impl SelectionVector {
 
     /// Checks every position is `< rows`.
     pub fn validate(&self, rows: usize) -> bool {
-        self.positions.last().map_or(true, |&p| (p as usize) < rows)
+        self.positions.last().is_none_or(|&p| (p as usize) < rows)
     }
 }
 
 /// Draws a uniform random selection vector of `k = round(selectivity * rows)`
 /// distinct positions (Floyd's algorithm, O(k) expected).
 pub fn sample_uniform(rows: usize, selectivity: f64, rng: &mut StdRng) -> SelectionVector {
-    assert!((0.0..=1.0).contains(&selectivity), "selectivity must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&selectivity),
+        "selectivity must be in [0,1]"
+    );
     let k = ((rows as f64) * selectivity).round() as usize;
     let k = k.min(rows);
     if k == rows {
@@ -92,7 +97,9 @@ pub fn sample_uniform(rows: usize, selectivity: f64, rng: &mut StdRng) -> Select
 /// selection vectors (the paper uses `n = 10`).
 pub fn workload(rows: usize, selectivity: f64, n: usize, seed: u64) -> Vec<SelectionVector> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| sample_uniform(rows, selectivity, &mut rng)).collect()
+    (0..n)
+        .map(|_| sample_uniform(rows, selectivity, &mut rng))
+        .collect()
 }
 
 /// The selectivity grid of Fig. 5: {0.001, 0.002, …, 0.009, 0.01, 0.02, …,

@@ -24,7 +24,13 @@ impl IntStats {
     /// Computes exact statistics in one pass (plus a hash set for distinct).
     pub fn compute(values: &[i64]) -> Self {
         if values.is_empty() {
-            return Self { min: 0, max: 0, distinct: 0, count: 0, runs: 0 };
+            return Self {
+                min: 0,
+                max: 0,
+                distinct: 0,
+                count: 0,
+                runs: 0,
+            };
         }
         let mut min = i64::MAX;
         let mut max = i64::MIN;
@@ -40,7 +46,13 @@ impl IntStats {
             }
             prev = v;
         }
-        Self { min, max, distinct: distinct.len(), count: values.len(), runs }
+        Self {
+            min,
+            max,
+            distinct: distinct.len(),
+            count: values.len(),
+            runs,
+        }
     }
 
     /// The value range `max - min` as u64 (saturating at domain edges).
@@ -86,7 +98,12 @@ impl StringStats {
             distinct.insert(s);
         }
         let distinct_bytes = distinct.iter().map(|s| s.len()).sum();
-        Self { distinct: distinct.len(), count: pool.len(), distinct_bytes, total_bytes }
+        Self {
+            distinct: distinct.len(),
+            count: pool.len(),
+            distinct_bytes,
+            total_bytes,
+        }
     }
 
     /// Bits needed for dictionary codes.

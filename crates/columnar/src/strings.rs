@@ -26,23 +26,20 @@ impl Default for StringPool {
 impl StringPool {
     /// Creates an empty pool.
     pub fn new() -> Self {
-        Self { bytes: Vec::new(), offsets: vec![0] }
+        Self {
+            bytes: Vec::new(),
+            offsets: vec![0],
+        }
     }
 
     /// Creates an empty pool with reserved capacity.
     pub fn with_capacity(strings: usize, bytes: usize) -> Self {
         let mut offsets = Vec::with_capacity(strings + 1);
         offsets.push(0);
-        Self { bytes: Vec::with_capacity(bytes), offsets }
-    }
-
-    /// Builds a pool from an iterator of strings.
-    pub fn from_iter<'a>(iter: impl IntoIterator<Item = &'a str>) -> Self {
-        let mut pool = Self::new();
-        for s in iter {
-            pool.push(s);
+        Self {
+            bytes: Vec::with_capacity(bytes),
+            offsets,
         }
-        pool
     }
 
     /// Appends a string, returning its index.
@@ -81,7 +78,10 @@ impl StringPool {
     /// Checked access.
     pub fn try_get(&self, i: usize) -> Result<&str> {
         if i >= self.len() {
-            return Err(Error::IndexOutOfBounds { index: i, len: self.len() });
+            return Err(Error::IndexOutOfBounds {
+                index: i,
+                len: self.len(),
+            });
         }
         Ok(self.get(i))
     }
@@ -121,8 +121,8 @@ impl StringPool {
         }
         let count = buf.get_u64_le() as usize;
         let byte_len = buf.get_u64_le() as usize;
-        let offsets_len = count + 1;
-        if buf.remaining() < offsets_len * 4 + byte_len {
+        let offsets_len = count.saturating_add(1);
+        if buf.remaining() < offsets_len.saturating_mul(4).saturating_add(byte_len) {
             return Err(Error::corrupt("string pool payload truncated"));
         }
         let mut offsets = Vec::with_capacity(offsets_len);
@@ -141,6 +141,16 @@ impl StringPool {
             return Err(Error::corrupt("string pool bytes not UTF-8"));
         }
         Ok(Self { bytes, offsets })
+    }
+}
+
+impl<'a> FromIterator<&'a str> for StringPool {
+    fn from_iter<I: IntoIterator<Item = &'a str>>(iter: I) -> Self {
+        let mut pool = Self::new();
+        for s in iter {
+            pool.push(s);
+        }
+        pool
     }
 }
 
@@ -222,7 +232,10 @@ mod tests {
     fn pool_try_get_bounds() {
         let pool = StringPool::from_iter(["a"]);
         assert!(pool.try_get(0).is_ok());
-        assert!(matches!(pool.try_get(1), Err(Error::IndexOutOfBounds { index: 1, len: 1 })));
+        assert!(matches!(
+            pool.try_get(1),
+            Err(Error::IndexOutOfBounds { index: 1, len: 1 })
+        ));
     }
 
     #[test]
@@ -280,5 +293,15 @@ mod tests {
         let pool = b.finish();
         assert_eq!(pool.get(0), "Naples");
         assert_eq!(pool.get(1), "NYC");
+    }
+
+    #[test]
+    fn hostile_count_errors_instead_of_overflowing() {
+        // count = u64::MAX must not overflow `count + 1` (or wrap the
+        // truncation guard to zero in release builds).
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&u64::MAX.to_le_bytes());
+        hostile.extend_from_slice(&0u64.to_le_bytes());
+        assert!(StringPool::read_from(&mut hostile.as_slice()).is_err());
     }
 }

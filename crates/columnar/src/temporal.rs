@@ -28,7 +28,11 @@ impl CivilDate {
 
 /// Converts a civil date to days since the Unix epoch.
 pub fn date_to_epoch_days(d: CivilDate) -> i64 {
-    let y = if d.month <= 2 { d.year as i64 - 1 } else { d.year as i64 };
+    let y = if d.month <= 2 {
+        d.year as i64 - 1
+    } else {
+        d.year as i64
+    };
     let era = if y >= 0 { y } else { y - 399 } / 400;
     let yoe = y - era * 400; // [0, 399]
     let mp = (d.month as i64 + 9) % 12; // [0, 11], March = 0
@@ -95,8 +99,14 @@ mod tests {
         assert_eq!(date_to_epoch_days(CivilDate::new(1992, 1, 1)), 8_035);
         assert_eq!(date_to_epoch_days(CivilDate::new(1998, 12, 31)), 10_591);
         // The paper's Fig. 1 sample dates.
-        assert_eq!(format_epoch_days(date_to_epoch_days(CivilDate::new(1992, 1, 2))), "1992-01-02");
-        assert_eq!(format_epoch_days(date_to_epoch_days(CivilDate::new(2024, 6, 8))), "2024-06-08");
+        assert_eq!(
+            format_epoch_days(date_to_epoch_days(CivilDate::new(1992, 1, 2))),
+            "1992-01-02"
+        );
+        assert_eq!(
+            format_epoch_days(date_to_epoch_days(CivilDate::new(2024, 6, 8))),
+            "2024-06-08"
+        );
     }
 
     #[test]
@@ -121,8 +131,14 @@ mod tests {
 
     #[test]
     fn parse_and_format() {
-        assert_eq!(parse_date("1992-03-10"), Some(date_to_epoch_days(CivilDate::new(1992, 3, 10))));
-        assert_eq!(format_epoch_days(parse_date("1998-12-01").unwrap()), "1998-12-01");
+        assert_eq!(
+            parse_date("1992-03-10"),
+            Some(date_to_epoch_days(CivilDate::new(1992, 3, 10)))
+        );
+        assert_eq!(
+            format_epoch_days(parse_date("1998-12-01").unwrap()),
+            "1998-12-01"
+        );
         assert_eq!(parse_date("not-a-date"), None);
         assert_eq!(parse_date("1992-13-01"), None);
         assert_eq!(parse_date("1992-01-32"), None);

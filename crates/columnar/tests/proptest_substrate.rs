@@ -23,8 +23,8 @@ proptest! {
     ) {
         let packed = BitPackedVec::pack_minimal(&values);
         let unpacked = packed.unpack();
-        for i in 0..values.len() {
-            prop_assert_eq!(packed.get(i), unpacked[i]);
+        for (i, &v) in unpacked.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), v);
         }
     }
 

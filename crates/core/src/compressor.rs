@@ -188,8 +188,11 @@ impl CompressedBlock {
     /// * any substrate error bubbling up from the individual encoders.
     pub fn compress(block: &DataBlock, config: &CompressionConfig) -> Result<Self> {
         let schema = block.schema();
-        let names: Vec<String> =
-            schema.fields().iter().map(|f| f.name().to_owned()).collect();
+        let names: Vec<String> = schema
+            .fields()
+            .iter()
+            .map(|f| f.name().to_owned())
+            .collect();
         let idx_of = |name: &str| -> Result<usize> { schema.index_of(name) };
 
         // Pass 1: validate wiring — every referenced column must stay
@@ -246,9 +249,7 @@ impl CompressedBlock {
                 (ColumnPlan::Plain, Column::Int64(v)) => Some(ColumnCodec::Int(
                     IntEncoding::Plain(corra_encodings::PlainInt::encode(v)),
                 )),
-                (ColumnPlan::Plain, Column::Utf8(p)) => {
-                    Some(ColumnCodec::PlainStr(p.clone()))
-                }
+                (ColumnPlan::Plain, Column::Utf8(p)) => Some(ColumnCodec::PlainStr(p.clone())),
                 _ => None, // horizontal, pass 3
             };
             codecs[i] = codec;
@@ -262,8 +263,7 @@ impl CompressedBlock {
                 if let Some(ColumnCodec::Int(enc)) = &codecs[r] {
                     if !matches!(enc, IntEncoding::Dict(_)) {
                         let v = block.column_at(r).as_i64()?;
-                        codecs[r] =
-                            Some(ColumnCodec::Int(IntEncoding::Dict(DictInt::encode(v))));
+                        codecs[r] = Some(ColumnCodec::Int(IntEncoding::Dict(DictInt::encode(v))));
                     }
                 }
             }
@@ -288,8 +288,7 @@ impl CompressedBlock {
                 }
                 ColumnPlan::Hier { reference } => {
                     let r = idx_of(reference)?;
-                    let (parent_codes, n_parents) =
-                        parent_codes_of(&codecs[r], block.rows())?;
+                    let (parent_codes, n_parents) = parent_codes_of(&codecs[r], block.rows())?;
                     match col {
                         Column::Int64(v) => ColumnCodec::HierInt {
                             enc: HierInt::encode(v, &parent_codes, n_parents)?,
@@ -338,12 +337,12 @@ impl CompressedBlock {
 
     /// Assembles a block from parts that have already been validated
     /// (deserialization path).
-    pub(crate) fn new_unchecked(
-        rows: u32,
-        names: Vec<String>,
-        codecs: Vec<ColumnCodec>,
-    ) -> Self {
-        Self { rows, names, codecs }
+    pub(crate) fn new_unchecked(rows: u32, names: Vec<String>, codecs: Vec<ColumnCodec>) -> Self {
+        Self {
+            rows,
+            names,
+            codecs,
+        }
     }
 
     /// Number of rows in the block.
@@ -516,26 +515,40 @@ pub fn compress_blocks(
 ) -> Result<Vec<CompressedBlock>> {
     let threads = threads.max(1).min(blocks.len().max(1));
     if threads <= 1 || blocks.len() <= 1 {
-        return blocks.iter().map(|b| CompressedBlock::compress(b, config)).collect();
+        return blocks
+            .iter()
+            .map(|b| CompressedBlock::compress(b, config))
+            .collect();
     }
-    let results: Vec<parking_lot::Mutex<Option<Result<CompressedBlock>>>> =
-        (0..blocks.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<Result<CompressedBlock>>>> = (0..blocks.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= blocks.len() {
-                    break;
-                }
-                *results[i].lock() = Some(CompressedBlock::compress(&blocks[i], config));
-            });
-        }
-    })
-    .map_err(|_| Error::invalid("parallel compression worker panicked"))?;
+    let panicked = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= blocks.len() {
+                        break;
+                    }
+                    let compressed = CompressedBlock::compress(&blocks[i], config);
+                    *results[i].lock().expect("result slot poisoned") = Some(compressed);
+                })
+            })
+            .collect();
+        workers.into_iter().any(|w| w.join().is_err())
+    });
+    if panicked {
+        return Err(Error::invalid("parallel compression worker panicked"));
+    }
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every block visited"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every block visited")
+        })
         .collect()
 }
 
@@ -548,10 +561,16 @@ mod tests {
 
     fn date_block(n: usize) -> DataBlock {
         let ship: Vec<i64> = (0..n).map(|i| 8_035 + (i as i64 * 17 % 2_500)).collect();
-        let commit: Vec<i64> =
-            ship.iter().enumerate().map(|(i, &s)| s + (i as i64 % 181) - 90).collect();
-        let receipt: Vec<i64> =
-            ship.iter().enumerate().map(|(i, &s)| s + 1 + (i as i64 % 30)).collect();
+        let commit: Vec<i64> = ship
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + (i as i64 % 181) - 90)
+            .collect();
+        let receipt: Vec<i64> = ship
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + 1 + (i as i64 % 30))
+            .collect();
         DataBlock::new(
             Schema::new(vec![
                 Field::new("l_shipdate", DataType::Date),
@@ -559,15 +578,29 @@ mod tests {
                 Field::new("l_receiptdate", DataType::Date),
             ])
             .unwrap(),
-            vec![Column::Int64(ship), Column::Int64(commit), Column::Int64(receipt)],
+            vec![
+                Column::Int64(ship),
+                Column::Int64(commit),
+                Column::Int64(receipt),
+            ],
         )
         .unwrap()
     }
 
     fn corra_date_config() -> CompressionConfig {
         CompressionConfig::baseline()
-            .with("l_commitdate", ColumnPlan::NonHier { reference: "l_shipdate".into() })
-            .with("l_receiptdate", ColumnPlan::NonHier { reference: "l_shipdate".into() })
+            .with(
+                "l_commitdate",
+                ColumnPlan::NonHier {
+                    reference: "l_shipdate".into(),
+                },
+            )
+            .with(
+                "l_receiptdate",
+                ColumnPlan::NonHier {
+                    reference: "l_shipdate".into(),
+                },
+            )
     }
 
     #[test]
@@ -578,7 +611,10 @@ mod tests {
             let got = compressed.decompress(name).unwrap();
             assert_eq!(&got, block.column(name).unwrap(), "{name}");
         }
-        assert_eq!(compressed.codec("l_receiptdate").unwrap().scheme(), "corra-nonhier");
+        assert_eq!(
+            compressed.codec("l_receiptdate").unwrap().scheme(),
+            "corra-nonhier"
+        );
         assert!(compressed.codec("l_receiptdate").unwrap().is_horizontal());
         assert!(!compressed.codec("l_shipdate").unwrap().is_horizontal());
     }
@@ -586,8 +622,7 @@ mod tests {
     #[test]
     fn corra_block_smaller_than_baseline() {
         let block = date_block(50_000);
-        let baseline =
-            CompressedBlock::compress(&block, &CompressionConfig::baseline()).unwrap();
+        let baseline = CompressedBlock::compress(&block, &CompressionConfig::baseline()).unwrap();
         let corra = CompressedBlock::compress(&block, &corra_date_config()).unwrap();
         assert!(corra.total_bytes() < baseline.total_bytes());
         // Reference column identical in both.
@@ -601,26 +636,46 @@ mod tests {
     fn rejects_chained_references() {
         let block = date_block(100);
         let cfg = CompressionConfig::baseline()
-            .with("l_commitdate", ColumnPlan::NonHier { reference: "l_shipdate".into() })
-            .with("l_receiptdate", ColumnPlan::NonHier { reference: "l_commitdate".into() });
+            .with(
+                "l_commitdate",
+                ColumnPlan::NonHier {
+                    reference: "l_shipdate".into(),
+                },
+            )
+            .with(
+                "l_receiptdate",
+                ColumnPlan::NonHier {
+                    reference: "l_commitdate".into(),
+                },
+            );
         assert!(CompressedBlock::compress(&block, &cfg).is_err());
     }
 
     #[test]
     fn rejects_unknown_and_self_references() {
         let block = date_block(100);
-        let cfg = CompressionConfig::baseline()
-            .with("l_commitdate", ColumnPlan::NonHier { reference: "nope".into() });
+        let cfg = CompressionConfig::baseline().with(
+            "l_commitdate",
+            ColumnPlan::NonHier {
+                reference: "nope".into(),
+            },
+        );
         assert!(CompressedBlock::compress(&block, &cfg).is_err());
-        let cfg = CompressionConfig::baseline()
-            .with("l_commitdate", ColumnPlan::NonHier { reference: "l_commitdate".into() });
+        let cfg = CompressionConfig::baseline().with(
+            "l_commitdate",
+            ColumnPlan::NonHier {
+                reference: "l_commitdate".into(),
+            },
+        );
         assert!(CompressedBlock::compress(&block, &cfg).is_err());
     }
 
     fn dmv_block(n: usize) -> DataBlock {
         let cities = ["Cortland", "Naples", "NYC", "Albany"];
         let city_pool = StringPool::from_iter((0..n).map(|i| cities[i % 4]));
-        let zips: Vec<i64> = (0..n).map(|i| 10_000 + (i % 4) as i64 * 100 + (i / 4 % 8) as i64).collect();
+        let zips: Vec<i64> = (0..n)
+            .map(|i| 10_000 + (i % 4) as i64 * 100 + (i / 4 % 8) as i64)
+            .collect();
         DataBlock::new(
             Schema::new(vec![
                 Field::new("city", DataType::Utf8),
@@ -635,8 +690,12 @@ mod tests {
     #[test]
     fn hier_block_roundtrip_string_parent() {
         let block = dmv_block(4_000);
-        let cfg = CompressionConfig::baseline()
-            .with("zip", ColumnPlan::Hier { reference: "city".into() });
+        let cfg = CompressionConfig::baseline().with(
+            "zip",
+            ColumnPlan::Hier {
+                reference: "city".into(),
+            },
+        );
         let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
         assert_eq!(compressed.codec("zip").unwrap().scheme(), "corra-hier");
         let got = compressed.decompress("zip").unwrap();
@@ -651,7 +710,9 @@ mod tests {
         // FOR would win vertically.
         let n = 5_000;
         let country: Vec<i64> = (0..n).map(|i| (i % 111) as i64).collect();
-        let ip: Vec<i64> = (0..n).map(|i| (i % 111) as i64 * 1_000 + (i / 111 % 20) as i64).collect();
+        let ip: Vec<i64> = (0..n)
+            .map(|i| (i % 111) as i64 * 1_000 + (i / 111 % 20) as i64)
+            .collect();
         let block = DataBlock::new(
             Schema::new(vec![
                 Field::new("countryid", DataType::Int64),
@@ -661,8 +722,12 @@ mod tests {
             vec![Column::Int64(country), Column::Int64(ip)],
         )
         .unwrap();
-        let cfg = CompressionConfig::baseline()
-            .with("ip", ColumnPlan::Hier { reference: "countryid".into() });
+        let cfg = CompressionConfig::baseline().with(
+            "ip",
+            ColumnPlan::Hier {
+                reference: "countryid".into(),
+            },
+        );
         let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
         assert!(matches!(
             compressed.codec("countryid").unwrap(),
@@ -694,8 +759,12 @@ mod tests {
             vec![Column::Utf8(states), Column::Utf8(cities)],
         )
         .unwrap();
-        let cfg = CompressionConfig::baseline()
-            .with("city", ColumnPlan::Hier { reference: "state".into() });
+        let cfg = CompressionConfig::baseline().with(
+            "city",
+            ColumnPlan::Hier {
+                reference: "state".into(),
+            },
+        );
         let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
         let got = compressed.decompress("city").unwrap();
         assert_eq!(&got, block.column("city").unwrap());
@@ -756,12 +825,14 @@ mod tests {
     fn multiref_block_roundtrip() {
         let block = taxi_block(10_000);
         let compressed = CompressedBlock::compress(&block, &taxi_config()).unwrap();
-        assert_eq!(compressed.codec("total_amount").unwrap().scheme(), "corra-multiref");
+        assert_eq!(
+            compressed.codec("total_amount").unwrap().scheme(),
+            "corra-multiref"
+        );
         let got = compressed.decompress("total_amount").unwrap();
         assert_eq!(&got, block.column("total_amount").unwrap());
         // Dramatic compression of the target column vs baseline.
-        let baseline =
-            CompressedBlock::compress(&block, &CompressionConfig::baseline()).unwrap();
+        let baseline = CompressedBlock::compress(&block, &CompressionConfig::baseline()).unwrap();
         assert!(
             compressed.column_bytes("total_amount").unwrap() * 3
                 < baseline.column_bytes("total_amount").unwrap()
@@ -782,8 +853,10 @@ mod tests {
         let table_rows = 10_000;
         let blocks: Vec<DataBlock> = (0..4).map(|_| date_block(table_rows / 4)).collect();
         let cfg = corra_date_config();
-        let serial: Vec<CompressedBlock> =
-            blocks.iter().map(|b| CompressedBlock::compress(b, &cfg).unwrap()).collect();
+        let serial: Vec<CompressedBlock> = blocks
+            .iter()
+            .map(|b| CompressedBlock::compress(b, &cfg).unwrap())
+            .collect();
         let parallel = compress_blocks(&blocks, &cfg, 4).unwrap();
         assert_eq!(serial, parallel);
     }

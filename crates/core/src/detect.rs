@@ -86,7 +86,10 @@ pub fn detect_nonhier(
             }
             diffs.clear();
             diffs.extend(
-                target[..take].iter().zip(&reference[..take]).map(|(&a, &b)| a.wrapping_sub(b)),
+                target[..take]
+                    .iter()
+                    .zip(&reference[..take])
+                    .map(|(&a, &b)| a.wrapping_sub(b)),
             );
             diffs.sort_unstable();
             let plan = plan_window(&diffs);
@@ -159,8 +162,8 @@ pub fn detect_hierarchies(
             }
             // Group children by parent.
             let mut groups: FxHashMap<u64, FxHashSet<u64>> = FxHashMap::default();
-            for i in 0..take {
-                groups.entry(keys[p_idx][i]).or_default().insert(keys[c_idx][i]);
+            for (&pk, &ck) in keys[p_idx].iter().zip(&keys[c_idx]).take(take) {
+                groups.entry(pk).or_default().insert(ck);
             }
             let max_group = groups.values().map(FxHashSet::len).max().unwrap_or(0);
             let global_bits = bits_for_card(distinct[c_idx]);
@@ -201,12 +204,17 @@ pub fn detect_multiref(
 ) -> Result<MultiRefCandidate> {
     let g = references.len();
     if g == 0 || g > MAX_GROUPS {
-        return Err(Error::invalid(format!("need 1..={MAX_GROUPS} references, got {g}")));
+        return Err(Error::invalid(format!(
+            "need 1..={MAX_GROUPS} references, got {g}"
+        )));
     }
     let rows = target.len();
     for (_, r) in references {
         if r.len() != rows {
-            return Err(Error::LengthMismatch { left: rows, right: r.len() });
+            return Err(Error::LengthMismatch {
+                left: rows,
+                right: r.len(),
+            });
         }
     }
     let take = sample_rows.min(rows);
@@ -268,25 +276,39 @@ mod tests {
 
     #[test]
     fn detects_date_correlation() {
-        let ship: Vec<i64> = (0..10_000).map(|i| 8_035 + (i as i64 * 13 % 2_500)).collect();
-        let receipt: Vec<i64> =
-            ship.iter().enumerate().map(|(i, &s)| s + 1 + (i as i64 % 30)).collect();
+        let ship: Vec<i64> = (0..10_000)
+            .map(|i| 8_035 + (i as i64 * 13 % 2_500))
+            .collect();
+        let receipt: Vec<i64> = ship
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + 1 + (i as i64 % 30))
+            .collect();
         let cols: Vec<(&str, &[i64])> = vec![("ship", &ship), ("receipt", &receipt)];
         let cands = detect_nonhier(&cols, 5_000, 0.2);
         assert!(!cands.is_empty());
         // Diff ranges are symmetric, so both directions must be detected
         // with essentially the same (large) saving.
-        let fwd = cands.iter().find(|c| (c.target, c.reference) == (1, 0)).unwrap();
-        let bwd = cands.iter().find(|c| (c.target, c.reference) == (0, 1)).unwrap();
+        let fwd = cands
+            .iter()
+            .find(|c| (c.target, c.reference) == (1, 0))
+            .unwrap();
+        let bwd = cands
+            .iter()
+            .find(|c| (c.target, c.reference) == (0, 1))
+            .unwrap();
         assert!(fwd.saving_rate > 0.5, "saving {}", fwd.saving_rate);
         assert!((fwd.saving_rate - bwd.saving_rate).abs() < 0.05);
     }
 
     #[test]
     fn no_candidates_on_uncorrelated_data() {
-        let a: Vec<i64> = (0..5_000).map(|i| (i as i64).wrapping_mul(2_654_435_761)).collect();
-        let b: Vec<i64> =
-            (0..5_000).map(|i| (i as i64 + 99).wrapping_mul(40_503)).collect();
+        let a: Vec<i64> = (0..5_000)
+            .map(|i| (i as i64).wrapping_mul(2_654_435_761))
+            .collect();
+        let b: Vec<i64> = (0..5_000)
+            .map(|i| (i as i64 + 99).wrapping_mul(40_503))
+            .collect();
         let cols: Vec<(&str, &[i64])> = vec![("a", &a), ("b", &b)];
         let cands = detect_nonhier(&cols, 5_000, 0.05);
         assert!(cands.is_empty(), "{cands:?}");
@@ -297,8 +319,9 @@ mod tests {
         // 50 cities, 4 zips each, zips globally distinct.
         let n = 20_000usize;
         let city_ids: Vec<i64> = (0..n).map(|i| (i % 50) as i64).collect();
-        let zips: Vec<i64> =
-            (0..n).map(|i| (i % 50) as i64 * 100 + (i / 50 % 4) as i64).collect();
+        let zips: Vec<i64> = (0..n)
+            .map(|i| (i % 50) as i64 * 100 + (i / 50 % 4) as i64)
+            .collect();
         let city_col = Column::Int64(city_ids);
         let zip_col = Column::Int64(zips);
         let cols: Vec<(&str, &Column)> = vec![("city", &city_col), ("zip", &zip_col)];
@@ -313,7 +336,9 @@ mod tests {
 
     #[test]
     fn detects_string_hierarchy() {
-        let states: Vec<&str> = (0..1_000).map(|i| if i % 2 == 0 { "NY" } else { "FL" }).collect();
+        let states: Vec<&str> = (0..1_000)
+            .map(|i| if i % 2 == 0 { "NY" } else { "FL" })
+            .collect();
         let cities: Vec<&str> = (0..1_000)
             .map(|i| match (i % 2, i % 4 / 2) {
                 (0, 0) => "NYC",

@@ -110,9 +110,7 @@ impl CompressedBlock {
                 ColumnCodec::NonHier { reference, .. }
                 | ColumnCodec::HierInt { reference, .. }
                 | ColumnCodec::HierStr { reference, .. } => vec![*reference],
-                ColumnCodec::MultiRef { groups, .. } => {
-                    groups.iter().flatten().copied().collect()
-                }
+                ColumnCodec::MultiRef { groups, .. } => groups.iter().flatten().copied().collect(),
                 _ => Vec::new(),
             };
             for r in refs {
@@ -192,15 +190,24 @@ fn read_codec(buf: &mut &[u8], n_cols: usize) -> Result<ColumnCodec> {
         TAG_PLAIN_STR => Ok(ColumnCodec::PlainStr(StringPool::read_from(buf)?)),
         TAG_NONHIER => {
             let reference = read_ref(buf)?;
-            Ok(ColumnCodec::NonHier { enc: NonHierInt::read_from(buf)?, reference })
+            Ok(ColumnCodec::NonHier {
+                enc: NonHierInt::read_from(buf)?,
+                reference,
+            })
         }
         TAG_HIER_INT => {
             let reference = read_ref(buf)?;
-            Ok(ColumnCodec::HierInt { enc: HierInt::read_from(buf)?, reference })
+            Ok(ColumnCodec::HierInt {
+                enc: HierInt::read_from(buf)?,
+                reference,
+            })
         }
         TAG_HIER_STR => {
             let reference = read_ref(buf)?;
-            Ok(ColumnCodec::HierStr { enc: HierStr::read_from(buf)?, reference })
+            Ok(ColumnCodec::HierStr {
+                enc: HierStr::read_from(buf)?,
+                reference,
+            })
         }
         TAG_MULTIREF => {
             if buf.remaining() < 1 {
@@ -219,7 +226,10 @@ fn read_codec(buf: &mut &[u8], n_cols: usize) -> Result<ColumnCodec> {
                 }
                 groups.push(group);
             }
-            Ok(ColumnCodec::MultiRef { enc: MultiRefInt::read_from(buf)?, groups })
+            Ok(ColumnCodec::MultiRef {
+                enc: MultiRefInt::read_from(buf)?,
+                groups,
+            })
         }
         t => Err(Error::corrupt(format!("unknown codec tag {t}"))),
     }
@@ -234,16 +244,26 @@ mod tests {
     use corra_columnar::schema::{Field, Schema};
 
     fn mixed_block(n: usize) -> (DataBlock, CompressionConfig) {
-        let city_pool =
-            StringPool::from_iter((0..n).map(|i| ["NYC", "Albany", "Naples"][i % 3]));
-        let zip: Vec<i64> = (0..n).map(|i| 10_000 + (i % 3) as i64 * 50 + (i / 3 % 4) as i64).collect();
+        let city_pool = StringPool::from_iter((0..n).map(|i| ["NYC", "Albany", "Naples"][i % 3]));
+        let zip: Vec<i64> = (0..n)
+            .map(|i| 10_000 + (i % 3) as i64 * 50 + (i / 3 % 4) as i64)
+            .collect();
         let ship: Vec<i64> = (0..n).map(|i| 8_035 + (i as i64 % 2_000)).collect();
-        let receipt: Vec<i64> =
-            ship.iter().enumerate().map(|(i, &s)| s + 1 + (i as i64 % 30)).collect();
+        let receipt: Vec<i64> = ship
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + 1 + (i as i64 % 30))
+            .collect();
         let fee: Vec<i64> = (0..n).map(|i| 100 + (i as i64 % 10)).collect();
         let extra: Vec<i64> = vec![25; n];
         let total: Vec<i64> = (0..n)
-            .map(|i| if i % 2 == 0 { fee[i] } else { fee[i] + extra[i] })
+            .map(|i| {
+                if i % 2 == 0 {
+                    fee[i]
+                } else {
+                    fee[i] + extra[i]
+                }
+            })
             .collect();
         let block = DataBlock::new(
             Schema::new(vec![
@@ -268,8 +288,18 @@ mod tests {
         )
         .unwrap();
         let cfg = CompressionConfig::baseline()
-            .with("zip", ColumnPlan::Hier { reference: "city".into() })
-            .with("l_receiptdate", ColumnPlan::NonHier { reference: "l_shipdate".into() })
+            .with(
+                "zip",
+                ColumnPlan::Hier {
+                    reference: "city".into(),
+                },
+            )
+            .with(
+                "l_receiptdate",
+                ColumnPlan::NonHier {
+                    reference: "l_shipdate".into(),
+                },
+            )
             .with(
                 "total",
                 ColumnPlan::MultiRef {
@@ -288,7 +318,15 @@ mod tests {
         let back = CompressedBlock::from_bytes(&bytes).unwrap();
         assert_eq!(back, compressed);
         // Decompression from the deserialized block is identical too.
-        for name in ["city", "zip", "l_shipdate", "l_receiptdate", "fee", "extra", "total"] {
+        for name in [
+            "city",
+            "zip",
+            "l_shipdate",
+            "l_receiptdate",
+            "fee",
+            "extra",
+            "total",
+        ] {
             assert_eq!(
                 &back.decompress(name).unwrap(),
                 block.column(name).unwrap(),
@@ -316,7 +354,10 @@ mod tests {
         let bytes = compressed.to_bytes();
         // Cut at a sweep of offsets; must error, never panic.
         for cut in (0..bytes.len()).step_by(bytes.len() / 37 + 1) {
-            assert!(CompressedBlock::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+            assert!(
+                CompressedBlock::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
         }
     }
 
@@ -333,9 +374,7 @@ mod tests {
         // shipdate reference index (2) following a NONHIER tag.
         let mut corrupted = false;
         for i in 0..hostile.len() - 5 {
-            if hostile[i] == TAG_NONHIER
-                && hostile[i + 1..i + 5] == 2u32.to_le_bytes()
-            {
+            if hostile[i] == TAG_NONHIER && hostile[i + 1..i + 5] == 2u32.to_le_bytes() {
                 hostile[i + 1..i + 5].copy_from_slice(&99u32.to_le_bytes());
                 corrupted = true;
                 break;
@@ -352,8 +391,7 @@ mod tests {
             vec![Column::Int64(Vec::new())],
         )
         .unwrap();
-        let compressed =
-            CompressedBlock::compress(&block, &CompressionConfig::baseline()).unwrap();
+        let compressed = CompressedBlock::compress(&block, &CompressionConfig::baseline()).unwrap();
         let bytes = compressed.to_bytes();
         let back = CompressedBlock::from_bytes(&bytes).unwrap();
         assert_eq!(back.rows(), 0);

@@ -44,7 +44,10 @@ impl HierInt {
     /// from child value to group index.
     pub fn encode(child: &[i64], parent_codes: &[u32], n_parents: usize) -> Result<Self> {
         if child.len() != parent_codes.len() {
-            return Err(Error::LengthMismatch { left: child.len(), right: parent_codes.len() });
+            return Err(Error::LengthMismatch {
+                left: child.len(),
+                right: parent_codes.len(),
+            });
         }
         // Per-parent insertion-ordered distinct child values.
         let mut groups: Vec<Vec<i64>> = vec![Vec::new(); n_parents];
@@ -53,7 +56,10 @@ impl HierInt {
         for (&c, &p) in child.iter().zip(parent_codes) {
             let p_us = p as usize;
             if p_us >= n_parents {
-                return Err(Error::IndexOutOfBounds { index: p_us, len: n_parents });
+                return Err(Error::IndexOutOfBounds {
+                    index: p_us,
+                    len: n_parents,
+                });
             }
             let code = *index.entry((p, c)).or_insert_with(|| {
                 let g = &mut groups[p_us];
@@ -73,7 +79,11 @@ impl HierInt {
             values.extend_from_slice(g);
             offsets.push(values.len() as u32);
         }
-        Ok(Self { codes: BitPackedVec::pack_minimal(&codes), values, offsets })
+        Ok(Self {
+            codes: BitPackedVec::pack_minimal(&codes),
+            values,
+            offsets,
+        })
     }
 
     /// Number of rows.
@@ -124,7 +134,10 @@ impl HierInt {
     /// Bulk decode given per-row parent codes.
     pub fn decode_into(&self, parent_codes: &[u32], out: &mut Vec<i64>) -> Result<()> {
         if parent_codes.len() != self.len() {
-            return Err(Error::LengthMismatch { left: parent_codes.len(), right: self.len() });
+            return Err(Error::LengthMismatch {
+                left: parent_codes.len(),
+                right: self.len(),
+            });
         }
         out.clear();
         out.reserve(self.len());
@@ -181,7 +194,7 @@ impl HierInt {
             return Err(Error::corrupt("hier values header truncated"));
         }
         let n_values = buf.get_u64_le() as usize;
-        if buf.remaining() < n_values * 8 {
+        if buf.remaining() < n_values.saturating_mul(8) {
             return Err(Error::corrupt("hier values truncated"));
         }
         let mut values = Vec::with_capacity(n_values);
@@ -195,7 +208,7 @@ impl HierInt {
         if n_offsets == 0 {
             return Err(Error::corrupt("hier offsets empty"));
         }
-        if buf.remaining() < n_offsets * 4 {
+        if buf.remaining() < n_offsets.saturating_mul(4) {
             return Err(Error::corrupt("hier offsets truncated"));
         }
         let mut offsets = Vec::with_capacity(n_offsets);
@@ -208,7 +221,11 @@ impl HierInt {
         {
             return Err(Error::corrupt("hier offsets inconsistent"));
         }
-        Ok(Self { codes, values, offsets })
+        Ok(Self {
+            codes,
+            values,
+            offsets,
+        })
     }
 }
 
@@ -226,13 +243,12 @@ pub struct HierStr {
 
 impl HierStr {
     /// Encodes string `child` rows w.r.t. parent dictionary codes.
-    pub fn encode(
-        child: &StringPool,
-        parent_codes: &[u32],
-        n_parents: usize,
-    ) -> Result<Self> {
+    pub fn encode(child: &StringPool, parent_codes: &[u32], n_parents: usize) -> Result<Self> {
         if child.len() != parent_codes.len() {
-            return Err(Error::LengthMismatch { left: child.len(), right: parent_codes.len() });
+            return Err(Error::LengthMismatch {
+                left: child.len(),
+                right: parent_codes.len(),
+            });
         }
         let mut groups: Vec<StringDictBuilder> = Vec::new();
         groups.resize_with(n_parents, StringDictBuilder::new);
@@ -240,7 +256,10 @@ impl HierStr {
         for (i, &p) in parent_codes.iter().enumerate() {
             let p_us = p as usize;
             if p_us >= n_parents {
-                return Err(Error::IndexOutOfBounds { index: p_us, len: n_parents });
+                return Err(Error::IndexOutOfBounds {
+                    index: p_us,
+                    len: n_parents,
+                });
             }
             codes.push(groups[p_us].intern(child.get(i)) as u64);
         }
@@ -254,7 +273,11 @@ impl HierStr {
             }
             offsets.push(values.len() as u32);
         }
-        Ok(Self { codes: BitPackedVec::pack_minimal(&codes), values, offsets })
+        Ok(Self {
+            codes: BitPackedVec::pack_minimal(&codes),
+            values,
+            offsets,
+        })
     }
 
     /// Number of rows.
@@ -288,18 +311,25 @@ impl HierStr {
     #[inline]
     pub fn get_unchecked_len(&self, i: usize, parent_code: u32) -> &str {
         let off = self.offsets[parent_code as usize];
-        self.values.get((off + self.codes.get_unchecked_len(i) as u32) as usize)
+        self.values
+            .get((off + self.codes.get_unchecked_len(i) as u32) as usize)
     }
 
     /// Bulk decode into a per-row pool.
     pub fn decode_into_pool(&self, parent_codes: &[u32]) -> Result<StringPool> {
         if parent_codes.len() != self.len() {
-            return Err(Error::LengthMismatch { left: parent_codes.len(), right: self.len() });
+            return Err(Error::LengthMismatch {
+                left: parent_codes.len(),
+                right: self.len(),
+            });
         }
         let mut pool = StringPool::with_capacity(self.len(), self.len() * 8);
         for (i, &p) in parent_codes.iter().enumerate() {
             let off = self.offsets[p as usize];
-            pool.push(self.values.get((off + self.codes.get_unchecked_len(i) as u32) as usize));
+            pool.push(
+                self.values
+                    .get((off + self.codes.get_unchecked_len(i) as u32) as usize),
+            );
         }
         Ok(pool)
     }
@@ -349,7 +379,7 @@ impl HierStr {
         if n_offsets == 0 {
             return Err(Error::corrupt("hier-str offsets empty"));
         }
-        if buf.remaining() < n_offsets * 4 {
+        if buf.remaining() < n_offsets.saturating_mul(4) {
             return Err(Error::corrupt("hier-str offsets truncated"));
         }
         let mut offsets = Vec::with_capacity(n_offsets);
@@ -362,7 +392,11 @@ impl HierStr {
         {
             return Err(Error::corrupt("hier-str offsets inconsistent"));
         }
-        Ok(Self { codes, values, offsets })
+        Ok(Self {
+            codes,
+            values,
+            offsets,
+        })
     }
 }
 

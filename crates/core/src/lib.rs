@@ -20,7 +20,7 @@
 //!   §4, implemented as an extension);
 //! * [`compressor::CompressedBlock`] — self-contained block compression
 //!   combining vertical and horizontal codecs;
-//! * [`format`] — the versioned serialized block layout;
+//! * [`format`](mod@format) — the versioned serialized block layout;
 //! * [`query`] — the materializing query kernels of the latency experiments.
 
 #![warn(missing_docs)]

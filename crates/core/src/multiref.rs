@@ -108,14 +108,19 @@ impl MultiRefInt {
         let n = target.len();
         let g = group_sums.len();
         if g == 0 || g > MAX_GROUPS {
-            return Err(Error::invalid(format!("need 1..={MAX_GROUPS} groups, got {g}")));
+            return Err(Error::invalid(format!(
+                "need 1..={MAX_GROUPS} groups, got {g}"
+            )));
         }
         if code_bits == 0 || code_bits > 6 {
             return Err(Error::invalid("code_bits must be in 1..=6"));
         }
         for s in group_sums {
             if s.len() != n {
-                return Err(Error::LengthMismatch { left: n, right: s.len() });
+                return Err(Error::LengthMismatch {
+                    left: n,
+                    right: s.len(),
+                });
             }
         }
         let n_masks = (1usize << g) - 1;
@@ -177,9 +182,9 @@ impl MultiRefInt {
         let mut codes = Vec::with_capacity(n);
         let mut outliers = OutlierRegion::new();
         for i in 0..n {
-            let code = selected.iter().position(|f| {
-                row_matches[i] & (1u64 << (f.0 as u64 - 1)) != 0
-            });
+            let code = selected
+                .iter()
+                .position(|f| row_matches[i] & (1u64 << (f.0 as u64 - 1)) != 0);
             match code {
                 Some(c) => codes.push(c as u64),
                 None => {
@@ -252,7 +257,10 @@ impl MultiRefInt {
     pub fn decode_into(&self, group_sums: &[Vec<i64>], out: &mut Vec<i64>) -> Result<()> {
         for s in group_sums {
             if s.len() != self.len() {
-                return Err(Error::LengthMismatch { left: s.len(), right: self.len() });
+                return Err(Error::LengthMismatch {
+                    left: s.len(),
+                    right: self.len(),
+                });
             }
         }
         out.clear();
@@ -380,7 +388,11 @@ impl MultiRefInt {
                 return Err(Error::corrupt("multiref outlier index out of range"));
             }
         }
-        Ok(Self { formulas, codes, outliers })
+        Ok(Self {
+            formulas,
+            codes,
+            outliers,
+        })
     }
 }
 
@@ -395,11 +407,11 @@ mod tests {
         let c: Vec<i64> = (0..n).map(|_| 125).collect();
         let target: Vec<i64> = (0..n)
             .map(|i| match i % 1_000 {
-                0..=311 => a[i],                      // ~31.2%
-                312..=935 => a[i] + b[i],             // ~62.4%
-                936..=962 => a[i] + c[i],             // ~2.7%
-                963..=995 => a[i] + b[i] + c[i],      // ~3.3%
-                _ => 999_999 + i as i64,              // ~0.4% outliers
+                0..=311 => a[i],                 // ~31.2%
+                312..=935 => a[i] + b[i],        // ~62.4%
+                936..=962 => a[i] + c[i],        // ~2.7%
+                963..=995 => a[i] + b[i] + c[i], // ~3.3%
+                _ => 999_999 + i as i64,         // ~0.4% outliers
             })
             .collect();
         (target, vec![a, b, c])
@@ -426,7 +438,11 @@ mod tests {
         assert_eq!(enc.formulas().len(), 4);
         let stats = enc.stats();
         // ~0.4% outliers by construction.
-        assert!((stats.outlier_rate() - 0.004).abs() < 0.001, "{}", stats.outlier_rate());
+        assert!(
+            (stats.outlier_rate() - 0.004).abs() < 0.001,
+            "{}",
+            stats.outlier_rate()
+        );
         let mut out = Vec::new();
         enc.decode_into(&groups, &mut out).unwrap();
         assert_eq!(out, target);
@@ -465,7 +481,11 @@ mod tests {
         let sel = SelectionVector::new(vec![0, 997, 999, 1_001, 2_999]);
         let mut out = Vec::new();
         enc.gather_into(&sel, 3, |g, i| groups[g][i], &mut out);
-        let want: Vec<i64> = sel.positions().iter().map(|&p| target[p as usize]).collect();
+        let want: Vec<i64> = sel
+            .positions()
+            .iter()
+            .map(|&p| target[p as usize])
+            .collect();
         assert_eq!(out, want);
     }
 
@@ -473,7 +493,7 @@ mod tests {
     fn single_group_behaves_like_exact_match() {
         let a: Vec<i64> = (0..100).map(|i| i as i64).collect();
         let target = a.clone();
-        let enc = MultiRefInt::encode(&target, &[a.clone()], 1).unwrap();
+        let enc = MultiRefInt::encode(&target, std::slice::from_ref(&a), 1).unwrap();
         assert!(enc.outliers().is_empty());
         let mut out = Vec::new();
         enc.decode_into(&[a], &mut out).unwrap();
@@ -484,7 +504,7 @@ mod tests {
     fn all_outliers_when_nothing_matches() {
         let a = vec![1i64; 50];
         let target: Vec<i64> = (0..50).map(|i| 1_000 + i as i64).collect();
-        let enc = MultiRefInt::encode(&target, &[a.clone()], 2).unwrap();
+        let enc = MultiRefInt::encode(&target, std::slice::from_ref(&a), 2).unwrap();
         assert_eq!(enc.outliers().len(), 50);
         let mut out = Vec::new();
         enc.decode_into(&[a], &mut out).unwrap();

@@ -51,10 +51,19 @@ pub struct WindowPlan {
 pub fn plan_window(sorted_diffs: &[i64]) -> WindowPlan {
     let n = sorted_diffs.len();
     if n == 0 {
-        return WindowPlan { base: 0, bits: 0, outliers: 0, cost: 0 };
+        return WindowPlan {
+            base: 0,
+            bits: 0,
+            outliers: 0,
+            cost: 0,
+        };
     }
     let full_range = (sorted_diffs[n - 1] as i128 - sorted_diffs[0] as i128) as u128;
-    let max_bits = if full_range == 0 { 0 } else { bits_needed(full_range.min(u64::MAX as u128) as u64) };
+    let max_bits = if full_range == 0 {
+        0
+    } else {
+        bits_needed(full_range.min(u64::MAX as u128) as u64)
+    };
     let mut best = WindowPlan {
         base: sorted_diffs[0],
         bits: max_bits,
@@ -64,7 +73,11 @@ pub fn plan_window(sorted_diffs: &[i64]) -> WindowPlan {
     // For each candidate width, slide a window of size 2^bits over the sorted
     // diffs to maximize coverage (two pointers, O(n) per width).
     for bits in 0..max_bits {
-        let window = if bits == 64 { u64::MAX as u128 } else { (1u128 << bits) - 1 };
+        let window = if bits == 64 {
+            u64::MAX as u128
+        } else {
+            (1u128 << bits) - 1
+        };
         let mut best_cover = 0usize;
         let mut best_start = 0usize;
         let mut lo = 0usize;
@@ -81,7 +94,12 @@ pub fn plan_window(sorted_diffs: &[i64]) -> WindowPlan {
         let outliers = n - best_cover;
         let cost = ((n as u64 * bits as u64).div_ceil(8)) as usize + outliers * OUTLIER_COST_BYTES;
         if cost < best.cost {
-            best = WindowPlan { base: sorted_diffs[best_start], bits, outliers, cost };
+            best = WindowPlan {
+                base: sorted_diffs[best_start],
+                bits,
+                outliers,
+                cost,
+            };
         }
     }
     best
@@ -96,7 +114,10 @@ impl NonHierInt {
     /// Returns [`Error::LengthMismatch`] if the columns are not aligned.
     pub fn encode(target: &[i64], reference: &[i64]) -> Result<Self> {
         if target.len() != reference.len() {
-            return Err(Error::LengthMismatch { left: target.len(), right: reference.len() });
+            return Err(Error::LengthMismatch {
+                left: target.len(),
+                right: reference.len(),
+            });
         }
         let diffs: Vec<i64> = target
             .iter()
@@ -114,7 +135,10 @@ impl NonHierInt {
     /// require any special outlier handling").
     pub fn encode_no_outliers(target: &[i64], reference: &[i64]) -> Result<Self> {
         if target.len() != reference.len() {
-            return Err(Error::LengthMismatch { left: target.len(), right: reference.len() });
+            return Err(Error::LengthMismatch {
+                left: target.len(),
+                right: reference.len(),
+            });
         }
         let diffs: Vec<i64> = target
             .iter()
@@ -122,8 +146,10 @@ impl NonHierInt {
             .map(|(&t, &r)| t.wrapping_sub(r))
             .collect();
         let base = diffs.iter().copied().min().unwrap_or(0);
-        let offsets: Vec<u64> =
-            diffs.iter().map(|&d| (d as i128 - base as i128) as u64).collect();
+        let offsets: Vec<u64> = diffs
+            .iter()
+            .map(|&d| (d as i128 - base as i128) as u64)
+            .collect();
         Ok(Self {
             base,
             diffs: BitPackedVec::pack_minimal(&offsets),
@@ -137,11 +163,12 @@ impl NonHierInt {
         diffs: &[i64],
         plan: WindowPlan,
     ) -> Result<Self> {
-        let window_max = plan.base as i128 + if plan.bits == 64 {
-            u64::MAX as i128
-        } else {
-            (1i128 << plan.bits) - 1
-        };
+        let window_max = plan.base as i128
+            + if plan.bits == 64 {
+                u64::MAX as i128
+            } else {
+                (1i128 << plan.bits) - 1
+            };
         let mut offsets = Vec::with_capacity(diffs.len());
         let mut outliers = OutlierRegion::new();
         for (i, &d) in diffs.iter().enumerate() {
@@ -153,7 +180,11 @@ impl NonHierInt {
                 outliers.push(i as u32, target[i]);
             }
         }
-        Ok(Self { base: plan.base, diffs: BitPackedVec::pack(&offsets, plan.bits)?, outliers })
+        Ok(Self {
+            base: plan.base,
+            diffs: BitPackedVec::pack(&offsets, plan.bits)?,
+            outliers,
+        })
     }
 
     /// Number of rows.
@@ -192,7 +223,10 @@ impl NonHierInt {
     /// Bulk decode given the full decoded reference column.
     pub fn decode_into(&self, reference: &[i64], out: &mut Vec<i64>) -> Result<()> {
         if reference.len() != self.len() {
-            return Err(Error::LengthMismatch { left: reference.len(), right: self.len() });
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len(),
+            });
         }
         out.clear();
         out.reserve(self.len());
@@ -329,7 +363,11 @@ impl NonHierInt {
                 return Err(Error::corrupt("nonhier outlier index out of range"));
             }
         }
-        Ok(Self { base, diffs, outliers })
+        Ok(Self {
+            base,
+            diffs,
+            outliers,
+        })
     }
 }
 
@@ -341,8 +379,11 @@ mod tests {
     fn tpch_like(n: usize) -> (Vec<i64>, Vec<i64>) {
         // shipdate over ~7 years; receiptdate = shipdate + U[1,30]-ish.
         let ship: Vec<i64> = (0..n).map(|i| 8_035 + (i as i64 * 17 % 2_557)).collect();
-        let receipt: Vec<i64> =
-            ship.iter().enumerate().map(|(i, &s)| s + 1 + (i as i64 % 30)).collect();
+        let receipt: Vec<i64> = ship
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + 1 + (i as i64 % 30))
+            .collect();
         (ship, receipt)
     }
 
@@ -373,8 +414,8 @@ mod tests {
         let (ship, receipt) = tpch_like(100_000);
         let vertical = ForInt::encode(&receipt);
         let horizontal = NonHierInt::encode(&receipt, &ship).unwrap();
-        let saving = 1.0
-            - horizontal.compressed_bytes() as f64 / vertical.compressed_bytes() as f64;
+        let saving =
+            1.0 - horizontal.compressed_bytes() as f64 / vertical.compressed_bytes() as f64;
         assert!((saving - 0.583).abs() < 0.01, "saving {saving}");
     }
 
@@ -382,8 +423,11 @@ mod tests {
     fn negative_diffs() {
         // commitdate can precede shipdate (Fig. 1 shows -88).
         let ship: Vec<i64> = (0..1000).map(|i| 9_000 + i as i64).collect();
-        let commit: Vec<i64> =
-            ship.iter().enumerate().map(|(i, &s)| s + (i as i64 % 181) - 90).collect();
+        let commit: Vec<i64> = ship
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + (i as i64 % 181) - 90)
+            .collect();
         let enc = NonHierInt::encode(&commit, &ship).unwrap();
         assert!(enc.outliers().is_empty());
         assert_eq!(enc.bits(), 8); // range 180

@@ -9,8 +9,8 @@
 //! explicitly future work).
 
 use corra_columnar::error::{Error, Result};
-use corra_encodings::chooser::{estimate_dict_bytes, estimate_for_bytes};
 use corra_columnar::stats::IntStats;
+use corra_encodings::chooser::{estimate_dict_bytes, estimate_for_bytes};
 
 use crate::nonhier::{plan_window, NonHierInt};
 
@@ -61,11 +61,18 @@ impl ColumnGraph {
         let rows = columns[0].1.len();
         for (_, c) in columns {
             if c.len() != rows {
-                return Err(Error::LengthMismatch { left: rows, right: c.len() });
+                return Err(Error::LengthMismatch {
+                    left: rows,
+                    right: c.len(),
+                });
             }
         }
         let take = sample.map_or(rows, |s| s.min(rows));
-        let scale = if take == 0 { 1.0 } else { rows as f64 / take as f64 };
+        let scale = if take == 0 {
+            1.0
+        } else {
+            rows as f64 / take as f64
+        };
 
         let mut self_cost = Vec::with_capacity(n);
         for (_, c) in columns {
@@ -109,7 +116,11 @@ impl ColumnGraph {
         if self_cost.len() != n || edge_cost.len() != n || edge_cost.iter().any(|r| r.len() != n) {
             return Err(Error::invalid("cost matrix shape mismatch"));
         }
-        Ok(Self { names, self_cost, edge_cost })
+        Ok(Self {
+            names,
+            self_cost,
+            edge_cost,
+        })
     }
 
     /// Column names.
@@ -187,7 +198,10 @@ impl ColumnGraph {
     pub fn exhaustive_best(&self) -> (Vec<Assignment>, usize) {
         let n = self.names.len();
         assert!(n <= 8, "exhaustive search is exponential; got {n} columns");
-        let mut best = (vec![Assignment::Vertical; n], self.total_cost(&vec![Assignment::Vertical; n]));
+        let mut best = (
+            vec![Assignment::Vertical; n],
+            self.total_cost(&vec![Assignment::Vertical; n]),
+        );
         // Each column chooses: vertical (n) or one of n-1 references.
         let mut current = vec![Assignment::Vertical; n];
         fn recurse(
@@ -288,7 +302,9 @@ impl ColumnGraph {
                 if let Some(c) = self.edge_cost[t][r] {
                     out.push_str(&format!(
                         "  {} -> {}: {:.1} MB\n",
-                        self.names[t], self.names[r], mb(c)
+                        self.names[t],
+                        self.names[r],
+                        mb(c)
                     ));
                 }
             }
@@ -324,13 +340,18 @@ pub fn apply_assignment(
     assignment: &[Assignment],
 ) -> Result<Vec<EncodedColumn>> {
     if columns.len() != assignment.len() {
-        return Err(Error::LengthMismatch { left: columns.len(), right: assignment.len() });
+        return Err(Error::LengthMismatch {
+            left: columns.len(),
+            right: assignment.len(),
+        });
     }
     let mut out = Vec::with_capacity(columns.len());
     for (i, (_, values)) in columns.iter().enumerate() {
         match assignment[i] {
             Assignment::Vertical => {
-                out.push(EncodedColumn::Vertical(corra_encodings::choose_int_baseline(values)));
+                out.push(EncodedColumn::Vertical(
+                    corra_encodings::choose_int_baseline(values),
+                ));
             }
             Assignment::DiffEncoded { reference } => {
                 let enc = NonHierInt::encode(values, columns[reference].1)?;
@@ -440,12 +461,21 @@ mod tests {
         // Generate ship/commit/receipt with the TPC-H dependency structure.
         let n = 20_000usize;
         let order: Vec<i64> = (0..n).map(|i| 8_035 + (i as i64 * 13 % 2_400)).collect();
-        let ship: Vec<i64> =
-            order.iter().enumerate().map(|(i, &o)| o + 1 + (i as i64 % 121)).collect();
-        let commit: Vec<i64> =
-            order.iter().enumerate().map(|(i, &o)| o + 30 + (i as i64 % 61)).collect();
-        let receipt: Vec<i64> =
-            ship.iter().enumerate().map(|(i, &s)| s + 1 + (i as i64 % 30)).collect();
+        let ship: Vec<i64> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| o + 1 + (i as i64 % 121))
+            .collect();
+        let commit: Vec<i64> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| o + 30 + (i as i64 % 61))
+            .collect();
+        let receipt: Vec<i64> = ship
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + 1 + (i as i64 % 30))
+            .collect();
         let cols: Vec<(&str, &[i64])> = vec![
             ("l_shipdate", &ship),
             ("l_commitdate", &commit),
@@ -459,14 +489,18 @@ mod tests {
         assert!(matches!(a[2], Assignment::DiffEncoded { reference: 0 }));
         assert!(matches!(a[1], Assignment::DiffEncoded { .. }));
         // And the config strictly beats all-vertical.
-        assert!(g.total_cost(&a) < g.total_cost(&vec![Assignment::Vertical; 3]));
+        assert!(g.total_cost(&a) < g.total_cost(&[Assignment::Vertical; 3]));
     }
 
     #[test]
     fn sampled_graph_close_to_exact() {
         let n = 50_000usize;
         let a: Vec<i64> = (0..n).map(|i| i as i64 % 4_096).collect();
-        let b: Vec<i64> = a.iter().enumerate().map(|(i, &v)| v + (i as i64 % 16)).collect();
+        let b: Vec<i64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + (i as i64 % 16))
+            .collect();
         let cols: Vec<(&str, &[i64])> = vec![("a", &a), ("b", &b)];
         let exact = ColumnGraph::measure(&cols).unwrap();
         let sampled = ColumnGraph::measure_sampled(&cols, 5_000).unwrap();

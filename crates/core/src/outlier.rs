@@ -36,10 +36,15 @@ impl OutlierRegion {
     /// Returns [`Error::InvalidData`] if indices are not strictly increasing.
     pub fn from_sorted(indices: Vec<u32>, values: Vec<i64>) -> Result<Self> {
         if indices.len() != values.len() {
-            return Err(Error::LengthMismatch { left: indices.len(), right: values.len() });
+            return Err(Error::LengthMismatch {
+                left: indices.len(),
+                right: values.len(),
+            });
         }
         if indices.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(Error::invalid("outlier indices must be strictly increasing"));
+            return Err(Error::invalid(
+                "outlier indices must be strictly increasing",
+            ));
         }
         Ok(Self { indices, values })
     }
@@ -73,7 +78,10 @@ impl OutlierRegion {
     /// Point lookup by row index (binary search; used for random access).
     #[inline]
     pub fn lookup(&self, index: u32) -> Option<i64> {
-        self.indices.binary_search(&index).ok().map(|k| self.values[k])
+        self.indices
+            .binary_search(&index)
+            .ok()
+            .map(|k| self.values[k])
     }
 
     /// Whether `index` is an outlier position.
@@ -86,12 +94,19 @@ impl OutlierRegion {
     /// extract these two arrays from the outlier section to establish a
     /// mapping from outlier indexes to the outlier values"* (§2.3).
     pub fn build_map(&self) -> FxHashMap<u32, i64> {
-        self.indices.iter().copied().zip(self.values.iter().copied()).collect()
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+            .collect()
     }
 
     /// Iterates `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, i64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Overwrites `out[index]` for every outlier (bulk decompression patch).
@@ -128,7 +143,7 @@ impl OutlierRegion {
             return Err(Error::corrupt("outlier region header truncated"));
         }
         let count = buf.get_u64_le() as usize;
-        if buf.remaining() < count * 12 {
+        if buf.remaining() < count.saturating_mul(12) {
             return Err(Error::corrupt("outlier region payload truncated"));
         }
         let mut indices = Vec::with_capacity(count);

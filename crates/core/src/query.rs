@@ -42,9 +42,10 @@ impl QueryOutput {
     pub fn as_int(&self) -> Result<&[i64]> {
         match self {
             QueryOutput::Int(v) => Ok(v),
-            QueryOutput::Str(_) => {
-                Err(Error::TypeMismatch { expected: "int output", found: "str output" })
-            }
+            QueryOutput::Str(_) => Err(Error::TypeMismatch {
+                expected: "int output",
+                found: "str output",
+            }),
         }
     }
 
@@ -52,9 +53,10 @@ impl QueryOutput {
     pub fn as_str_rows(&self) -> Result<&[String]> {
         match self {
             QueryOutput::Str(v) => Ok(v),
-            QueryOutput::Int(_) => {
-                Err(Error::TypeMismatch { expected: "str output", found: "int output" })
-            }
+            QueryOutput::Int(_) => Err(Error::TypeMismatch {
+                expected: "str output",
+                found: "int output",
+            }),
         }
     }
 }
@@ -293,7 +295,9 @@ pub fn query_both(
         ColumnCodec::MultiRef { .. } => Err(Error::invalid(
             "query_both is undefined for multi-reference targets (cf. Fig. 8)",
         )),
-        _ => Err(Error::invalid(format!("column {name} has no reference to co-query"))),
+        _ => Err(Error::invalid(format!(
+            "column {name} has no reference to co-query"
+        ))),
     }
 }
 
@@ -307,7 +311,10 @@ pub fn query_two_columns(
     reference: &str,
     sel: &SelectionVector,
 ) -> Result<(QueryOutput, QueryOutput)> {
-    Ok((query_column(block, target, sel)?, query_column(block, reference, sel)?))
+    Ok((
+        query_column(block, target, sel)?,
+        query_column(block, reference, sel)?,
+    ))
 }
 
 #[cfg(test)]
@@ -324,8 +331,11 @@ mod tests {
 
     fn date_block(n: usize) -> (DataBlock, CompressionConfig) {
         let ship: Vec<i64> = (0..n).map(|i| 8_035 + (i as i64 * 17 % 2_500)).collect();
-        let receipt: Vec<i64> =
-            ship.iter().enumerate().map(|(i, &s)| s + 1 + (i as i64 % 30)).collect();
+        let receipt: Vec<i64> = ship
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + 1 + (i as i64 % 30))
+            .collect();
         let block = DataBlock::new(
             Schema::new(vec![
                 Field::new("l_shipdate", DataType::Date),
@@ -335,8 +345,12 @@ mod tests {
             vec![Column::Int64(ship), Column::Int64(receipt)],
         )
         .unwrap();
-        let cfg = CompressionConfig::baseline()
-            .with("l_receiptdate", ColumnPlan::NonHier { reference: "l_shipdate".into() });
+        let cfg = CompressionConfig::baseline().with(
+            "l_receiptdate",
+            ColumnPlan::NonHier {
+                reference: "l_shipdate".into(),
+            },
+        );
         (block, cfg)
     }
 
@@ -368,8 +382,9 @@ mod tests {
 
     fn hier_block(n: usize) -> (DataBlock, CompressionConfig) {
         let country: Vec<i64> = (0..n).map(|i| (i % 111) as i64).collect();
-        let ip: Vec<i64> =
-            (0..n).map(|i| (i % 111) as i64 * 65_536 + (i / 111 % 50) as i64).collect();
+        let ip: Vec<i64> = (0..n)
+            .map(|i| (i % 111) as i64 * 65_536 + (i / 111 % 50) as i64)
+            .collect();
         let block = DataBlock::new(
             Schema::new(vec![
                 Field::new("countryid", DataType::Int64),
@@ -379,8 +394,12 @@ mod tests {
             vec![Column::Int64(country), Column::Int64(ip)],
         )
         .unwrap();
-        let cfg = CompressionConfig::baseline()
-            .with("ip", ColumnPlan::Hier { reference: "countryid".into() });
+        let cfg = CompressionConfig::baseline().with(
+            "ip",
+            ColumnPlan::Hier {
+                reference: "countryid".into(),
+            },
+        );
         (block, cfg)
     }
 
@@ -392,7 +411,11 @@ mod tests {
         let raw_ip = block.column("ip").unwrap().as_i64().unwrap();
         let raw_c = block.column("countryid").unwrap().as_i64().unwrap();
         let got = query_column(&compressed, "ip", &sel).unwrap();
-        let want: Vec<i64> = sel.positions().iter().map(|&p| raw_ip[p as usize]).collect();
+        let want: Vec<i64> = sel
+            .positions()
+            .iter()
+            .map(|&p| raw_ip[p as usize])
+            .collect();
         assert_eq!(got.as_int().unwrap(), &want[..]);
         let (tgt, rf) = query_both(&compressed, "ip", &sel).unwrap();
         assert_eq!(tgt.as_int().unwrap(), &want[..]);
@@ -404,7 +427,9 @@ mod tests {
     fn hier_str_parent_query_both() {
         let n = 3_000;
         let cities = StringPool::from_iter((0..n).map(|i| ["NYC", "Naples"][i % 2]));
-        let zips: Vec<i64> = (0..n).map(|i| 10_000 + (i % 2) as i64 * 500 + (i / 2 % 6) as i64).collect();
+        let zips: Vec<i64> = (0..n)
+            .map(|i| 10_000 + (i % 2) as i64 * 500 + (i / 2 % 6) as i64)
+            .collect();
         let block = DataBlock::new(
             Schema::new(vec![
                 Field::new("city", DataType::Utf8),
@@ -414,13 +439,20 @@ mod tests {
             vec![Column::Utf8(cities), Column::Int64(zips)],
         )
         .unwrap();
-        let cfg = CompressionConfig::baseline()
-            .with("zip", ColumnPlan::Hier { reference: "city".into() });
+        let cfg = CompressionConfig::baseline().with(
+            "zip",
+            ColumnPlan::Hier {
+                reference: "city".into(),
+            },
+        );
         let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
         let sel = SelectionVector::new(vec![1, 2, 2_999]);
         let (tgt, rf) = query_both(&compressed, "zip", &sel).unwrap();
         let raw_zip = block.column("zip").unwrap().as_i64().unwrap();
-        assert_eq!(tgt.as_int().unwrap(), &[raw_zip[1], raw_zip[2], raw_zip[2_999]]);
+        assert_eq!(
+            tgt.as_int().unwrap(),
+            &[raw_zip[1], raw_zip[2], raw_zip[2_999]]
+        );
         assert_eq!(
             rf.as_str_rows().unwrap(),
             &["Naples".to_owned(), "NYC".to_owned(), "Naples".to_owned()]
@@ -433,7 +465,13 @@ mod tests {
         let fare: Vec<i64> = (0..n).map(|i| 500 + (i as i64 % 900)).collect();
         let congestion = vec![250i64; n];
         let total: Vec<i64> = (0..n)
-            .map(|i| if i % 3 == 0 { fare[i] } else { fare[i] + congestion[i] })
+            .map(|i| {
+                if i % 3 == 0 {
+                    fare[i]
+                } else {
+                    fare[i] + congestion[i]
+                }
+            })
             .collect();
         let block = DataBlock::new(
             Schema::new(vec![
@@ -442,7 +480,11 @@ mod tests {
                 Field::new("total", DataType::Int64),
             ])
             .unwrap(),
-            vec![Column::Int64(fare), Column::Int64(congestion), Column::Int64(total)],
+            vec![
+                Column::Int64(fare),
+                Column::Int64(congestion),
+                Column::Int64(total),
+            ],
         )
         .unwrap();
         let cfg = CompressionConfig::baseline().with(
@@ -466,8 +508,7 @@ mod tests {
     #[test]
     fn vertical_column_queries() {
         let (block, _) = date_block(1_000);
-        let compressed =
-            CompressedBlock::compress(&block, &CompressionConfig::baseline()).unwrap();
+        let compressed = CompressedBlock::compress(&block, &CompressionConfig::baseline()).unwrap();
         let sel = SelectionVector::new(vec![5, 500]);
         let got = query_column(&compressed, "l_shipdate", &sel).unwrap();
         assert_eq!(got.len(), 2);
@@ -494,11 +535,13 @@ mod tests {
             vec![Column::Utf8(pool)],
         )
         .unwrap();
-        let compressed =
-            CompressedBlock::compress(&block, &CompressionConfig::baseline()).unwrap();
+        let compressed = CompressedBlock::compress(&block, &CompressionConfig::baseline()).unwrap();
         let sel = SelectionVector::new(vec![1, 3]);
         let got = query_column(&compressed, "s", &sel).unwrap();
-        assert_eq!(got.as_str_rows().unwrap(), &["y".to_owned(), "z".to_owned()]);
+        assert_eq!(
+            got.as_str_rows().unwrap(),
+            &["y".to_owned(), "z".to_owned()]
+        );
         assert!(got.as_int().is_err());
     }
 }

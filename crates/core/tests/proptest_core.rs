@@ -2,14 +2,14 @@
 //! random-access consistency, serialization safety, and optimizer
 //! invariants, over arbitrary data — including data with *no* correlation.
 
-use corra_core::{
-    plan_window, Assignment, ColumnGraph, CompressedBlock, CompressionConfig, ColumnPlan,
-    HierInt, MultiRefInt, NonHierInt, OutlierRegion,
-};
 use corra_columnar::block::DataBlock;
 use corra_columnar::column::{Column, DataType};
 use corra_columnar::schema::{Field, Schema};
 use corra_columnar::selection::SelectionVector;
+use corra_core::{
+    plan_window, Assignment, ColumnGraph, ColumnPlan, CompressedBlock, CompressionConfig, HierInt,
+    MultiRefInt, NonHierInt, OutlierRegion,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -145,10 +145,10 @@ proptest! {
         let self_cost: Vec<usize> = seed_costs[..n].to_vec();
         let mut edge_cost = vec![vec![None; n]; n];
         let mut k = n;
-        for t in 0..n {
-            for r in 0..n {
+        for (t, row) in edge_cost.iter_mut().enumerate() {
+            for (r, slot) in row.iter_mut().enumerate() {
                 if t != r {
-                    edge_cost[t][r] = Some(seed_costs[k % seed_costs.len()]);
+                    *slot = Some(seed_costs[k % seed_costs.len()]);
                     k += 1;
                 }
             }

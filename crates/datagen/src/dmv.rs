@@ -94,7 +94,11 @@ impl DmvTable {
         // Build cities: home state first (most cities), others after.
         let mut cities: Vec<City> = Vec::new();
         for s in 0..params.states {
-            let count = if s == 0 { params.home_cities } else { params.other_cities };
+            let count = if s == 0 {
+                params.home_cities
+            } else {
+                params.other_cities
+            };
             for c in 0..count {
                 cities.push(City {
                     state: s,
@@ -125,8 +129,9 @@ impl DmvTable {
             next_slot += sizes[rank] as i64;
         }
         // Row distribution: Zipf over cities — big cities get most rows.
-        let weights: Vec<f64> =
-            (0..n_cities).map(|k| 1.0 / ((k + 1) as f64).powf(params.skew)).collect();
+        let weights: Vec<f64> = (0..n_cities)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(params.skew))
+            .collect();
         let total: f64 = weights.iter().sum();
         let cumulative: Vec<f64> = weights
             .iter()
@@ -146,7 +151,11 @@ impl DmvTable {
             city_col.push(&c.name);
             zip.push(c.zips[rng.gen_range(0..c.zips.len())]);
         }
-        Self { state, city: city_col, zip }
+        Self {
+            state,
+            city: city_col,
+            zip,
+        }
     }
 
     /// Number of rows.
@@ -158,7 +167,11 @@ impl DmvTable {
     pub fn into_table(self) -> Table {
         Table::new(
             schema(),
-            vec![Column::Utf8(self.state), Column::Utf8(self.city), Column::Int64(self.zip)],
+            vec![
+                Column::Utf8(self.state),
+                Column::Utf8(self.city),
+                Column::Int64(self.zip),
+            ],
         )
         .expect("generator produces aligned columns")
     }
@@ -196,13 +209,25 @@ mod tests {
     use std::collections::{HashMap, HashSet};
 
     fn small() -> DmvTable {
-        DmvTable::generate(DmvParams { rows: 50_000, ..Default::default() }, 42)
+        DmvTable::generate(
+            DmvParams {
+                rows: 50_000,
+                ..Default::default()
+            },
+            42,
+        )
     }
 
     #[test]
     fn deterministic() {
         let a = small();
-        let b = DmvTable::generate(DmvParams { rows: 50_000, ..Default::default() }, 42);
+        let b = DmvTable::generate(
+            DmvParams {
+                rows: 50_000,
+                ..Default::default()
+            },
+            42,
+        );
         assert_eq!(a, b);
     }
 
@@ -216,7 +241,11 @@ mod tests {
         let global: HashSet<i64> = t.zip.iter().copied().collect();
         let max_local = per_city.values().map(HashSet::len).max().unwrap();
         assert!(max_local <= 200);
-        assert!(global.len() > max_local * 4, "global {} local {max_local}", global.len());
+        assert!(
+            global.len() > max_local * 4,
+            "global {} local {max_local}",
+            global.len()
+        );
     }
 
     #[test]
@@ -224,7 +253,10 @@ mod tests {
         let t = small();
         let mut per_state: HashMap<&str, HashSet<&str>> = HashMap::new();
         for i in 0..t.rows() {
-            per_state.entry(t.state.get(i)).or_default().insert(t.city.get(i));
+            per_state
+                .entry(t.state.get(i))
+                .or_default()
+                .insert(t.city.get(i));
         }
         // Home state has by far the most cities.
         let ny = per_state.get("NY").map(HashSet::len).unwrap_or(0);

@@ -36,7 +36,12 @@ pub struct MessageParams {
 
 impl Default for MessageParams {
     fn default() -> Self {
-        Self { rows: 1_000_000, countries: N_COUNTRIES, max_ips_per_country: 60_000, skew: 0.6 }
+        Self {
+            rows: 1_000_000,
+            countries: N_COUNTRIES,
+            max_ips_per_country: 60_000,
+            skew: 0.6,
+        }
     }
 }
 
@@ -70,8 +75,9 @@ impl MessageTable {
         let mut rng = StdRng::seed_from_u64(seed);
         let c = params.countries.max(1);
         // Zipf-like country weights: w_k = 1 / (k+1)^skew.
-        let weights: Vec<f64> =
-            (0..c).map(|k| 1.0 / ((k + 1) as f64).powf(params.skew)).collect();
+        let weights: Vec<f64> = (0..c)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(params.skew))
+            .collect();
         let total: f64 = weights.iter().sum();
         let cumulative: Vec<f64> = weights
             .iter()
@@ -85,10 +91,10 @@ impl MessageTable {
         // pools never collide (mirrors geographic IP allocation).
         let pools: Vec<Vec<i64>> = (0..c)
             .map(|k| {
-                let size = ((params.max_ips_per_country as f64
-                    / ((k + 1) as f64).powf(params.skew))
-                    as usize)
-                    .max(16);
+                let size =
+                    ((params.max_ips_per_country as f64 / ((k + 1) as f64).powf(params.skew))
+                        as usize)
+                        .max(16);
                 let base = (10u32 << 24) | ((k as u32) << 17);
                 (0..size).map(|j| (base + j as u32) as i64).collect()
             })
@@ -144,43 +150,65 @@ mod tests {
 
     #[test]
     fn deterministic_and_bounded() {
-        let p = MessageParams { rows: 20_000, ..Default::default() };
+        let p = MessageParams {
+            rows: 20_000,
+            ..Default::default()
+        };
         let a = MessageTable::generate(p, 5);
         let b = MessageTable::generate(p, 5);
         assert_eq!(a, b);
-        assert!(a.countryid.iter().all(|&c| (0..N_COUNTRIES as i64).contains(&c)));
+        assert!(a
+            .countryid
+            .iter()
+            .all(|&c| (0..N_COUNTRIES as i64).contains(&c)));
     }
 
     #[test]
     fn hierarchy_property_holds() {
         // Per-country distinct IPs must be far fewer than global distinct.
-        let p = MessageParams { rows: 100_000, ..Default::default() };
+        let p = MessageParams {
+            rows: 100_000,
+            ..Default::default()
+        };
         let t = MessageTable::generate(p, 11);
         let global = distinct_count(&t.ip);
         let mut per_country: Vec<Vec<i64>> = vec![Vec::new(); N_COUNTRIES];
         for (&c, &ip) in t.countryid.iter().zip(&t.ip) {
             per_country[c as usize].push(ip);
         }
-        let max_local =
-            per_country.iter().map(|v| distinct_count(v)).max().unwrap();
-        assert!(max_local * 4 < global, "max_local {max_local} global {global}");
+        let max_local = per_country.iter().map(|v| distinct_count(v)).max().unwrap();
+        assert!(
+            max_local * 4 < global,
+            "max_local {max_local} global {global}"
+        );
     }
 
     #[test]
     fn country_popularity_is_skewed() {
-        let p = MessageParams { rows: 50_000, ..Default::default() };
+        let p = MessageParams {
+            rows: 50_000,
+            ..Default::default()
+        };
         let t = MessageTable::generate(p, 3);
         let mut counts = vec![0usize; N_COUNTRIES];
         for &c in &t.countryid {
             counts[c as usize] += 1;
         }
         // Country 0 should be clearly more popular than country 100.
-        assert!(counts[0] > counts[100] * 3, "{} vs {}", counts[0], counts[100]);
+        assert!(
+            counts[0] > counts[100] * 3,
+            "{} vs {}",
+            counts[0],
+            counts[100]
+        );
     }
 
     #[test]
     fn pools_do_not_collide_across_countries() {
-        let p = MessageParams { rows: 50_000, ..Default::default() };
+        let p = MessageParams {
+            rows: 50_000,
+            ..Default::default()
+        };
         let t = MessageTable::generate(p, 9);
         for (&c, &ip) in t.countryid.iter().zip(&t.ip) {
             let k = ((ip as u32) >> 17) & 0x7F;
@@ -190,8 +218,14 @@ mod tests {
 
     #[test]
     fn table_wrapping() {
-        let t = MessageTable::generate(MessageParams { rows: 100, ..Default::default() }, 1)
-            .into_table();
+        let t = MessageTable::generate(
+            MessageParams {
+                rows: 100,
+                ..Default::default()
+            },
+            1,
+        )
+        .into_table();
         assert_eq!(t.rows(), 100);
         assert!(t.column("ip").is_ok());
     }

@@ -48,12 +48,7 @@ mod tests {
     fn rows_from_env_parses() {
         // Not setting the variable in-process (tests run in parallel);
         // exercise the parser via the same logic inline.
-        let parse = |s: &str| {
-            s.replace('_', "")
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n > 0)
-        };
+        let parse = |s: &str| s.replace('_', "").parse::<usize>().ok().filter(|&n| n > 0);
         assert_eq!(parse("1000"), Some(1000));
         assert_eq!(parse("1_000_000"), Some(1_000_000));
         assert_eq!(parse("abc"), None);

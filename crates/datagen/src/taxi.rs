@@ -64,7 +64,10 @@ pub struct TaxiParams {
 
 impl Default for TaxiParams {
     fn default() -> Self {
-        Self { rows: 1_000_000, max_duration_secs: SECONDS_PER_DAY - 1 }
+        Self {
+            rows: 1_000_000,
+            max_duration_secs: SECONDS_PER_DAY - 1,
+        }
     }
 }
 
@@ -129,9 +132,15 @@ impl TaxiTable {
             let fare = rng.gen_range(350..=6_000);
             let mta = 50;
             let improvement = 30;
-            let extra = *[0i64, 50, 100].get(rng.gen_range(0..3)).expect("static") ;
+            let extra = *[0i64, 50, 100]
+                .get(rng.gen_range(0usize..3))
+                .expect("static");
             let tip = (fare as f64 * rng.gen_range(0.0..0.25)) as i64;
-            let tolls = if rng.gen_bool(0.06) { rng.gen_range(200..=1_200) } else { 0 };
+            let tolls = if rng.gen_bool(0.06) {
+                rng.gen_range(200..=1_200)
+            } else {
+                0
+            };
             let a = fare + mta + improvement + extra + tip + tolls;
             let b = 250; // congestion surcharge
             let c = 125; // airport fee
@@ -155,7 +164,7 @@ impl TaxiTable {
             } else {
                 // Outlier: a rounded/odd total no formula explains, still
                 // within the cleaned range.
-                (a + rng.gen_range(1..=199)).min(MAX_MONEY_CENTS)
+                (a + rng.gen_range(1i64..=199)).min(MAX_MONEY_CENTS)
             };
             t.total_amount.push(total.min(MAX_MONEY_CENTS));
         }
@@ -177,7 +186,7 @@ impl TaxiTable {
     }
 
     /// Per-row sums of groups A, B, C (reference inputs for
-    /// [`corra_core::MultiRefInt`]-style encoding).
+    /// `corra_core::MultiRefInt`-style encoding).
     pub fn group_sums(&self) -> [Vec<i64>; 3] {
         let n = self.rows();
         let mut a = vec![0i64; n];
@@ -193,7 +202,11 @@ impl TaxiTable {
                 *acc += v;
             }
         }
-        [a, self.congestion_surcharge.clone(), self.airport_fee.clone()]
+        [
+            a,
+            self.congestion_surcharge.clone(),
+            self.airport_fee.clone(),
+        ]
     }
 
     /// Wraps into a [`Table`].
@@ -311,13 +324,25 @@ mod tests {
     use super::*;
 
     fn small() -> TaxiTable {
-        TaxiTable::generate(TaxiParams { rows: 50_000, ..Default::default() }, 17)
+        TaxiTable::generate(
+            TaxiParams {
+                rows: 50_000,
+                ..Default::default()
+            },
+            17,
+        )
     }
 
     #[test]
     fn deterministic_and_clean_by_construction() {
         let a = small();
-        let b = TaxiTable::generate(TaxiParams { rows: 50_000, ..Default::default() }, 17);
+        let b = TaxiTable::generate(
+            TaxiParams {
+                rows: 50_000,
+                ..Default::default()
+            },
+            17,
+        );
         assert_eq!(a, b);
         assert!(validate(&a).is_ok());
         let mut c = a.clone();
@@ -335,7 +360,13 @@ mod tests {
 
     #[test]
     fn mixture_matches_table1() {
-        let t = TaxiTable::generate(TaxiParams { rows: 200_000, ..Default::default() }, 99);
+        let t = TaxiTable::generate(
+            TaxiParams {
+                rows: 200_000,
+                ..Default::default()
+            },
+            99,
+        );
         let [a, b, c] = t.group_sums();
         let mut counts = [0usize; 5]; // A, A+B, A+C, A+B+C, outlier
         for i in 0..t.rows() {
@@ -354,12 +385,23 @@ mod tests {
             }
         }
         let n = t.rows() as f64;
-        assert!((counts[0] as f64 / n - P_A).abs() < 0.01, "A {}", counts[0] as f64 / n);
-        assert!((counts[1] as f64 / n - P_AB).abs() < 0.01, "A+B {}", counts[1] as f64 / n);
+        assert!(
+            (counts[0] as f64 / n - P_A).abs() < 0.01,
+            "A {}",
+            counts[0] as f64 / n
+        );
+        assert!(
+            (counts[1] as f64 / n - P_AB).abs() < 0.01,
+            "A+B {}",
+            counts[1] as f64 / n
+        );
         assert!((counts[2] as f64 / n - P_AC).abs() < 0.005);
         assert!((counts[3] as f64 / n - P_ABC).abs() < 0.005);
         let outlier_rate = counts[4] as f64 / n;
-        assert!((outlier_rate - 0.0035).abs() < 0.004, "outliers {outlier_rate}");
+        assert!(
+            (outlier_rate - 0.0035).abs() < 0.004,
+            "outliers {outlier_rate}"
+        );
     }
 
     #[test]
@@ -411,8 +453,12 @@ mod tests {
         let t = small();
         let stats = corra_columnar::stats::IntStats::compute(&t.dropoff);
         assert!(stats.for_bits() >= 24);
-        let diffs: Vec<i64> =
-            t.dropoff.iter().zip(&t.pickup).map(|(&d, &p)| d - p).collect();
+        let diffs: Vec<i64> = t
+            .dropoff
+            .iter()
+            .zip(&t.pickup)
+            .map(|(&d, &p)| d - p)
+            .collect();
         let dstats = corra_columnar::stats::IntStats::compute(&diffs);
         assert!(dstats.for_bits() <= 17, "{}", dstats.for_bits());
     }

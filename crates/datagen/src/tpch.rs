@@ -45,14 +45,18 @@ impl LineitemDates {
         let mut receiptdate = Vec::with_capacity(rows);
         for _ in 0..rows {
             let orderdate = rng.gen_range(start..=order_hi);
-            let ship = orderdate + rng.gen_range(1..=121);
-            let commit = orderdate + rng.gen_range(30..=90);
-            let receipt = ship + rng.gen_range(1..=30);
+            let ship = orderdate + rng.gen_range(1i64..=121);
+            let commit = orderdate + rng.gen_range(30i64..=90);
+            let receipt = ship + rng.gen_range(1i64..=30);
             shipdate.push(ship);
             commitdate.push(commit);
             receiptdate.push(receipt);
         }
-        Self { shipdate, commitdate, receiptdate }
+        Self {
+            shipdate,
+            commitdate,
+            receiptdate,
+        }
     }
 
     /// Number of rows.
@@ -122,12 +126,20 @@ mod tests {
         let receipt = IntStats::compute(&d.receiptdate);
         assert_eq!(receipt.for_bits(), 12);
         // Horizontal: receipt-ship needs 5 bits, commit-ship needs 8.
-        let rs: Vec<i64> =
-            d.receiptdate.iter().zip(&d.shipdate).map(|(&r, &s)| r - s).collect();
+        let rs: Vec<i64> = d
+            .receiptdate
+            .iter()
+            .zip(&d.shipdate)
+            .map(|(&r, &s)| r - s)
+            .collect();
         let rs_stats = IntStats::compute(&rs);
         assert_eq!(bits_needed(rs_stats.range()), 5);
-        let cs: Vec<i64> =
-            d.commitdate.iter().zip(&d.shipdate).map(|(&c, &s)| c - s).collect();
+        let cs: Vec<i64> = d
+            .commitdate
+            .iter()
+            .zip(&d.shipdate)
+            .map(|(&c, &s)| c - s)
+            .collect();
         let cs_stats = IntStats::compute(&cs);
         assert_eq!(bits_needed(cs_stats.range()), 8);
     }

@@ -224,7 +224,9 @@ mod tests {
     #[test]
     fn baseline_prefers_dict_on_sparse_values() {
         // Few distinct, widely spread values: dict wins.
-        let values: Vec<i64> = (0..100_000).map(|i| ((i % 4) as i64) * 1_000_000_007).collect();
+        let values: Vec<i64> = (0..100_000)
+            .map(|i| ((i % 4) as i64) * 1_000_000_007)
+            .collect();
         let enc = choose_int_baseline(&values);
         assert_eq!(enc.scheme(), "dict");
     }
@@ -233,16 +235,22 @@ mod tests {
     fn estimates_match_actual() {
         let values: Vec<i64> = (0..10_000).map(|i| (i % 97) as i64 * 13).collect();
         let stats = IntStats::compute(&values);
-        assert_eq!(estimate_for_bytes(&stats), ForInt::encode(&values).compressed_bytes());
-        assert_eq!(estimate_dict_bytes(&stats), DictInt::encode(&values).compressed_bytes());
+        assert_eq!(
+            estimate_for_bytes(&stats),
+            ForInt::encode(&values).compressed_bytes()
+        );
+        assert_eq!(
+            estimate_dict_bytes(&stats),
+            DictInt::encode(&values).compressed_bytes()
+        );
     }
 
     #[test]
     fn full_chooser_never_worse_than_baseline() {
         for gen in [
-            |i: usize| i as i64,                          // sorted: delta wins
-            |i: usize| (i / 1000) as i64,                 // runs: rle wins
-            |i: usize| (i as i64 * 7919) % 3,             // few distinct
+            |i: usize| i as i64,              // sorted: delta wins
+            |i: usize| (i / 1000) as i64,     // runs: rle wins
+            |i: usize| (i as i64 * 7919) % 3, // few distinct
             |i: usize| (i as i64).wrapping_mul(0x9E3779B97F4A7C15u64 as i64), // random
         ] {
             let values: Vec<i64> = (0..5_000).map(gen).collect();

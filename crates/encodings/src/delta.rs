@@ -37,7 +37,11 @@ impl DeltaInt {
                 deltas.push(zigzag_encode(v.wrapping_sub(values[i - 1])));
             }
         }
-        Self { len: values.len(), restarts, deltas: BitPackedVec::pack_minimal(&deltas) }
+        Self {
+            len: values.len(),
+            restarts,
+            deltas: BitPackedVec::pack_minimal(&deltas),
+        }
     }
 
     /// Delta bit width.
@@ -70,7 +74,7 @@ impl DeltaInt {
         if n_restarts != len.div_ceil(MINIBLOCK) {
             return Err(Error::corrupt("delta restart count mismatch"));
         }
-        if buf.remaining() < n_restarts * 8 {
+        if buf.remaining() < n_restarts.saturating_mul(8) {
             return Err(Error::corrupt("delta restarts truncated"));
         }
         let mut restarts = Vec::with_capacity(n_restarts);
@@ -81,7 +85,11 @@ impl DeltaInt {
         if deltas.len() != len {
             return Err(Error::corrupt("delta payload length mismatch"));
         }
-        Ok(Self { len, restarts, deltas })
+        Ok(Self {
+            len,
+            restarts,
+            deltas,
+        })
     }
 }
 

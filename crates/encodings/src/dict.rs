@@ -29,10 +29,16 @@ impl DictInt {
         let mut dict: Vec<i64> = values.to_vec();
         dict.sort_unstable();
         dict.dedup();
-        let index: FxHashMap<i64, u32> =
-            dict.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+        let index: FxHashMap<i64, u32> = dict
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
         let codes: Vec<u64> = values.iter().map(|v| index[v] as u64).collect();
-        Self { dict, codes: BitPackedVec::pack_minimal(&codes) }
+        Self {
+            dict,
+            codes: BitPackedVec::pack_minimal(&codes),
+        }
     }
 
     /// The sorted dictionary.
@@ -84,7 +90,7 @@ impl DictInt {
             return Err(Error::corrupt("dict-int header truncated"));
         }
         let dict_len = buf.get_u64_le() as usize;
-        if buf.remaining() < dict_len * 8 {
+        if buf.remaining() < dict_len.saturating_mul(8) {
             return Err(Error::corrupt("dict-int dictionary truncated"));
         }
         let mut dict = Vec::with_capacity(dict_len);
@@ -141,8 +147,14 @@ impl DictStr {
     /// Encodes an iterator of rows.
     pub fn encode<'a>(values: impl IntoIterator<Item = &'a str>) -> Self {
         let mut builder = StringDictBuilder::new();
-        let codes: Vec<u64> = values.into_iter().map(|s| builder.intern(s) as u64).collect();
-        Self { pool: builder.finish(), codes: BitPackedVec::pack_minimal(&codes) }
+        let codes: Vec<u64> = values
+            .into_iter()
+            .map(|s| builder.intern(s) as u64)
+            .collect();
+        Self {
+            pool: builder.finish(),
+            codes: BitPackedVec::pack_minimal(&codes),
+        }
     }
 
     /// Encodes from a per-row pool.

@@ -24,15 +24,27 @@ impl ForInt {
     /// Encodes `values` with base = min(values).
     pub fn encode(values: &[i64]) -> Self {
         let base = values.iter().copied().min().unwrap_or(0);
-        let offsets: Vec<u64> = values.iter().map(|&v| (v as i128 - base as i128) as u64).collect();
-        Self { base, packed: BitPackedVec::pack_minimal(&offsets) }
+        let offsets: Vec<u64> = values
+            .iter()
+            .map(|&v| (v as i128 - base as i128) as u64)
+            .collect();
+        Self {
+            base,
+            packed: BitPackedVec::pack_minimal(&offsets),
+        }
     }
 
     /// Encodes with an explicit width (≥ minimal), e.g. for ablations.
     pub fn encode_with_bits(values: &[i64], bits: u8) -> Result<Self> {
         let base = values.iter().copied().min().unwrap_or(0);
-        let offsets: Vec<u64> = values.iter().map(|&v| (v as i128 - base as i128) as u64).collect();
-        Ok(Self { base, packed: BitPackedVec::pack(&offsets, bits)? })
+        let offsets: Vec<u64> = values
+            .iter()
+            .map(|&v| (v as i128 - base as i128) as u64)
+            .collect();
+        Ok(Self {
+            base,
+            packed: BitPackedVec::pack(&offsets, bits)?,
+        })
     }
 
     /// The frame base (column minimum).
@@ -119,7 +131,10 @@ impl Validate for ForInt {
         // The minimal-width invariant: some offset uses the top bit range,
         // unless the column is empty or constant.
         if self.packed.bits() > 0 {
-            let max = (0..self.len()).map(|i| self.packed.get(i)).max().unwrap_or(0);
+            let max = (0..self.len())
+                .map(|i| self.packed.get(i))
+                .max()
+                .unwrap_or(0);
             if bits_needed(max) < self.packed.bits() {
                 // Wider-than-minimal is legal (encode_with_bits); only flag
                 // impossible states.
@@ -182,7 +197,9 @@ mod tests {
         // shipdate domain: 2557 days -> 12 bits; 1M rows -> 1.5 MB + 9B meta.
         let lo = corra_columnar::temporal::parse_date("1992-01-01").unwrap();
         let hi = corra_columnar::temporal::parse_date("1998-12-31").unwrap();
-        let values: Vec<i64> = (0..1_000_000).map(|i| lo + (i as i64 % (hi - lo + 1))).collect();
+        let values: Vec<i64> = (0..1_000_000)
+            .map(|i| lo + (i as i64 % (hi - lo + 1)))
+            .collect();
         let enc = ForInt::encode(&values);
         assert_eq!(enc.bits(), 12);
         assert_eq!(enc.compressed_bytes(), 1_500_000 + 9);

@@ -40,9 +40,16 @@ impl FrequencyInt {
         let mut by_freq: Vec<(i64, u32)> = counts.into_iter().collect();
         // Sort by descending frequency, ties by value for determinism.
         by_freq.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let hot: Vec<i64> = by_freq.iter().take(max_hot.max(1)).map(|&(v, _)| v).collect();
-        let index: FxHashMap<i64, u64> =
-            hot.iter().enumerate().map(|(i, &v)| (v, i as u64)).collect();
+        let hot: Vec<i64> = by_freq
+            .iter()
+            .take(max_hot.max(1))
+            .map(|&(v, _)| v)
+            .collect();
+        let index: FxHashMap<i64, u64> = hot
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u64))
+            .collect();
         let mut codes = Vec::with_capacity(values.len());
         let mut exc_pos = Vec::new();
         let mut exc_val = Vec::new();
@@ -56,7 +63,12 @@ impl FrequencyInt {
                 }
             }
         }
-        Self { hot, codes: BitPackedVec::pack_minimal(&codes), exc_pos, exc_val }
+        Self {
+            hot,
+            codes: BitPackedVec::pack_minimal(&codes),
+            exc_pos,
+            exc_val,
+        }
     }
 
     /// Number of exception rows.
@@ -96,7 +108,7 @@ impl FrequencyInt {
             return Err(Error::corrupt("frequency header truncated"));
         }
         let n_hot = buf.get_u64_le() as usize;
-        if buf.remaining() < n_hot * 8 {
+        if buf.remaining() < n_hot.saturating_mul(8) {
             return Err(Error::corrupt("frequency hot values truncated"));
         }
         let mut hot = Vec::with_capacity(n_hot);
@@ -108,7 +120,7 @@ impl FrequencyInt {
             return Err(Error::corrupt("frequency exception header truncated"));
         }
         let n_exc = buf.get_u64_le() as usize;
-        if buf.remaining() < n_exc * 12 {
+        if buf.remaining() < n_exc.saturating_mul(12) {
             return Err(Error::corrupt("frequency exceptions truncated"));
         }
         let mut exc_pos = Vec::with_capacity(n_exc);
@@ -119,7 +131,12 @@ impl FrequencyInt {
         for _ in 0..n_exc {
             exc_val.push(buf.get_i64_le());
         }
-        let out = Self { hot, codes, exc_pos, exc_val };
+        let out = Self {
+            hot,
+            codes,
+            exc_pos,
+            exc_val,
+        };
         out.validate()?;
         Ok(out)
     }

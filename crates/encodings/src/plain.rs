@@ -21,7 +21,9 @@ impl PlainInt {
 
     /// Encodes from a slice.
     pub fn encode(values: &[i64]) -> Self {
-        Self { values: values.to_vec() }
+        Self {
+            values: values.to_vec(),
+        }
     }
 
     /// Borrows the underlying values.
@@ -48,7 +50,7 @@ impl PlainInt {
             return Err(Error::corrupt("plain-int header truncated"));
         }
         let len = buf.get_u64_le() as usize;
-        if buf.remaining() < len * 8 {
+        if buf.remaining() < len.saturating_mul(8) {
             return Err(Error::corrupt("plain-int payload truncated"));
         }
         let mut values = Vec::with_capacity(len);
@@ -93,7 +95,9 @@ impl PlainStr {
 
     /// Encodes from string slices.
     pub fn encode<'a>(values: impl IntoIterator<Item = &'a str>) -> Self {
-        Self { pool: StringPool::from_iter(values) }
+        Self {
+            pool: StringPool::from_iter(values),
+        }
     }
 
     /// Borrows the underlying pool.

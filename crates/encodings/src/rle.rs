@@ -39,7 +39,10 @@ impl RleInt {
             run_values.push(current);
             run_ends.push(values.len() as u32);
         }
-        Self { run_values, run_ends }
+        Self {
+            run_values,
+            run_ends,
+        }
     }
 
     /// Number of runs.
@@ -69,7 +72,7 @@ impl RleInt {
             return Err(Error::corrupt("rle header truncated"));
         }
         let runs = buf.get_u64_le() as usize;
-        if buf.remaining() < runs * 12 {
+        if buf.remaining() < runs.saturating_mul(12) {
             return Err(Error::corrupt("rle payload truncated"));
         }
         let mut run_values = Vec::with_capacity(runs);
@@ -80,7 +83,10 @@ impl RleInt {
         for _ in 0..runs {
             run_ends.push(buf.get_u32_le());
         }
-        let out = Self { run_values, run_ends };
+        let out = Self {
+            run_values,
+            run_ends,
+        };
         out.validate()?;
         Ok(out)
     }

@@ -1,21 +1,21 @@
 //! Property-based tests: every encoding is a lossless, random-access
 //! bijection and survives serialization.
 
+use corra_columnar::selection::SelectionVector;
 use corra_encodings::{
     choose_int_baseline, choose_int_full, DeltaInt, DictInt, DictStr, ForInt, FrequencyInt,
     IntAccess, IntEncoding, PlainInt, RleInt, StrAccess,
 };
-use corra_columnar::selection::SelectionVector;
 use proptest::prelude::*;
 
 /// Value generators covering the paper's data shapes: dense ranges (dates),
 /// few-distinct (dictionary material), runs, and adversarial randoms.
 fn int_column() -> impl Strategy<Value = Vec<i64>> {
     prop_oneof![
-        prop::collection::vec(8_000i64..11_000, 0..400),          // date-like
-        prop::collection::vec(-100i64..100, 0..400),              // small diffs
+        prop::collection::vec(8_000i64..11_000, 0..400), // date-like
+        prop::collection::vec(-100i64..100, 0..400),     // small diffs
         prop::collection::vec(prop::sample::select(vec![1i64, 5, 1_000_000, -7]), 0..400),
-        prop::collection::vec(any::<i64>(), 0..200),              // adversarial
+        prop::collection::vec(any::<i64>(), 0..200), // adversarial
     ]
 }
 

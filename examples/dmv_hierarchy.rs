@@ -11,7 +11,14 @@ use corra::prelude::*;
 
 fn main() {
     let rows = 1_000_000;
-    let table = DmvTable::generate(DmvParams { rows, ..Default::default() }, 11).into_table();
+    let table = DmvTable::generate(
+        DmvParams {
+            rows,
+            ..Default::default()
+        },
+        11,
+    )
+    .into_table();
     println!("DMV registrations, {rows} rows (paper: 12,176,621)");
 
     // 1. Automatic hierarchy detection (the paper's future-work extension):
@@ -27,8 +34,12 @@ fn main() {
     for c in &candidates {
         println!(
             "  {} -> {}: max group {} of {} global distinct ({} -> {} bits/row)",
-            cols[c.parent].0, cols[c.child].0, c.max_group, c.child_distinct,
-            c.global_bits, c.hier_bits,
+            cols[c.parent].0,
+            cols[c.child].0,
+            c.max_group,
+            c.child_distinct,
+            c.global_bits,
+            c.hier_bits,
         );
     }
 
@@ -37,14 +48,25 @@ fn main() {
     //    zip's reference and be diff-encoded itself (no chains, §2.1).
     let block = table.into_blocks(DEFAULT_BLOCK_ROWS).remove(0);
     let baseline = CompressedBlock::compress(&block, &CompressionConfig::baseline()).unwrap();
-    let zip_cfg = CompressionConfig::baseline()
-        .with("zip", ColumnPlan::Hier { reference: "city".into() });
-    let city_cfg = CompressionConfig::baseline()
-        .with("city", ColumnPlan::Hier { reference: "state".into() });
+    let zip_cfg = CompressionConfig::baseline().with(
+        "zip",
+        ColumnPlan::Hier {
+            reference: "city".into(),
+        },
+    );
+    let city_cfg = CompressionConfig::baseline().with(
+        "city",
+        ColumnPlan::Hier {
+            reference: "state".into(),
+        },
+    );
     let corra = CompressedBlock::compress(&block, &zip_cfg).unwrap();
     let corra_city = CompressedBlock::compress(&block, &city_cfg).unwrap();
 
-    println!("\n{:<8} {:>14} {:>14} {:>8}   (paper saving)", "column", "baseline", "corra", "saving");
+    println!(
+        "\n{:<8} {:>14} {:>14} {:>8}   (paper saving)",
+        "column", "baseline", "corra", "saving"
+    );
     for (col, comp, paper) in [("zip", &corra, "53.7%"), ("city", &corra_city, "1.8%")] {
         let b = baseline.column_bytes(col).unwrap();
         let c = comp.column_bytes(col).unwrap();

@@ -21,15 +21,24 @@ fn main() {
     //   shipped   — paid + hours..days
     //   delivered — shipped + days
     //   audit_id  — uncorrelated noise
-    let created: Vec<i64> =
-        (0..rows).map(|_| 1_700_000_000 + rng.gen_range(0..31_536_000)).collect();
-    let paid: Vec<i64> =
-        created.iter().map(|&t| t + rng.gen_range(60..7_200)).collect();
-    let shipped: Vec<i64> =
-        paid.iter().map(|&t| t + rng.gen_range(3_600..259_200)).collect();
-    let delivered: Vec<i64> =
-        shipped.iter().map(|&t| t + rng.gen_range(86_400..604_800)).collect();
-    let audit_id: Vec<i64> = (0..rows as i64).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let created: Vec<i64> = (0..rows)
+        .map(|_| 1_700_000_000 + rng.gen_range(0i64..31_536_000))
+        .collect();
+    let paid: Vec<i64> = created
+        .iter()
+        .map(|&t| t + rng.gen_range(60i64..7_200))
+        .collect();
+    let shipped: Vec<i64> = paid
+        .iter()
+        .map(|&t| t + rng.gen_range(3_600i64..259_200))
+        .collect();
+    let delivered: Vec<i64> = shipped
+        .iter()
+        .map(|&t| t + rng.gen_range(86_400i64..604_800))
+        .collect();
+    let audit_id: Vec<i64> = (0..rows as i64)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
 
     let columns: Vec<(&str, &[i64])> = vec![
         ("created", &created),
@@ -78,7 +87,11 @@ fn main() {
         "greedy {:.2} MB vs exhaustive optimum {:.2} MB ({}among {} columns)",
         greedy_cost as f64 / 1e6,
         best_cost as f64 / 1e6,
-        if greedy_cost == best_cost { "matched — " } else { "gap — " },
+        if greedy_cost == best_cost {
+            "matched — "
+        } else {
+            "gap — "
+        },
         best.len(),
     );
 }

@@ -23,13 +23,26 @@ fn main() {
     //    Corra (diff-encode both dependent dates w.r.t. shipdate).
     let baseline_cfg = CompressionConfig::baseline();
     let corra_cfg = CompressionConfig::baseline()
-        .with("l_commitdate", ColumnPlan::NonHier { reference: "l_shipdate".into() })
-        .with("l_receiptdate", ColumnPlan::NonHier { reference: "l_shipdate".into() });
+        .with(
+            "l_commitdate",
+            ColumnPlan::NonHier {
+                reference: "l_shipdate".into(),
+            },
+        )
+        .with(
+            "l_receiptdate",
+            ColumnPlan::NonHier {
+                reference: "l_shipdate".into(),
+            },
+        );
 
     let baseline = CompressedBlock::compress(&block, &baseline_cfg).expect("baseline compress");
     let corra = CompressedBlock::compress(&block, &corra_cfg).expect("corra compress");
 
-    println!("\n{:<16} {:>14} {:>14} {:>8}", "column", "baseline", "corra", "saving");
+    println!(
+        "\n{:<16} {:>14} {:>14} {:>8}",
+        "column", "baseline", "corra", "saving"
+    );
     for col in ["l_shipdate", "l_commitdate", "l_receiptdate"] {
         let b = baseline.column_bytes(col).unwrap();
         let c = corra.column_bytes(col).unwrap();
@@ -46,7 +59,10 @@ fn main() {
     //    travels inside the block.
     let bytes = corra.to_bytes();
     let restored = CompressedBlock::from_bytes(&bytes).expect("roundtrip");
-    println!("serialized block: {} B (magic CORA, version 1)", bytes.len());
+    println!(
+        "serialized block: {} B (magic CORA, version 1)",
+        bytes.len()
+    );
 
     // 5. Random-access query at selectivity 0.001 — Corra fetches the
     //    reference column under the hood (Alg. 1 access pattern).

@@ -12,15 +12,17 @@ use std::io::Write;
 
 fn main() {
     let rows = 2_500_000; // 3 blocks: 1M + 1M + 0.5M
-    let table =
-        MessageTable::generate(MessageParams::scaled(rows), 31).into_table();
+    let table = MessageTable::generate(MessageParams::scaled(rows), 31).into_table();
     println!("LDBC message table, {rows} rows -> blocks of {DEFAULT_BLOCK_ROWS}");
 
-    let cfg = CompressionConfig::baseline()
-        .with("ip", ColumnPlan::Hier { reference: "countryid".into() });
+    let cfg = CompressionConfig::baseline().with(
+        "ip",
+        ColumnPlan::Hier {
+            reference: "countryid".into(),
+        },
+    );
     let blocks = table.into_blocks(DEFAULT_BLOCK_ROWS);
-    let compressed =
-        corra::core::compress_blocks(&blocks, &cfg, 4).expect("parallel compression");
+    let compressed = corra::core::compress_blocks(&blocks, &cfg, 4).expect("parallel compression");
 
     // Write each block as its own self-contained segment:
     // [u64 length][block bytes] …
@@ -32,7 +34,8 @@ fn main() {
     let mut offset = 0u64;
     for block in &compressed {
         let bytes = block.to_bytes();
-        file.write_all(&(bytes.len() as u64).to_le_bytes()).expect("write len");
+        file.write_all(&(bytes.len() as u64).to_le_bytes())
+            .expect("write len");
         file.write_all(&bytes).expect("write block");
         offsets.push(offset);
         offset += 8 + bytes.len() as u64;

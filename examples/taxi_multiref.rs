@@ -12,7 +12,13 @@ use corra::prelude::*;
 
 fn main() {
     let rows = 1_000_000;
-    let taxi = TaxiTable::generate(TaxiParams { rows, ..Default::default() }, 23);
+    let taxi = TaxiTable::generate(
+        TaxiParams {
+            rows,
+            ..Default::default()
+        },
+        23,
+    );
     println!("NYC Taxi trips, {rows} rows (paper: 37,891,377 after cleaning)");
 
     // 1. Formula discovery on the raw group sums (future-work extension):
@@ -23,14 +29,21 @@ fn main() {
     for (f, frac) in &discovered.formulas {
         println!("  {:<10} {:>6.2}%", f.describe(), frac * 100.0);
     }
-    println!("  {:<10} {:>6.2}%  (outliers)", "none", discovered.outlier_rate * 100.0);
+    println!(
+        "  {:<10} {:>6.2}%  (outliers)",
+        "none",
+        discovered.outlier_rate * 100.0
+    );
 
     // 2. Block-level compression with the paper's group structure.
     let table = taxi.into_table();
     let block = table.into_blocks(DEFAULT_BLOCK_ROWS).remove(0);
     let corra_cfg = CompressionConfig::baseline().with(
         "total_amount",
-        ColumnPlan::MultiRef { groups: TaxiTable::reference_groups(), code_bits: 2 },
+        ColumnPlan::MultiRef {
+            groups: TaxiTable::reference_groups(),
+            code_bits: 2,
+        },
     );
     let baseline = CompressedBlock::compress(&block, &CompressionConfig::baseline()).unwrap();
     let corra = CompressedBlock::compress(&block, &corra_cfg).unwrap();
@@ -44,8 +57,12 @@ fn main() {
     );
 
     // 3. Also diff-encode dropoff w.r.t. pickup (the paper's other Taxi row).
-    let ts_cfg = CompressionConfig::baseline()
-        .with("dropoff", ColumnPlan::NonHier { reference: "pickup".into() });
+    let ts_cfg = CompressionConfig::baseline().with(
+        "dropoff",
+        ColumnPlan::NonHier {
+            reference: "pickup".into(),
+        },
+    );
     let ts = CompressedBlock::compress(&block, &ts_cfg).unwrap();
     let bd = baseline.column_bytes("dropoff").unwrap();
     let cd = ts.column_bytes("dropoff").unwrap();

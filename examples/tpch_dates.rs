@@ -41,7 +41,8 @@ fn main() {
     for (i, enc) in encoded.iter().enumerate() {
         if let corra::core::EncodedColumn::Diff { enc, reference } = enc {
             let mut out = Vec::new();
-            enc.decode_into(columns[*reference].1, &mut out).expect("decode");
+            enc.decode_into(columns[*reference].1, &mut out)
+                .expect("decode");
             assert_eq!(out, columns[i].1, "lossless decode of {}", columns[i].0);
             println!(
                 "verified lossless: {} (diff vs {}, {} bits/value, {} outliers)",
@@ -58,5 +59,8 @@ fn main() {
         .iter()
         .filter(|a| matches!(a, Assignment::DiffEncoded { .. }))
         .count();
-    println!("diff-encoded columns: {paper_shape} of {} (paper: 2 of 3)", columns.len());
+    println!(
+        "diff-encoded columns: {paper_shape} of {} (paper: 2 of 3)",
+        columns.len()
+    );
 }

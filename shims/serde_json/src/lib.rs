@@ -1,0 +1,160 @@
+//! Offline shim for the `serde_json` crate (see `shims/README.md`).
+//!
+//! Renders the `serde` shim's [`Value`] tree to JSON text ([`to_string`])
+//! and provides a [`json!`] macro covering the object/array/expression
+//! forms the bench binaries use.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Write as _;
+
+pub use serde::Value;
+
+/// Serialization error. The shim's writer is infallible, so this is only
+/// here to keep `serde_json::to_string` signatures source-compatible.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any [`serde::Serialize`] value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Renders `value` as compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Ryu-style shortest output isn't available; `{}` on f64 is
+                // already shortest-roundtrip in Rust.
+                let _ = write!(out, "{f}");
+            } else {
+                // Real serde_json maps non-finite floats to null.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from JSON-ish syntax: `json!({"k": expr, ...})`,
+/// `json!([expr, ...])`, `json!(null)` or `json!(expr)`. Values are
+/// arbitrary expressions implementing `serde::Serialize` (nest objects via
+/// inner `json!` calls).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$item) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_json() {
+        let v = json!({
+            "name": "corra",
+            "saving": 0.583,
+            "rows": 59_986_052usize,
+            "tags": vec!["a", "b"],
+            "nested": json!({"x": 1i64}),
+        });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"name":"corra","saving":0.583,"rows":59986052,"tags":["a","b"],"nested":{"x":1}}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            to_string(&"a\"b\\c\n\u{1}").unwrap(),
+            "\"a\\\"b\\\\c\\n\\u0001\""
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn array_and_expr_forms() {
+        assert_eq!(to_string(&json!([1i64, 2i64])).unwrap(), "[1,2]");
+        assert_eq!(to_string(&json!(null)).unwrap(), "null");
+        assert_eq!(to_string(&json!(3.5f64)).unwrap(), "3.5");
+    }
+}
