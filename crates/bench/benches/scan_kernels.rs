@@ -1,0 +1,108 @@
+//! Criterion benchmarks for the compressed-domain filter kernels: predicate
+//! pushdown (`scan`) vs decompress-then-filter, per vertical codec and per
+//! Corra horizontal codec, plus the zone-map pruning fast path.
+
+use corra_bench::compress_table;
+use corra_columnar::predicate::IntRange;
+use corra_core::scan::{scan, Predicate};
+use corra_core::{ColumnPlan, CompressionConfig};
+use corra_datagen::{LineitemDates, MessageParams, MessageTable};
+use corra_encodings::{DeltaInt, DictInt, FilterInt, ForInt, FrequencyInt, IntAccess, RleInt};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const N: usize = 200_000;
+
+fn vertical_kernels(c: &mut Criterion) {
+    let dates: Vec<i64> = (0..N).map(|i| 8_035 + (i as i64 * 17 % 2_500)).collect();
+    let runs: Vec<i64> = (0..N).map(|i| (i / 512) as i64).collect();
+    let range = IntRange::new(8_100, 8_350); // ~10% of the date domain
+
+    let mut group = c.benchmark_group("scan_vertical");
+    group.throughput(Throughput::Elements(N as u64));
+    let mut out = Vec::new();
+    let enc = ForInt::encode(&dates);
+    group.bench_function(BenchmarkId::new("for", "pushdown"), |b| {
+        b.iter(|| enc.filter_into(&range, &mut out));
+    });
+    group.bench_function(BenchmarkId::new("for", "decode_filter"), |b| {
+        let mut decoded = Vec::new();
+        b.iter(|| {
+            enc.decode_into(&mut decoded);
+            corra_encodings::filter::filter_naive(&decoded, &range)
+        });
+    });
+    let enc = DictInt::encode(&dates);
+    group.bench_function(BenchmarkId::new("dict", "pushdown"), |b| {
+        b.iter(|| enc.filter_into(&range, &mut out));
+    });
+    let enc = RleInt::encode(&runs);
+    let run_range = IntRange::new(30, 60);
+    group.bench_function(BenchmarkId::new("rle", "pushdown"), |b| {
+        b.iter(|| enc.filter_into(&run_range, &mut out));
+    });
+    let enc = DeltaInt::encode(&dates);
+    group.bench_function(BenchmarkId::new("delta", "pushdown"), |b| {
+        b.iter(|| enc.filter_into(&range, &mut out));
+    });
+    let enc = FrequencyInt::encode(&runs, 16);
+    group.bench_function(BenchmarkId::new("frequency", "pushdown"), |b| {
+        b.iter(|| enc.filter_into(&run_range, &mut out));
+    });
+    group.finish();
+}
+
+fn corra_scans(c: &mut Criterion) {
+    let table = LineitemDates::generate(N, 42).into_table();
+    let (_, corra) = compress_table(
+        table,
+        &CompressionConfig::baseline().with(
+            "l_receiptdate",
+            ColumnPlan::NonHier {
+                reference: "l_shipdate".into(),
+            },
+        ),
+    );
+    let message = MessageTable::generate(MessageParams::scaled(N), 31).into_table();
+    let (_, hier) = compress_table(
+        message,
+        &CompressionConfig::baseline().with(
+            "ip",
+            ColumnPlan::Hier {
+                reference: "countryid".into(),
+            },
+        ),
+    );
+
+    let mut group = c.benchmark_group("scan_corra");
+    group.throughput(Throughput::Elements(N as u64));
+    let pred = Predicate::between("l_receiptdate", 8_100, 8_350);
+    group.bench_function("nonhier/pushdown", |b| {
+        b.iter(|| scan(&corra[0], &pred).unwrap());
+    });
+    group.bench_function("nonhier/decode_filter", |b| {
+        b.iter(|| {
+            let decoded = corra[0].decompress("l_receiptdate").unwrap();
+            corra_encodings::filter::filter_naive(
+                decoded.as_i64().unwrap(),
+                &IntRange::new(8_100, 8_350),
+            )
+        });
+    });
+    let pred = Predicate::le("ip", (10 << 24) | (40 << 17));
+    group.bench_function("hier/pushdown", |b| {
+        b.iter(|| scan(&hier[0], &pred).unwrap());
+    });
+    // Zone-map pruning: the range misses the whole block.
+    let pred = Predicate::lt("l_shipdate", 0);
+    group.bench_function("pruned/pushdown", |b| {
+        b.iter(|| scan(&corra[0], &pred).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = vertical_kernels, corra_scans
+);
+criterion_main!(benches);

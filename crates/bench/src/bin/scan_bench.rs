@@ -1,0 +1,214 @@
+//! **Scan bench** — throughput of compressed-domain predicate pushdown vs
+//! decompress-then-filter, across the vertical baseline and every Corra
+//! horizontal codec, with zone-map pruning measured separately.
+//!
+//! This binary seeds the repo's perf trajectory: CI's `perf-smoke` job runs
+//! it in quick mode and uploads `BENCH_scan.json` as a workflow artifact,
+//! so every PR leaves a perf breadcrumb.
+//!
+//! ```sh
+//! cargo run --release -p corra-bench --bin scan_bench              # full
+//! cargo run --release -p corra-bench --bin scan_bench -- --quick --json
+//! CORRA_SCAN_ROWS=2000000 cargo run --release -p corra-bench --bin scan_bench
+//! ```
+
+use corra_bench::{compress_table, median_secs};
+use corra_core::scan::{scan_blocks, Predicate, ScanStats};
+use corra_core::{ColumnPlan, CompressedBlock, CompressionConfig};
+use corra_datagen::{LineitemDates, MessageParams, MessageTable, TaxiParams, TaxiTable};
+use corra_encodings::filter::filter_naive;
+
+/// One measured scan configuration.
+struct ScanRow {
+    name: &'static str,
+    column: &'static str,
+    scan_secs: f64,
+    naive_secs: f64,
+    stats: ScanStats,
+}
+
+impl ScanRow {
+    fn speedup(&self) -> f64 {
+        self.naive_secs / self.scan_secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+impl serde::Serialize for ScanRow {
+    fn to_value(&self) -> serde::Value {
+        serde_json::json!({
+            "name": self.name,
+            "column": self.column,
+            "scan_secs": self.scan_secs,
+            "naive_secs": self.naive_secs,
+            "speedup": self.speedup(),
+            "rows_total": self.stats.rows_total,
+            "rows_matched": self.stats.rows_matched,
+            "blocks": self.stats.blocks,
+            "blocks_pruned": self.stats.blocks_pruned,
+        })
+    }
+}
+
+fn time_scan(
+    blocks: &[CompressedBlock],
+    pred: &Predicate,
+    column: &'static str,
+    name: &'static str,
+    reps: usize,
+) -> ScanRow {
+    let (_, stats) = scan_blocks(blocks, pred).expect("scan");
+    let scan_secs = median_secs(reps, || {
+        let out = scan_blocks(blocks, pred).expect("scan");
+        std::hint::black_box(out);
+    });
+    // Comparator: decompress the whole column, then filter the raw values.
+    let range = range_of(pred);
+    let naive_secs = median_secs(reps, || {
+        for block in blocks {
+            let decoded = block.decompress(column).expect("decompress");
+            let positions = filter_naive(decoded.as_i64().expect("int column"), &range);
+            std::hint::black_box(positions);
+        }
+    });
+    ScanRow {
+        name,
+        column,
+        scan_secs,
+        naive_secs,
+        stats,
+    }
+}
+
+/// The normalized range of a leaf predicate (the bench uses leaves only).
+fn range_of(pred: &Predicate) -> corra_columnar::predicate::IntRange {
+    match pred {
+        Predicate::Compare { op, value, .. } => op.to_range(*value),
+        Predicate::Between { lo, hi, .. } => corra_columnar::predicate::IntRange::new(*lo, *hi),
+        _ => unreachable!("bench predicates are integer leaves"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let rows: usize = std::env::var("CORRA_SCAN_ROWS")
+        .ok()
+        .and_then(|s| s.replace('_', "").parse().ok())
+        .unwrap_or(if quick { 200_000 } else { 1_000_000 });
+    let reps = if quick { 3 } else { 7 };
+    println!("Scan bench at {rows} rows, {reps} reps (quick={quick})");
+
+    // Non-hierarchical: lineitem dates.
+    let table = LineitemDates::generate(rows, 42).into_table();
+    let (_, baseline) = compress_table(table.clone(), &CompressionConfig::baseline());
+    let (_, nonhier) = compress_table(
+        table,
+        &CompressionConfig::baseline().with(
+            "l_receiptdate",
+            ColumnPlan::NonHier {
+                reference: "l_shipdate".into(),
+            },
+        ),
+    );
+    // Hierarchical: LDBC message IPs under country.
+    let message = MessageTable::generate(MessageParams::scaled(rows), 31).into_table();
+    let (_, hier) = compress_table(
+        message,
+        &CompressionConfig::baseline().with(
+            "ip",
+            ColumnPlan::Hier {
+                reference: "countryid".into(),
+            },
+        ),
+    );
+    // Multi-reference: taxi total_amount.
+    let taxi = TaxiTable::generate(
+        TaxiParams {
+            rows,
+            ..Default::default()
+        },
+        23,
+    )
+    .into_table();
+    let (_, multiref) = compress_table(
+        taxi,
+        &CompressionConfig::baseline().with(
+            "total_amount",
+            ColumnPlan::MultiRef {
+                groups: TaxiTable::reference_groups(),
+                code_bits: 2,
+            },
+        ),
+    );
+
+    let series = vec![
+        time_scan(
+            &baseline,
+            &Predicate::between("l_shipdate", 8_100, 8_350),
+            "l_shipdate",
+            "vertical_for/range10pct",
+            reps,
+        ),
+        time_scan(
+            &nonhier,
+            &Predicate::between("l_receiptdate", 8_100, 8_350),
+            "l_receiptdate",
+            "nonhier/range10pct",
+            reps,
+        ),
+        time_scan(
+            &nonhier,
+            &Predicate::lt("l_shipdate", 0),
+            "l_shipdate",
+            "pruned/below_domain",
+            reps,
+        ),
+        time_scan(
+            &hier,
+            &Predicate::le("ip", (10 << 24) | (40 << 17)),
+            "ip",
+            "hier/ip_prefix",
+            reps,
+        ),
+        time_scan(
+            &multiref,
+            &Predicate::ge("total_amount", 2_000),
+            "total_amount",
+            "multiref/total_ge",
+            reps,
+        ),
+    ];
+
+    println!(
+        "\n{:<26} {:>12} {:>12} {:>9} {:>12} {:>8}",
+        "series", "scan", "decode+filt", "speedup", "matched", "pruned"
+    );
+    for r in &series {
+        println!(
+            "{:<26} {:>10.3}ms {:>10.3}ms {:>8.2}x {:>12} {:>8}",
+            r.name,
+            r.scan_secs * 1e3,
+            r.naive_secs * 1e3,
+            r.speedup(),
+            r.stats.rows_matched,
+            r.stats.blocks_pruned,
+        );
+    }
+
+    if json {
+        let doc = serde_json::json!({
+            "bench": "scan",
+            "rows": rows,
+            "reps": reps,
+            "quick": quick,
+            "series": serde::Value::Array(
+                series.iter().map(serde::Serialize::to_value).collect()
+            ),
+        });
+        let path = "BENCH_scan.json";
+        let body = serde_json::to_string(&doc).expect("serialize");
+        std::fs::write(path, &body).expect("write BENCH_scan.json");
+        println!("\nwrote {path} ({} bytes)", body.len());
+    }
+}

@@ -2,6 +2,7 @@
 //! encoding scheme for a given pair of columns" (Table 3 protocol).
 
 use corra_columnar::error::Result;
+use corra_columnar::predicate::IntRange;
 
 use crate::dfor::Dfor;
 use crate::hier_for::HierFor;
@@ -55,6 +56,24 @@ impl C3Encoding {
             C3Encoding::Numerical(e) => e.decode_into(reference, out),
             C3Encoding::OneToOne(e) => e.decode_into(reference, out),
             C3Encoding::HierFor(e) => e.decode_into(reference, out),
+        }
+    }
+
+    /// Predicate pushdown through the reference column: each scheme's
+    /// compressed-domain filter kernel (streaming reconstruction for
+    /// DFOR/Numerical, per-distinct-entry evaluation for 1-to-1 and the
+    /// hierarchical family).
+    pub fn filter_into(
+        &self,
+        reference: &[i64],
+        range: &IntRange,
+        out: &mut Vec<u32>,
+    ) -> Result<()> {
+        match self {
+            C3Encoding::Dfor(e) => e.filter_into(reference, range, out),
+            C3Encoding::Numerical(e) => e.filter_into(reference, range, out),
+            C3Encoding::OneToOne(e) => e.filter_into(reference, range, out),
+            C3Encoding::HierFor(e) => e.filter_into(reference, range, out),
         }
     }
 }

@@ -5,6 +5,7 @@
 
 use corra_columnar::bitpack::BitPackedVec;
 use corra_columnar::error::{Error, Result};
+use corra_columnar::predicate::IntRange;
 
 /// A column DFOR-encoded w.r.t. a reference column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +77,33 @@ impl Dfor {
                 r.wrapping_add(self.base)
                     .wrapping_add(self.diffs.get_unchecked_len(i) as i64),
             );
+        }
+        Ok(())
+    }
+
+    /// Predicate pushdown: emits the positions (ascending) of all rows whose
+    /// reconstructed value (`reference + base + diff`) matches `range`, in
+    /// one streaming pass over the packed diffs.
+    pub fn filter_into(
+        &self,
+        reference: &[i64],
+        range: &IntRange,
+        out: &mut Vec<u32>,
+    ) -> Result<()> {
+        if reference.len() != self.len() {
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len(),
+            });
+        }
+        out.clear();
+        for (i, &r) in reference.iter().enumerate() {
+            let v = r
+                .wrapping_add(self.base)
+                .wrapping_add(self.diffs.get_unchecked_len(i) as i64);
+            if range.matches(v) {
+                out.push(i as u32);
+            }
         }
         Ok(())
     }

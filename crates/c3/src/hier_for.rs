@@ -12,6 +12,7 @@
 
 use corra_columnar::bitpack::BitPackedVec;
 use corra_columnar::error::{Error, Result};
+use corra_columnar::predicate::IntRange;
 use rustc_hash::FxHashMap;
 
 /// Hierarchical FOR encoding keyed by raw reference values.
@@ -112,6 +113,41 @@ impl HierFor {
             out.push(
                 self.children[(self.offsets[k] + self.codes.get_unchecked_len(i) as u32) as usize],
             );
+        }
+        Ok(())
+    }
+
+    /// Predicate pushdown: evaluates `range` once per distinct
+    /// (reference, child) metadata entry, then tests each row by indexing
+    /// the verdicts with `offsets[key] + code` — no child value is
+    /// reconstructed per row.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidData`] if a reference value was unseen at encode
+    /// time, as in [`decode_into`](Self::decode_into).
+    pub fn filter_into(
+        &self,
+        reference: &[i64],
+        range: &IntRange,
+        out: &mut Vec<u32>,
+    ) -> Result<()> {
+        if reference.len() != self.len() {
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len(),
+            });
+        }
+        out.clear();
+        let verdicts: Vec<bool> = self.children.iter().map(|&v| range.matches(v)).collect();
+        for (i, &r) in reference.iter().enumerate() {
+            let k = self
+                .ref_keys
+                .binary_search(&r)
+                .map_err(|_| Error::invalid("reference value unseen at encode time"))?;
+            if verdicts[(self.offsets[k] + self.codes.get_unchecked_len(i) as u32) as usize] {
+                out.push(i as u32);
+            }
         }
         Ok(())
     }

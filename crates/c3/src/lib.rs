@@ -17,6 +17,10 @@
 //!
 //! Notably absent (as the paper points out): multi-reference support — C3
 //! cannot express Taxi's `total_amount` formula mixture.
+//!
+//! Every scheme implements a `filter_into` pushdown kernel mirroring
+//! `corra-core::scan`'s reconstruction rules, so scan parity can be
+//! measured across both frameworks.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -10,6 +10,7 @@
 
 use corra_columnar::bitpack::BitPackedVec;
 use corra_columnar::error::{Error, Result};
+use corra_columnar::predicate::IntRange;
 
 /// Fixed-point fractional bits of the fitted slope.
 pub const SLOPE_SHIFT: u32 = 16;
@@ -113,6 +114,32 @@ impl Numerical {
                     .wrapping_add(self.base)
                     .wrapping_add(self.residuals.get_unchecked_len(i) as i64),
             );
+        }
+        Ok(())
+    }
+
+    /// Predicate pushdown: reconstructs each row through the fixed-point
+    /// affine prediction and tests `range` in one streaming pass.
+    pub fn filter_into(
+        &self,
+        reference: &[i64],
+        range: &IntRange,
+        out: &mut Vec<u32>,
+    ) -> Result<()> {
+        if reference.len() != self.len() {
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len(),
+            });
+        }
+        out.clear();
+        for (i, &r) in reference.iter().enumerate() {
+            let v = predict(self.slope_num, r)
+                .wrapping_add(self.base)
+                .wrapping_add(self.residuals.get_unchecked_len(i) as i64);
+            if range.matches(v) {
+                out.push(i as u32);
+            }
         }
         Ok(())
     }

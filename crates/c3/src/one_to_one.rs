@@ -7,6 +7,7 @@
 //! code, plus an exception list for rows violating the dependency.
 
 use corra_columnar::error::{Error, Result};
+use corra_columnar::predicate::IntRange;
 use rustc_hash::FxHashMap;
 
 /// 1-to-1 mapping encoding of a target column w.r.t. a reference column.
@@ -113,6 +114,49 @@ impl OneToOne {
         }
         for (j, &p) in self.exc_pos.iter().enumerate() {
             out[p as usize] = self.exc_val[j];
+        }
+        Ok(())
+    }
+
+    /// Predicate pushdown: evaluates `range` once per mapping entry (the
+    /// distinct side of the functional dependency), then classifies each
+    /// row by its reference key against the precomputed verdicts; exception
+    /// rows are merged in by a sorted walk over the exception index.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidData`] if a reference value was unseen at encode
+    /// time, as in [`decode_into`](Self::decode_into).
+    pub fn filter_into(
+        &self,
+        reference: &[i64],
+        range: &IntRange,
+        out: &mut Vec<u32>,
+    ) -> Result<()> {
+        if reference.len() != self.len {
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len,
+            });
+        }
+        out.clear();
+        let verdicts: Vec<bool> = self.mapped.iter().map(|&v| range.matches(v)).collect();
+        let mut e = 0usize;
+        for (i, &r) in reference.iter().enumerate() {
+            let matched = if e < self.exc_pos.len() && self.exc_pos[e] == i as u32 {
+                let m = range.matches(self.exc_val[e]);
+                e += 1;
+                m
+            } else {
+                let k = self
+                    .ref_keys
+                    .binary_search(&r)
+                    .map_err(|_| Error::invalid("reference value unseen at encode time"))?;
+                verdicts[k]
+            };
+            if matched {
+                out.push(i as u32);
+            }
         }
         Ok(())
     }

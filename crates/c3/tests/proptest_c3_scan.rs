@@ -1,0 +1,121 @@
+//! Pushdown parity for the C3 comparator: every scheme's `filter_into`
+//! kernel returns exactly the positions of decode-then-filter, for all four
+//! schemes (DFOR, Numerical, 1-to-1, HierFor) and the chooser's pick,
+//! including the empty-selection and all-rows edges.
+
+use corra_c3::{choose, C3Encoding, Dfor, HierFor, Numerical, OneToOne};
+use corra_columnar::predicate::IntRange;
+use proptest::prelude::*;
+
+/// Builds a correlated (target, reference) pair shaped like the paper's
+/// datasets from raw tuples: bounded diffs, affine trends, functional
+/// dependencies, hierarchies — selected by `mode`.
+fn make_pair(mode: u8, raw: &[(i64, i64)]) -> (Vec<i64>, Vec<i64>) {
+    match mode % 4 {
+        // Bounded diff (DFOR territory).
+        0 => raw
+            .iter()
+            .map(|&(r, d)| {
+                (
+                    8_000 + r.rem_euclid(3_000) + d.rem_euclid(30),
+                    8_000 + r.rem_euclid(3_000),
+                )
+            })
+            .unzip(),
+        // Affine trend (Numerical territory).
+        1 => raw
+            .iter()
+            .map(|&(r, e)| {
+                let r = r.rem_euclid(5_000);
+                (3 * r + e.rem_euclid(8), r)
+            })
+            .unzip(),
+        // Functional dependency (1-to-1 territory).
+        2 => raw
+            .iter()
+            .map(|&(r, _)| {
+                let r = r.rem_euclid(50);
+                (r * 7 + 13, r)
+            })
+            .unzip(),
+        // Hierarchy: few children per reference (HierFor territory).
+        _ => raw
+            .iter()
+            .map(|&(r, c)| {
+                let r = r.rem_euclid(40);
+                (r * 100 + c.rem_euclid(4), r)
+            })
+            .unzip(),
+    }
+}
+
+fn naive(values: &[i64], range: &IntRange) -> Vec<u32> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| range.matches(v))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+proptest! {
+    /// filter == decode-then-filter across every C3 scheme, for arbitrary
+    /// ranges plus the match-nothing / match-everything constants.
+    #[test]
+    fn c3_filters_match_decode_then_filter(
+        mode in any::<u8>(),
+        raw in prop::collection::vec((0i64..1_000_000, 0i64..1_000_000), 0..300),
+        a in -2_000i64..600_000,
+        b in -2_000i64..600_000,
+        negate in any::<bool>(),
+    ) {
+        let (target, reference) = make_pair(mode, &raw);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let ranges = [
+            IntRange { lo, hi, negate },
+            IntRange::empty(),
+            IntRange::all(),
+        ];
+        let schemes: Vec<(&str, C3Encoding)> = vec![
+            ("dfor", C3Encoding::Dfor(Dfor::encode(&target, &reference).unwrap())),
+            ("numerical", C3Encoding::Numerical(Numerical::encode(&target, &reference).unwrap())),
+            ("one-to-one", C3Encoding::OneToOne(OneToOne::encode(&target, &reference).unwrap())),
+            ("hier-for", C3Encoding::HierFor(HierFor::encode(&target, &reference).unwrap())),
+            ("chooser", choose(&target, &reference).unwrap()),
+        ];
+        for (label, enc) in &schemes {
+            let mut decoded = Vec::new();
+            enc.decode_into(&reference, &mut decoded).unwrap();
+            prop_assert_eq!(&decoded, &target);
+            for range in &ranges {
+                let mut got = Vec::new();
+                enc.filter_into(&reference, range, &mut got).unwrap();
+                let want = naive(&decoded, range);
+                prop_assert!(
+                    got == want,
+                    "{} {:?}: {:?} != {:?}", label, range, got, want
+                );
+            }
+        }
+    }
+
+    /// Misaligned reference lengths error on every scheme's filter kernel.
+    #[test]
+    fn c3_filters_reject_misaligned(
+        mode in any::<u8>(),
+        raw in prop::collection::vec((0i64..1_000, 0i64..1_000), 1..100),
+    ) {
+        let (target, reference) = make_pair(mode, &raw);
+        let mut out = Vec::new();
+        let short = &reference[..reference.len() - 1];
+        let range = IntRange::all();
+        prop_assert!(Dfor::encode(&target, &reference).unwrap()
+            .filter_into(short, &range, &mut out).is_err());
+        prop_assert!(Numerical::encode(&target, &reference).unwrap()
+            .filter_into(short, &range, &mut out).is_err());
+        prop_assert!(OneToOne::encode(&target, &reference).unwrap()
+            .filter_into(short, &range, &mut out).is_err());
+        prop_assert!(HierFor::encode(&target, &reference).unwrap()
+            .filter_into(short, &range, &mut out).is_err());
+    }
+}

@@ -14,7 +14,10 @@
 //!   dictionary encodings;
 //! * [`selection::SelectionVector`] — the uniform random selection vectors
 //!   driving the query-latency experiments;
-//! * [`stats`] — exact column statistics feeding the encoding choosers;
+//! * [`stats`] — exact column statistics feeding the encoding choosers,
+//!   plus the [`stats::ZoneMap`] used for scan-time block pruning;
+//! * [`predicate::IntRange`] — the normalized range predicate every filter
+//!   kernel evaluates in its compressed domain;
 //! * [`temporal`] — from-scratch civil-date ↔ epoch-day conversion.
 
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@ pub mod bitpack;
 pub mod block;
 pub mod column;
 pub mod error;
+pub mod predicate;
 pub mod schema;
 pub mod selection;
 pub mod stats;
@@ -34,6 +38,8 @@ pub use bitpack::BitPackedVec;
 pub use block::{DataBlock, Table, DEFAULT_BLOCK_ROWS};
 pub use column::{Column, DataType};
 pub use error::{Error, Result};
+pub use predicate::{IntRange, RangeVerdict};
 pub use schema::{Field, Schema};
 pub use selection::SelectionVector;
+pub use stats::ZoneMap;
 pub use strings::{StringDictBuilder, StringPool};

@@ -1,0 +1,166 @@
+//! The normalized predicate domain shared by every filter kernel.
+//!
+//! Scan pushdown (see `corra-core::scan`) lowers user-facing comparisons
+//! (`=`, `!=`, `<`, `<=`, `>`, `>=`, `BETWEEN`) into an [`IntRange`]: an
+//! inclusive `[lo, hi]` value interval plus a `negate` flag. Every integer
+//! encoding implements a kernel that answers "which rows match this range?"
+//! directly on its compressed representation, so a single normalized type
+//! keeps the per-codec surface small:
+//!
+//! * `=  c` → `[c, c]`
+//! * `!= c` → `[c, c]` negated
+//! * `<  c` → `[i64::MIN, c-1]` (empty when `c == i64::MIN`)
+//! * `<= c` → `[i64::MIN, c]`
+//! * `>  c` → `[c+1, i64::MAX]` (empty when `c == i64::MAX`)
+//! * `>= c` → `[c, i64::MAX]`
+//! * `BETWEEN lo AND hi` → `[lo, hi]`
+//!
+//! An interval with `lo > hi` is empty; combined with `negate` that yields
+//! the match-nothing and match-everything constants.
+
+use crate::stats::ZoneMap;
+
+/// An inclusive value interval with an optional negation.
+///
+/// A row matches when its value lies inside `[lo, hi]`, flipped by
+/// `negate`. `lo > hi` denotes the empty interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntRange {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+    /// When set, rows *outside* `[lo, hi]` match.
+    pub negate: bool,
+}
+
+/// What a zone map proves about an [`IntRange`] before any row is decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeVerdict {
+    /// No row in the zone can match; the block can be pruned.
+    None,
+    /// Every row in the zone matches; emit a full selection without decoding.
+    All,
+    /// The range straddles the zone; a per-row kernel must run.
+    Partial,
+}
+
+impl IntRange {
+    /// The interval `[lo, hi]`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        Self {
+            lo,
+            hi,
+            negate: false,
+        }
+    }
+
+    /// The complement of `[lo, hi]`.
+    pub fn negated(lo: i64, hi: i64) -> Self {
+        Self {
+            lo,
+            hi,
+            negate: true,
+        }
+    }
+
+    /// The interval that matches nothing.
+    pub fn empty() -> Self {
+        Self {
+            lo: 1,
+            hi: 0,
+            negate: false,
+        }
+    }
+
+    /// The interval that matches everything.
+    pub fn all() -> Self {
+        Self {
+            lo: 1,
+            hi: 0,
+            negate: true,
+        }
+    }
+
+    /// Whether the positive interval `[lo, hi]` is empty.
+    #[inline]
+    pub fn interval_is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether `v` matches the predicate.
+    #[inline]
+    pub fn matches(&self, v: i64) -> bool {
+        ((self.lo <= v) & (v <= self.hi)) ^ self.negate
+    }
+
+    /// Tests the range against a min/max zone map without touching rows.
+    ///
+    /// The verdict is sound for any zone map that *covers* the column's
+    /// values (conservative bounds are fine): [`RangeVerdict::None`] and
+    /// [`RangeVerdict::All`] are only returned when provable.
+    pub fn verdict(&self, zone: &ZoneMap) -> RangeVerdict {
+        let disjoint = self.interval_is_empty() || self.hi < zone.min || self.lo > zone.max;
+        let covers = !self.interval_is_empty() && self.lo <= zone.min && zone.max <= self.hi;
+        match (disjoint, covers, self.negate) {
+            (true, _, false) => RangeVerdict::None,
+            (true, _, true) => RangeVerdict::All,
+            (_, true, false) => RangeVerdict::All,
+            (_, true, true) => RangeVerdict::None,
+            _ => RangeVerdict::Partial,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_basic() {
+        let r = IntRange::new(3, 7);
+        assert!(!r.matches(2));
+        assert!(r.matches(3));
+        assert!(r.matches(7));
+        assert!(!r.matches(8));
+        let n = IntRange::negated(3, 7);
+        assert!(n.matches(2));
+        assert!(!n.matches(5));
+    }
+
+    #[test]
+    fn empty_and_all() {
+        assert!(!IntRange::empty().matches(0));
+        assert!(!IntRange::empty().matches(i64::MIN));
+        assert!(IntRange::all().matches(0));
+        assert!(IntRange::all().matches(i64::MAX));
+    }
+
+    #[test]
+    fn extreme_bounds() {
+        let r = IntRange::new(i64::MIN, i64::MAX);
+        assert!(r.matches(i64::MIN));
+        assert!(r.matches(i64::MAX));
+        assert!(!IntRange::negated(i64::MIN, i64::MAX).matches(0));
+    }
+
+    #[test]
+    fn verdicts() {
+        let zone = ZoneMap { min: 10, max: 20 };
+        assert_eq!(IntRange::new(0, 5).verdict(&zone), RangeVerdict::None);
+        assert_eq!(IntRange::new(21, 99).verdict(&zone), RangeVerdict::None);
+        assert_eq!(IntRange::new(0, 99).verdict(&zone), RangeVerdict::All);
+        assert_eq!(IntRange::new(10, 20).verdict(&zone), RangeVerdict::All);
+        assert_eq!(IntRange::new(15, 99).verdict(&zone), RangeVerdict::Partial);
+        // Negated forms flip None/All.
+        assert_eq!(IntRange::negated(0, 5).verdict(&zone), RangeVerdict::All);
+        assert_eq!(IntRange::negated(0, 99).verdict(&zone), RangeVerdict::None);
+        assert_eq!(
+            IntRange::negated(15, 99).verdict(&zone),
+            RangeVerdict::Partial
+        );
+        // Empty interval is disjoint from everything.
+        assert_eq!(IntRange::empty().verdict(&zone), RangeVerdict::None);
+        assert_eq!(IntRange::all().verdict(&zone), RangeVerdict::All);
+    }
+}

@@ -34,6 +34,52 @@ impl SelectionVector {
         }
     }
 
+    /// Creates an empty selection (no rows).
+    pub fn empty() -> Self {
+        Self {
+            positions: Vec::new(),
+        }
+    }
+
+    /// Wraps positions that are already strictly increasing, skipping the
+    /// sort/dedup of [`new`](Self::new). This is the constructor used by the
+    /// scan kernels, which emit positions in row order by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the positions are not strictly increasing.
+    pub fn from_sorted(positions: Vec<u32>) -> crate::error::Result<Self> {
+        if positions.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(crate::error::Error::invalid(
+                "selection positions must be strictly increasing",
+            ));
+        }
+        Ok(Self { positions })
+    }
+
+    /// The sorted intersection of two selections (merge walk).
+    pub fn intersect(&self, other: &SelectionVector) -> SelectionVector {
+        let (mut a, mut b) = (self.positions.iter().peekable(), other.positions.iter());
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        'outer: for &pb in b.by_ref() {
+            while let Some(&&pa) = a.peek() {
+                match pa.cmp(&pb) {
+                    std::cmp::Ordering::Less => {
+                        a.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        out.push(pb);
+                        a.next();
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => continue 'outer,
+                }
+            }
+            break;
+        }
+        SelectionVector { positions: out }
+    }
+
     /// The selected positions, ascending and distinct.
     #[inline]
     pub fn positions(&self) -> &[u32] {
@@ -53,6 +99,10 @@ impl SelectionVector {
     }
 
     /// The realized selectivity w.r.t. a block of `rows` rows.
+    ///
+    /// Defined as `0.0` for `rows == 0` (the only selection valid against an
+    /// empty block is the empty selection, which selects no rows) — there is
+    /// no division by zero.
     pub fn selectivity(&self, rows: usize) -> f64 {
         if rows == 0 {
             0.0
@@ -62,7 +112,14 @@ impl SelectionVector {
     }
 
     /// Checks every position is `< rows`.
+    ///
+    /// For `rows == 0` only the empty selection validates: any stored
+    /// position would address a nonexistent row, so a non-empty selection is
+    /// rejected rather than vacuously accepted.
     pub fn validate(&self, rows: usize) -> bool {
+        if rows == 0 {
+            return self.is_empty();
+        }
         self.positions.last().is_none_or(|&p| (p as usize) < rows)
     }
 }
@@ -199,5 +256,38 @@ mod tests {
         let sel = SelectionVector::new(vec![0, 10]);
         assert!(sel.validate(11));
         assert!(!sel.validate(10));
+    }
+
+    #[test]
+    fn zero_rows_semantics() {
+        let empty = SelectionVector::empty();
+        assert_eq!(empty.selectivity(0), 0.0);
+        assert!(empty.selectivity(0).is_finite());
+        assert!(empty.validate(0));
+        // A non-empty selection can never be valid against an empty block.
+        let sel = SelectionVector::new(vec![0]);
+        assert!(!sel.validate(0));
+        assert_eq!(sel.selectivity(0), 0.0);
+        // `all(0)` is the empty selection.
+        assert_eq!(SelectionVector::all(0), empty);
+    }
+
+    #[test]
+    fn from_sorted_checks_order() {
+        let sel = SelectionVector::from_sorted(vec![1, 3, 9]).unwrap();
+        assert_eq!(sel.positions(), &[1, 3, 9]);
+        assert!(SelectionVector::from_sorted(vec![]).is_ok());
+        assert!(SelectionVector::from_sorted(vec![3, 3]).is_err());
+        assert!(SelectionVector::from_sorted(vec![5, 2]).is_err());
+    }
+
+    #[test]
+    fn intersect_is_sorted_common_subset() {
+        let a = SelectionVector::new(vec![1, 3, 5, 7, 9]);
+        let b = SelectionVector::new(vec![0, 3, 4, 9, 10]);
+        assert_eq!(a.intersect(&b).positions(), &[3, 9]);
+        assert_eq!(b.intersect(&a).positions(), &[3, 9]);
+        assert!(a.intersect(&SelectionVector::empty()).is_empty());
+        assert_eq!(a.intersect(&a), a);
     }
 }

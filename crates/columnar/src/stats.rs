@@ -75,6 +75,67 @@ impl IntStats {
     }
 }
 
+/// A min/max zone map over an integer column, the block-pruning side of
+/// predicate pushdown: a scan consults the zone map first and skips the
+/// per-row kernel when the predicate's range provably misses (or provably
+/// covers) every value in the block.
+///
+/// A zone map is *covering*, not necessarily tight: implementations may
+/// return conservative bounds (e.g. FOR's `[base, base + 2^bits - 1]`)
+/// as long as every stored value lies inside them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneMap {
+    /// Lower bound (inclusive) on every value in the zone.
+    pub min: i64,
+    /// Upper bound (inclusive) on every value in the zone.
+    pub max: i64,
+}
+
+impl ZoneMap {
+    /// Exact zone map of a slice; `None` when empty.
+    pub fn from_values(values: &[i64]) -> Option<Self> {
+        let mut iter = values.iter();
+        let &first = iter.next()?;
+        let mut zone = Self {
+            min: first,
+            max: first,
+        };
+        for &v in iter {
+            zone.include(v);
+        }
+        Some(zone)
+    }
+
+    /// Zone map carried by already-computed [`IntStats`]; `None` when empty.
+    pub fn from_stats(stats: &IntStats) -> Option<Self> {
+        (stats.count > 0).then_some(Self {
+            min: stats.min,
+            max: stats.max,
+        })
+    }
+
+    /// Widens the zone to include `v`.
+    #[inline]
+    pub fn include(&mut self, v: i64) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// The union of two zones.
+    pub fn union(self, other: Self) -> Self {
+        Self {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Whether `v` can be a value of this zone.
+    #[inline]
+    pub fn covers(&self, v: i64) -> bool {
+        self.min <= v && v <= self.max
+    }
+}
+
 /// Statistics over a string column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StringStats {
@@ -192,6 +253,23 @@ mod tests {
         let s = IntStats::compute(&[i64::MIN, i64::MAX]);
         assert_eq!(s.range(), u64::MAX);
         assert_eq!(s.for_bits(), 64);
+    }
+
+    #[test]
+    fn zone_map_basics() {
+        assert_eq!(ZoneMap::from_values(&[]), None);
+        let z = ZoneMap::from_values(&[5, -3, 9]).unwrap();
+        assert_eq!(z, ZoneMap { min: -3, max: 9 });
+        assert!(z.covers(0));
+        assert!(!z.covers(10));
+        let mut w = z;
+        w.include(100);
+        assert_eq!(w.max, 100);
+        let u = z.union(ZoneMap { min: -50, max: -40 });
+        assert_eq!(u, ZoneMap { min: -50, max: 9 });
+        let s = IntStats::compute(&[5, -3, 9]);
+        assert_eq!(ZoneMap::from_stats(&s), Some(z));
+        assert_eq!(ZoneMap::from_stats(&IntStats::compute(&[])), None);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 use bytes::{Buf, BufMut};
 use corra_columnar::bitpack::BitPackedVec;
 use corra_columnar::error::{Error, Result};
+use corra_columnar::predicate::IntRange;
 use corra_columnar::selection::SelectionVector;
+use corra_columnar::stats::ZoneMap;
 use corra_columnar::strings::{StringDictBuilder, StringPool};
 use rustc_hash::FxHashMap;
 
@@ -161,6 +163,33 @@ impl HierInt {
         for &p in sel.positions() {
             out.push(self.get(p as usize, parent_code_at(p as usize)));
         }
+    }
+
+    /// Predicate pushdown: evaluates `range` once per distinct
+    /// (parent, child) metadata entry — the flattened `values` array of
+    /// Fig. 3 — and then tests each row by indexing the precomputed verdicts
+    /// with `offsets[parent] + code`, the same address Alg. 1 reads. No
+    /// child value is reconstructed per row.
+    pub fn filter_with_parents(
+        &self,
+        range: &IntRange,
+        parent_code_at: impl Fn(usize) -> u32,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        let verdicts: Vec<bool> = self.values.iter().map(|&v| range.matches(v)).collect();
+        for i in 0..self.len() {
+            let off = self.offsets[parent_code_at(i) as usize];
+            if verdicts[(off + self.codes.get_unchecked_len(i) as u32) as usize] {
+                out.push(i as u32);
+            }
+        }
+    }
+
+    /// Exact value bounds from the metadata array: every stored child value
+    /// occurs in at least one row (entries are created on first occurrence).
+    pub fn value_bounds(&self) -> Option<ZoneMap> {
+        ZoneMap::from_values(&self.values)
     }
 
     /// Compressed size: packed codes + metadata arrays (the paper includes
@@ -345,6 +374,29 @@ impl HierStr {
         out.reserve(sel.len());
         for &p in sel.positions() {
             out.push(self.get(p as usize, parent_code_at(p as usize)).to_owned());
+        }
+    }
+
+    /// Predicate pushdown for string equality: evaluates the comparison once
+    /// per distinct (parent, child) pool entry, then tests rows against the
+    /// precomputed verdicts — the string analogue of
+    /// [`HierInt::filter_with_parents`].
+    pub fn filter_eq_with_parents(
+        &self,
+        value: &str,
+        negate: bool,
+        parent_code_at: impl Fn(usize) -> u32,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        let verdicts: Vec<bool> = (0..self.values.len())
+            .map(|k| (self.values.get(k) == value) != negate)
+            .collect();
+        for i in 0..self.len() {
+            let off = self.offsets[parent_code_at(i) as usize];
+            if verdicts[(off + self.codes.get_unchecked_len(i) as u32) as usize] {
+                out.push(i as u32);
+            }
         }
     }
 

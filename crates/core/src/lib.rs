@@ -21,7 +21,9 @@
 //! * [`compressor::CompressedBlock`] — self-contained block compression
 //!   combining vertical and horizontal codecs;
 //! * [`format`](mod@format) — the versioned serialized block layout;
-//! * [`query`] — the materializing query kernels of the latency experiments.
+//! * [`query`] — the materializing query kernels of the latency experiments;
+//! * [`scan`](mod@scan) — predicate pushdown: per-codec filter kernels,
+//!   zone-map block pruning, and the filter→materialize pipeline.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,6 +37,7 @@ pub mod nonhier;
 pub mod optimizer;
 pub mod outlier;
 pub mod query;
+pub mod scan;
 
 pub use compressor::{
     compress_blocks, ColumnCodec, ColumnPlan, CompressedBlock, CompressionConfig,
@@ -45,3 +48,6 @@ pub use nonhier::{plan_window, NonHierInt, WindowPlan};
 pub use optimizer::{apply_assignment, Assignment, ColumnGraph, EncodedColumn};
 pub use outlier::OutlierRegion;
 pub use query::{query_both, query_column, query_two_columns, QueryOutput};
+pub use scan::{
+    scan, scan_blocks, scan_pruned, scan_query, scan_query_both, CmpOp, Predicate, ScanStats,
+};

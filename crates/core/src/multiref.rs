@@ -277,6 +277,36 @@ impl MultiRefInt {
         Ok(())
     }
 
+    /// Predicate pushdown: emits the positions (ascending) of all rows whose
+    /// reconstructed value matches `range`. Each row evaluates only the
+    /// reference groups its coded formula names (`eval_mask(mask, row)`,
+    /// like [`gather_masked`](Self::gather_masked)); outlier rows are merged
+    /// in by a sorted walk and tested on their verbatim values.
+    pub fn filter_masked(
+        &self,
+        range: &corra_columnar::predicate::IntRange,
+        eval_mask: impl Fn(u8, usize) -> i64,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        let mut exc = self.outliers.iter().peekable();
+        for i in 0..self.len() {
+            let v = match exc.peek() {
+                Some(&(oi, ov)) if oi == i as u32 => {
+                    exc.next();
+                    ov
+                }
+                _ => {
+                    let mask = self.formulas[self.codes.get_unchecked_len(i) as usize].0;
+                    eval_mask(mask, i)
+                }
+            };
+            if range.matches(v) {
+                out.push(i as u32);
+            }
+        }
+    }
+
     /// Materializes selected rows; `group_sum_at(g, row)` fetches (and
     /// decodes) the sum of reference group `g` at `row` — "reconstructing the
     /// target column requires fetching and computing based on all reference

@@ -15,7 +15,9 @@
 use bytes::{Buf, BufMut};
 use corra_columnar::bitpack::{bits_needed, BitPackedVec};
 use corra_columnar::error::{Error, Result};
+use corra_columnar::predicate::IntRange;
 use corra_columnar::selection::SelectionVector;
+use corra_columnar::stats::ZoneMap;
 use corra_encodings::IntAccess;
 
 use crate::outlier::{OutlierRegion, OUTLIER_COST_BYTES};
@@ -331,6 +333,77 @@ impl NonHierInt {
                 }
             }
         }
+    }
+
+    /// Predicate pushdown: emits the positions (ascending) of all rows whose
+    /// *reconstructed* value matches `range`, consulting the reference
+    /// column through `ref_at` per the paper's non-hierarchical rule
+    /// (`target = reference + base + diff`). Outlier rows are merged in by a
+    /// sorted walk and tested on their verbatim values; the per-row work on
+    /// the common outlier-free path is one add and two compares.
+    pub fn filter_map(&self, range: &IntRange, ref_at: impl Fn(usize) -> i64, out: &mut Vec<u32>) {
+        out.clear();
+        let base = self.base;
+        if self.outliers.is_empty() {
+            for i in 0..self.len() {
+                let v = ref_at(i)
+                    .wrapping_add(base)
+                    .wrapping_add(self.diffs.get_unchecked_len(i) as i64);
+                if range.matches(v) {
+                    out.push(i as u32);
+                }
+            }
+        } else {
+            let mut exc = self.outliers.iter().peekable();
+            for i in 0..self.len() {
+                let v = match exc.peek() {
+                    Some(&(oi, ov)) if oi == i as u32 => {
+                        exc.next();
+                        ov
+                    }
+                    _ => ref_at(i)
+                        .wrapping_add(base)
+                        .wrapping_add(self.diffs.get_unchecked_len(i) as i64),
+                };
+                if range.matches(v) {
+                    out.push(i as u32);
+                }
+            }
+        }
+    }
+
+    /// Covering value bounds derived from the reference column's zone map:
+    /// in-window rows lie in `[ref.min + base, ref.max + base + 2^bits - 1]`
+    /// and outlier rows are widened in from their verbatim values.
+    pub fn value_bounds(&self, reference: &ZoneMap) -> Option<ZoneMap> {
+        if self.is_empty() {
+            return None;
+        }
+        let span = if self.bits() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits()) - 1
+        };
+        let min = reference.min as i128 + self.base as i128;
+        let max = reference.max as i128 + self.base as i128 + span as i128;
+        // Diffs are stored with wrapping arithmetic; if the window bounds
+        // leave the i64 domain, reconstruction may wrap and no interval
+        // tighter than the universal one is provable.
+        let mut zone = if min < i64::MIN as i128 || max > i64::MAX as i128 {
+            ZoneMap {
+                min: i64::MIN,
+                max: i64::MAX,
+            }
+        } else {
+            ZoneMap {
+                min: min as i64,
+                max: max as i64,
+            }
+        };
+        for (_, v) in self.outliers.iter() {
+            zone.include(v);
+        }
+        Some(zone)
     }
 
     /// Compressed size: diff payload + frame metadata + outlier region.

@@ -64,7 +64,7 @@ impl QueryOutput {
 /// Fast reference-value accessor resolved once per query: the common
 /// vertical codecs get direct, assertion-free paths (the selection vector
 /// is validated once at query entry).
-enum RefAccess<'a> {
+pub(crate) enum RefAccess<'a> {
     For(&'a corra_encodings::ForInt),
     Dict(&'a corra_encodings::DictInt),
     Plain(&'a [i64]),
@@ -73,7 +73,7 @@ enum RefAccess<'a> {
 
 impl RefAccess<'_> {
     #[inline]
-    fn get(&self, i: usize) -> i64 {
+    pub(crate) fn get(&self, i: usize) -> i64 {
         match self {
             RefAccess::For(e) => e.value_at_unchecked(i),
             RefAccess::Dict(e) => e.value_at_unchecked(i),
@@ -84,14 +84,14 @@ impl RefAccess<'_> {
 }
 
 /// Parent-code accessor for hierarchical targets.
-enum CodeAccess<'a> {
+pub(crate) enum CodeAccess<'a> {
     IntDict(&'a corra_encodings::DictInt),
     StrDict(&'a corra_encodings::DictStr),
 }
 
 impl CodeAccess<'_> {
     #[inline]
-    fn code(&self, i: usize) -> u32 {
+    pub(crate) fn code(&self, i: usize) -> u32 {
         match self {
             CodeAccess::IntDict(d) => d.code_at_unchecked(i),
             CodeAccess::StrDict(d) => d.code_at_unchecked(i),
@@ -99,7 +99,7 @@ impl CodeAccess<'_> {
     }
 }
 
-fn ref_access<'a>(block: &'a CompressedBlock, idx: usize) -> Result<RefAccess<'a>> {
+pub(crate) fn ref_access<'a>(block: &'a CompressedBlock, idx: usize) -> Result<RefAccess<'a>> {
     match block.codec_at(idx) {
         ColumnCodec::Int(IntEncoding::For(e)) => Ok(RefAccess::For(e)),
         ColumnCodec::Int(IntEncoding::Dict(e)) => Ok(RefAccess::Dict(e)),
@@ -112,7 +112,40 @@ fn ref_access<'a>(block: &'a CompressedBlock, idx: usize) -> Result<RefAccess<'a
     }
 }
 
-fn code_access<'a>(block: &'a CompressedBlock, idx: usize) -> Result<CodeAccess<'a>> {
+/// Resolves every multi-reference group member to a fast accessor, shared
+/// by the gather (query) and filter (scan) paths.
+pub(crate) fn multiref_members<'a>(
+    block: &'a CompressedBlock,
+    groups: &[Vec<u32>],
+) -> Result<Vec<Vec<RefAccess<'a>>>> {
+    let mut members = Vec::with_capacity(groups.len());
+    for group in groups {
+        let mut accs = Vec::with_capacity(group.len());
+        for &g in group {
+            accs.push(ref_access(block, g as usize)?);
+        }
+        members.push(accs);
+    }
+    Ok(members)
+}
+
+/// Evaluates a formula mask at row `i`: sums exactly the reference groups
+/// the mask names (§2.3 decompression — "read the values from the
+/// reference columns").
+pub(crate) fn eval_formula_mask(members: &[Vec<RefAccess<'_>>], mask: u8, i: usize) -> i64 {
+    let mut acc = 0i64;
+    let mut m = mask;
+    while m != 0 {
+        let g = m.trailing_zeros() as usize;
+        for r in &members[g] {
+            acc = acc.wrapping_add(r.get(i));
+        }
+        m &= m - 1;
+    }
+    acc
+}
+
+pub(crate) fn code_access<'a>(block: &'a CompressedBlock, idx: usize) -> Result<CodeAccess<'a>> {
     match block.codec_at(idx) {
         ColumnCodec::Int(IntEncoding::Dict(d)) => Ok(CodeAccess::IntDict(d)),
         ColumnCodec::Str(d) => Ok(CodeAccess::StrDict(d)),
@@ -181,29 +214,11 @@ pub fn query_column(
             // Per §2.3 decompression: identify the row's coded formula, then
             // "read the values from the reference columns" — only the
             // groups that formula actually sums are fetched.
-            let mut members: Vec<Vec<RefAccess<'_>>> = Vec::with_capacity(groups.len());
-            for group in groups {
-                let mut accs = Vec::with_capacity(group.len());
-                for &g in group {
-                    accs.push(ref_access(block, g as usize)?);
-                }
-                members.push(accs);
-            }
+            let members = multiref_members(block, groups)?;
             let mut out = Vec::with_capacity(sel.len());
             enc.gather_masked(
                 sel,
-                |mask, i| {
-                    let mut acc = 0i64;
-                    let mut m = mask;
-                    while m != 0 {
-                        let g = m.trailing_zeros() as usize;
-                        for r in &members[g] {
-                            acc = acc.wrapping_add(r.get(i));
-                        }
-                        m &= m - 1;
-                    }
-                    acc
-                },
+                |mask, i| eval_formula_mask(&members, mask, i),
                 &mut out,
             );
             Ok(QueryOutput::Int(out))

@@ -12,12 +12,14 @@
 
 use bytes::{Buf, BufMut};
 use corra_columnar::error::{Error, Result};
+use corra_columnar::predicate::IntRange;
 use corra_columnar::selection::SelectionVector;
-use corra_columnar::stats::IntStats;
+use corra_columnar::stats::{IntStats, ZoneMap};
 
 use crate::delta::DeltaInt;
 use crate::dict::{DictInt, DictStr};
 use crate::ffor::ForInt;
+use crate::filter::FilterInt;
 use crate::frequency::FrequencyInt;
 use crate::plain::PlainInt;
 use crate::rle::RleInt;
@@ -161,6 +163,30 @@ impl IntAccess for IntEncoding {
             IntEncoding::Rle(e) => e.compressed_bytes(),
             IntEncoding::Delta(e) => e.compressed_bytes(),
             IntEncoding::Frequency(e) => e.compressed_bytes(),
+        }
+    }
+}
+
+impl FilterInt for IntEncoding {
+    fn filter_into(&self, range: &IntRange, out: &mut Vec<u32>) {
+        match self {
+            IntEncoding::Plain(e) => e.filter_into(range, out),
+            IntEncoding::For(e) => e.filter_into(range, out),
+            IntEncoding::Dict(e) => e.filter_into(range, out),
+            IntEncoding::Rle(e) => e.filter_into(range, out),
+            IntEncoding::Delta(e) => e.filter_into(range, out),
+            IntEncoding::Frequency(e) => e.filter_into(range, out),
+        }
+    }
+
+    fn value_bounds(&self) -> Option<ZoneMap> {
+        match self {
+            IntEncoding::Plain(e) => e.value_bounds(),
+            IntEncoding::For(e) => e.value_bounds(),
+            IntEncoding::Dict(e) => e.value_bounds(),
+            IntEncoding::Rle(e) => e.value_bounds(),
+            IntEncoding::Delta(e) => e.value_bounds(),
+            IntEncoding::Frequency(e) => e.value_bounds(),
         }
     }
 }

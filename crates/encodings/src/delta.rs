@@ -8,7 +8,10 @@
 use bytes::{Buf, BufMut};
 use corra_columnar::bitpack::{zigzag_decode, zigzag_encode, BitPackedVec};
 use corra_columnar::error::{Error, Result};
+use corra_columnar::predicate::IntRange;
+use corra_columnar::stats::ZoneMap;
 
+use crate::filter::FilterInt;
 use crate::traits::{IntAccess, Validate};
 
 /// Rows per miniblock (restart interval).
@@ -127,6 +130,33 @@ impl IntAccess for DeltaInt {
     }
 }
 
+impl FilterInt for DeltaInt {
+    /// Delta has no per-row compressed-domain shortcut: values only exist as
+    /// prefix sums. The kernel therefore falls back to a *streaming*
+    /// reconstruction — a single sequential pass with miniblock restarts —
+    /// which never pays the O(MINIBLOCK) random-access cost of `get`.
+    fn filter_into(&self, range: &IntRange, out: &mut Vec<u32>) {
+        out.clear();
+        let mut v = 0i64;
+        for i in 0..self.len {
+            if i % MINIBLOCK == 0 {
+                v = self.restarts[i / MINIBLOCK];
+            } else {
+                v = v.wrapping_add(zigzag_decode(self.deltas.get_unchecked_len(i)));
+            }
+            if range.matches(v) {
+                out.push(i as u32);
+            }
+        }
+    }
+
+    /// Tight bounds would require the same streaming pass as the kernel
+    /// itself, so no cheap zone map exists for Delta.
+    fn value_bounds(&self) -> Option<ZoneMap> {
+        None
+    }
+}
+
 impl Validate for DeltaInt {
     fn validate(&self) -> Result<()> {
         if self.restarts.len() != self.len.div_ceil(MINIBLOCK) {
@@ -212,6 +242,26 @@ mod tests {
         let mut out = Vec::new();
         enc.gather_into(&sel, &mut out);
         assert_eq!(out, vec![values[10], values[400], values[999]]);
+    }
+
+    #[test]
+    fn filter_streams_across_miniblocks() {
+        let values: Vec<i64> = (0..500).map(|i| (i * i) as i64 % 977).collect();
+        let enc = DeltaInt::encode(&values);
+        let mut out = Vec::new();
+        for range in [
+            IntRange::new(0, 100),
+            IntRange::negated(500, 976),
+            IntRange::new(977, i64::MAX),
+        ] {
+            enc.filter_into(&range, &mut out);
+            assert_eq!(
+                out,
+                crate::filter::filter_naive(&values, &range),
+                "{range:?}"
+            );
+        }
+        assert!(enc.value_bounds().is_none());
     }
 
     #[test]

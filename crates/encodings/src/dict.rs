@@ -9,9 +9,12 @@
 use bytes::{Buf, BufMut};
 use corra_columnar::bitpack::BitPackedVec;
 use corra_columnar::error::{Error, Result};
+use corra_columnar::predicate::IntRange;
+use corra_columnar::stats::ZoneMap;
 use corra_columnar::strings::{StringDictBuilder, StringPool};
 use rustc_hash::FxHashMap;
 
+use crate::filter::{FilterInt, FilterStr};
 use crate::traits::{IntAccess, StrAccess, Validate};
 
 /// Dictionary-encoded integer column.
@@ -120,6 +123,49 @@ impl IntAccess for DictInt {
     }
 }
 
+impl FilterInt for DictInt {
+    /// The sorted dictionary turns a value range into a contiguous *code*
+    /// interval (two binary searches — one evaluation per distinct value
+    /// boundary), after which only bit-packed codes are compared.
+    fn filter_into(&self, range: &IntRange, out: &mut Vec<u32>) {
+        out.clear();
+        let n = self.len();
+        if range.interval_is_empty() {
+            if range.negate {
+                out.extend(0..n as u32);
+            }
+            return;
+        }
+        // Codes in [lo_code, hi_code) hold dictionary values inside the
+        // positive interval.
+        let lo_code = self.dict.partition_point(|&v| v < range.lo) as u64;
+        let hi_code = self.dict.partition_point(|&v| v <= range.hi) as u64;
+        if lo_code >= hi_code {
+            if range.negate {
+                out.extend(0..n as u32);
+            }
+            return;
+        }
+        for i in 0..n {
+            let c = self.codes.get_unchecked_len(i);
+            if ((lo_code <= c) & (c < hi_code)) != range.negate {
+                out.push(i as u32);
+            }
+        }
+    }
+
+    /// Exact bounds: the sorted dictionary's first and last entry.
+    fn value_bounds(&self) -> Option<ZoneMap> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(ZoneMap {
+            min: *self.dict.first()?,
+            max: *self.dict.last()?,
+        })
+    }
+}
+
 impl Validate for DictInt {
     fn validate(&self) -> Result<()> {
         if self.dict.windows(2).any(|w| w[0] >= w[1]) {
@@ -224,6 +270,29 @@ impl StrAccess for DictStr {
     fn compressed_bytes(&self) -> usize {
         // flattened distinct strings + offsets + width byte + packed codes.
         self.pool.heap_bytes() + 1 + self.codes.tight_bytes()
+    }
+}
+
+impl FilterStr for DictStr {
+    /// Evaluates the equality once per distinct string (one pool walk to
+    /// find the matching code), then compares bit-packed codes.
+    fn filter_eq_into(&self, value: &str, negate: bool, out: &mut Vec<u32>) {
+        out.clear();
+        let n = self.len();
+        // Pool entries are distinct, so at most one code matches.
+        let target = (0..self.pool.len()).find(|&k| self.pool.get(k) == value);
+        let Some(target) = target else {
+            if negate {
+                out.extend(0..n as u32);
+            }
+            return;
+        };
+        let target = target as u64;
+        for i in 0..n {
+            if (self.codes.get_unchecked_len(i) == target) != negate {
+                out.push(i as u32);
+            }
+        }
     }
 }
 
@@ -341,5 +410,44 @@ mod tests {
         assert!(enc.is_empty());
         let enc = DictStr::encode([]);
         assert!(enc.is_empty());
+    }
+
+    #[test]
+    fn dict_int_filter_code_interval() {
+        let values = vec![500i64, 100, 500, 300, 100, 500, 900];
+        let enc = DictInt::encode(&values);
+        let mut out = Vec::new();
+        for range in [
+            IntRange::new(100, 300),
+            IntRange::new(150, 450),
+            IntRange::negated(500, 500),
+            IntRange::new(901, i64::MAX),
+            IntRange::empty(),
+            IntRange::all(),
+        ] {
+            enc.filter_into(&range, &mut out);
+            assert_eq!(
+                out,
+                crate::filter::filter_naive(&values, &range),
+                "{range:?}"
+            );
+        }
+        let zone = enc.value_bounds().unwrap();
+        assert_eq!((zone.min, zone.max), (100, 900));
+        assert!(DictInt::encode(&[]).value_bounds().is_none());
+    }
+
+    #[test]
+    fn dict_str_filter_eq() {
+        let enc = DictStr::encode(["NYC", "Naples", "NYC", "Cortland"]);
+        let mut out = Vec::new();
+        enc.filter_eq_into("NYC", false, &mut out);
+        assert_eq!(out, vec![0, 2]);
+        enc.filter_eq_into("NYC", true, &mut out);
+        assert_eq!(out, vec![1, 3]);
+        enc.filter_eq_into("Miami", false, &mut out);
+        assert!(out.is_empty());
+        enc.filter_eq_into("Miami", true, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3]);
     }
 }

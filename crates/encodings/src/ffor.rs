@@ -11,6 +11,10 @@ use corra_columnar::bitpack::{bits_needed, BitPackedVec};
 use corra_columnar::error::{Error, Result};
 use corra_columnar::selection::SelectionVector;
 
+use corra_columnar::predicate::IntRange;
+use corra_columnar::stats::ZoneMap;
+
+use crate::filter::FilterInt;
 use crate::traits::{IntAccess, Validate};
 
 /// FOR + bit-packed integer column.
@@ -126,6 +130,53 @@ impl IntAccess for ForInt {
     }
 }
 
+impl FilterInt for ForInt {
+    /// Rewrites `[lo, hi]` into the packed offset domain (`v - base`) once
+    /// and compares raw offsets per row — no per-row reconstruction to
+    /// `i64`.
+    fn filter_into(&self, range: &IntRange, out: &mut Vec<u32>) {
+        out.clear();
+        let n = self.len();
+        // Offset-domain interval. Offsets live in [0, u64::MAX]; anything
+        // outside means the positive interval misses the whole frame.
+        let lo_wide = range.lo as i128 - self.base as i128;
+        let hi_wide = range.hi as i128 - self.base as i128;
+        if range.interval_is_empty() || hi_wide < 0 || lo_wide > u64::MAX as i128 {
+            if range.negate {
+                out.extend(0..n as u32);
+            }
+            return;
+        }
+        let lo_off = lo_wide.max(0) as u64;
+        let hi_off = hi_wide.min(u64::MAX as i128) as u64;
+        for i in 0..n {
+            let off = self.packed.get_unchecked_len(i);
+            if ((lo_off <= off) & (off <= hi_off)) != range.negate {
+                out.push(i as u32);
+            }
+        }
+    }
+
+    /// O(1) covering bounds from the frame: `[base, base + 2^bits - 1]`
+    /// (clamped). The min is exact; the max may overshoot the true maximum
+    /// by up to one power of two, which is sound for pruning.
+    fn value_bounds(&self) -> Option<ZoneMap> {
+        if self.is_empty() {
+            return None;
+        }
+        let span = if self.bits() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits()) - 1
+        };
+        let max = (self.base as i128 + span as i128).min(i64::MAX as i128) as i64;
+        Some(ZoneMap {
+            min: self.base,
+            max,
+        })
+    }
+}
+
 impl Validate for ForInt {
     fn validate(&self) -> Result<()> {
         // The minimal-width invariant: some offset uses the top bit range,
@@ -232,6 +283,48 @@ mod tests {
         let mut out = Vec::new();
         enc.gather_into(&sel, &mut out);
         assert_eq!(out, vec![5000, 5500, 5999]);
+    }
+
+    #[test]
+    fn filter_in_packed_domain() {
+        let values: Vec<i64> = (0..100).map(|i| 1_000 + i % 16).collect();
+        let enc = ForInt::encode(&values);
+        let mut out = Vec::new();
+        enc.filter_into(&IntRange::new(1_003, 1_005), &mut out);
+        assert_eq!(
+            out,
+            crate::filter::filter_naive(&values, &IntRange::new(1_003, 1_005))
+        );
+        // Range entirely below / above the frame.
+        enc.filter_into(&IntRange::new(0, 999), &mut out);
+        assert!(out.is_empty());
+        enc.filter_into(&IntRange::negated(0, 999), &mut out);
+        assert_eq!(out.len(), 100);
+        // Bounds cover the data.
+        let zone = enc.value_bounds().unwrap();
+        assert!(values.iter().all(|&v| zone.covers(v)));
+        assert_eq!(zone.min, 1_000);
+    }
+
+    #[test]
+    fn filter_extreme_base() {
+        let values = vec![i64::MIN, -1, i64::MAX];
+        let enc = ForInt::encode(&values);
+        let mut out = Vec::new();
+        for range in [
+            IntRange::new(i64::MIN, -1),
+            IntRange::new(0, i64::MAX),
+            IntRange::negated(i64::MIN, i64::MIN),
+        ] {
+            enc.filter_into(&range, &mut out);
+            assert_eq!(
+                out,
+                crate::filter::filter_naive(&values, &range),
+                "{range:?}"
+            );
+        }
+        assert!(enc.value_bounds().unwrap().covers(i64::MAX));
+        assert!(ForInt::encode(&[]).value_bounds().is_none());
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Compressed-domain filter kernels: the pushdown side of scanning.
+//!
+//! Where [`crate::traits::IntAccess`] materializes values at given
+//! positions, [`FilterInt`] goes the other way: given a normalized range
+//! predicate it *produces* the matching positions, working on each codec's
+//! compressed representation instead of decompressing to `i64` per row:
+//!
+//! * **FOR** rewrites the range into the packed offset domain and compares
+//!   raw packed words — no base addition per row;
+//! * **Dict** turns the range into a contiguous code interval via binary
+//!   search on the sorted dictionary, then compares codes;
+//! * **Frequency** evaluates the predicate once per hot value and once per
+//!   exception, then walks codes against the precomputed verdicts;
+//! * **RLE** evaluates once per run and emits (or skips) whole runs;
+//! * **Delta** falls back to a streaming reconstruction: one sequential
+//!   pass with miniblock restarts, never paying random-access cost;
+//! * **Plain** is the trivial comparator.
+//!
+//! Every kernel emits positions in strictly increasing row order, matching
+//! [`SelectionVector::from_sorted`](corra_columnar::selection::SelectionVector::from_sorted).
+
+use corra_columnar::predicate::IntRange;
+use corra_columnar::stats::ZoneMap;
+
+/// Predicate evaluation over a compressed integer column.
+pub trait FilterInt {
+    /// Appends the positions (ascending) of all rows matching `range` into
+    /// `out` (cleared first).
+    fn filter_into(&self, range: &IntRange, out: &mut Vec<u32>);
+
+    /// A covering (not necessarily tight) min/max zone map of the encoded
+    /// values, or `None` when the column is empty or bounds are not cheaply
+    /// derivable. Used for block pruning before the per-row kernel runs.
+    fn value_bounds(&self) -> Option<ZoneMap>;
+}
+
+/// Equality predicate evaluation over a compressed string column.
+pub trait FilterStr {
+    /// Appends the positions (ascending) of all rows whose string equals
+    /// `value` (or differs, when `negate`) into `out` (cleared first).
+    fn filter_eq_into(&self, value: &str, negate: bool, out: &mut Vec<u32>);
+}
+
+/// Reference comparator used by the parity tests: decompress-then-filter.
+pub fn filter_naive(values: &[i64], range: &IntRange) -> Vec<u32> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| range.matches(v))
+        .map(|(i, _)| i as u32)
+        .collect()
+}

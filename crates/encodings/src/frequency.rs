@@ -9,8 +9,11 @@
 use bytes::{Buf, BufMut};
 use corra_columnar::bitpack::BitPackedVec;
 use corra_columnar::error::{Error, Result};
+use corra_columnar::predicate::IntRange;
+use corra_columnar::stats::ZoneMap;
 use rustc_hash::FxHashMap;
 
+use crate::filter::FilterInt;
 use crate::traits::{IntAccess, Validate};
 
 /// Frequency-encoded integer column.
@@ -170,6 +173,45 @@ impl IntAccess for FrequencyInt {
     }
 }
 
+impl FilterInt for FrequencyInt {
+    /// Evaluates the predicate once per distinct *hot* value, then walks the
+    /// codes against the precomputed verdicts; exception rows (whose code
+    /// slot is meaningless) are merged in by a sorted walk over the
+    /// exception index and tested on their verbatim values.
+    fn filter_into(&self, range: &IntRange, out: &mut Vec<u32>) {
+        out.clear();
+        let hot_match: Vec<bool> = self.hot.iter().map(|&v| range.matches(v)).collect();
+        let mut e = 0usize;
+        for i in 0..self.len() {
+            if e < self.exc_pos.len() && self.exc_pos[e] == i as u32 {
+                if range.matches(self.exc_val[e]) {
+                    out.push(i as u32);
+                }
+                e += 1;
+            } else if hot_match[self.codes.get_unchecked_len(i) as usize] {
+                out.push(i as u32);
+            }
+        }
+    }
+
+    /// Exact bounds over the hot values and the exception region — every
+    /// stored value appears in one of the two.
+    fn value_bounds(&self) -> Option<ZoneMap> {
+        if self.is_empty() {
+            return None;
+        }
+        // With exceptions present, some hot codes may be padding (code 0 at
+        // exception rows), but every hot value was drawn from the data, so
+        // the union stays covering and tight.
+        let hot = ZoneMap::from_values(&self.hot);
+        let exc = ZoneMap::from_values(&self.exc_val);
+        match (hot, exc) {
+            (Some(a), Some(b)) => Some(a.union(b)),
+            (z, None) | (None, z) => z,
+        }
+    }
+}
+
 impl Validate for FrequencyInt {
     fn validate(&self) -> Result<()> {
         if self.exc_pos.len() != self.exc_val.len() {
@@ -258,6 +300,31 @@ mod tests {
         let enc = FrequencyInt::encode(&[], 4);
         assert!(enc.is_empty());
         assert_eq!(enc.exceptions(), 0);
+        assert!(enc.value_bounds().is_none());
+    }
+
+    #[test]
+    fn filter_hot_and_exceptions() {
+        let values = vec![7i64, 3, 7, 7, 4, 7, 9, 7];
+        let enc = FrequencyInt::encode(&values, 1);
+        assert_eq!(enc.exceptions(), 3);
+        let mut out = Vec::new();
+        for range in [
+            IntRange::new(7, 7),
+            IntRange::negated(7, 7),
+            IntRange::new(3, 4),
+            IntRange::new(100, 200),
+        ] {
+            enc.filter_into(&range, &mut out);
+            assert_eq!(
+                out,
+                crate::filter::filter_naive(&values, &range),
+                "{range:?}"
+            );
+        }
+        let zone = enc.value_bounds().unwrap();
+        assert!(values.iter().all(|&v| zone.covers(v)));
+        assert_eq!((zone.min, zone.max), (3, 9));
     }
 
     #[test]

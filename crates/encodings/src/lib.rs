@@ -17,6 +17,9 @@
 //! only FOR and Dict, "because they allow for fast random access into the
 //! compressed column"; [`chooser::choose_int_full`] covers all schemes for
 //! ablation studies.
+//!
+//! Every integer scheme additionally implements [`filter::FilterInt`], the
+//! compressed-domain predicate kernel behind `corra-core::scan`'s pushdown.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,6 +28,7 @@ pub mod chooser;
 pub mod delta;
 pub mod dict;
 pub mod ffor;
+pub mod filter;
 pub mod frequency;
 pub mod plain;
 pub mod rle;
@@ -34,6 +38,7 @@ pub use chooser::{choose_int_baseline, choose_int_full, choose_str_baseline, Int
 pub use delta::DeltaInt;
 pub use dict::{DictInt, DictStr};
 pub use ffor::ForInt;
+pub use filter::{FilterInt, FilterStr};
 pub use frequency::FrequencyInt;
 pub use plain::{PlainInt, PlainStr};
 pub use rle::RleInt;

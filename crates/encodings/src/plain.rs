@@ -3,8 +3,11 @@
 
 use bytes::{Buf, BufMut};
 use corra_columnar::error::{Error, Result};
+use corra_columnar::predicate::IntRange;
+use corra_columnar::stats::ZoneMap;
 use corra_columnar::strings::StringPool;
 
+use crate::filter::{FilterInt, FilterStr};
 use crate::traits::{IntAccess, StrAccess};
 
 /// Uncompressed 8-byte-per-value integer column.
@@ -81,6 +84,25 @@ impl IntAccess for PlainInt {
     }
 }
 
+impl FilterInt for PlainInt {
+    /// Direct comparison over raw values — the comparator the compressed
+    /// kernels are measured against.
+    fn filter_into(&self, range: &IntRange, out: &mut Vec<u32>) {
+        out.clear();
+        for (i, &v) in self.values.iter().enumerate() {
+            if range.matches(v) {
+                out.push(i as u32);
+            }
+        }
+    }
+
+    /// Plain stores no statistics, so bounds would cost the same full pass
+    /// as the filter itself — no cheap zone map exists (as with Delta).
+    fn value_bounds(&self) -> Option<ZoneMap> {
+        None
+    }
+}
+
 /// Uncompressed string column (flattened rows).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlainStr {
@@ -103,6 +125,18 @@ impl PlainStr {
     /// Borrows the underlying pool.
     pub fn pool(&self) -> &StringPool {
         &self.pool
+    }
+}
+
+impl FilterStr for PlainStr {
+    /// Direct string comparison per row.
+    fn filter_eq_into(&self, value: &str, negate: bool, out: &mut Vec<u32>) {
+        out.clear();
+        for i in 0..self.pool.len() {
+            if (self.pool.get(i) == value) != negate {
+                out.push(i as u32);
+            }
+        }
     }
 }
 
@@ -175,7 +209,25 @@ mod tests {
     fn empty_columns() {
         let enc = PlainInt::encode(&[]);
         assert!(enc.is_empty());
+        assert!(enc.value_bounds().is_none());
         let enc = PlainStr::encode([]);
         assert!(enc.is_empty());
+    }
+
+    #[test]
+    fn plain_filters() {
+        let values = vec![10i64, -20, 30, 10];
+        let enc = PlainInt::encode(&values);
+        let mut out = Vec::new();
+        enc.filter_into(&IntRange::new(0, 15), &mut out);
+        assert_eq!(out, vec![0, 3]);
+        enc.filter_into(&IntRange::negated(0, 15), &mut out);
+        assert_eq!(out, vec![1, 2]);
+        assert!(enc.value_bounds().is_none());
+        let enc = PlainStr::encode(["a", "bb", "a"]);
+        enc.filter_eq_into("a", false, &mut out);
+        assert_eq!(out, vec![0, 2]);
+        enc.filter_eq_into("a", true, &mut out);
+        assert_eq!(out, vec![1]);
     }
 }

@@ -8,7 +8,10 @@
 
 use bytes::{Buf, BufMut};
 use corra_columnar::error::{Error, Result};
+use corra_columnar::predicate::IntRange;
+use corra_columnar::stats::ZoneMap;
 
+use crate::filter::FilterInt;
 use crate::traits::{IntAccess, Validate};
 
 /// RLE-encoded integer column: `(value, run)` pairs plus cumulative run ends.
@@ -126,6 +129,26 @@ impl IntAccess for RleInt {
     }
 }
 
+impl FilterInt for RleInt {
+    /// Evaluates the predicate once per *run*: a non-matching run is skipped
+    /// wholesale, a matching run contributes all of its positions.
+    fn filter_into(&self, range: &IntRange, out: &mut Vec<u32>) {
+        out.clear();
+        let mut start = 0u32;
+        for (&v, &end) in self.run_values.iter().zip(&self.run_ends) {
+            if range.matches(v) {
+                out.extend(start..end);
+            }
+            start = end;
+        }
+    }
+
+    /// Exact bounds from one pass over the run values (O(runs), not O(rows)).
+    fn value_bounds(&self) -> Option<ZoneMap> {
+        ZoneMap::from_values(&self.run_values)
+    }
+}
+
 impl Validate for RleInt {
     fn validate(&self) -> Result<()> {
         if self.run_values.len() != self.run_ends.len() {
@@ -210,6 +233,29 @@ mod tests {
         let mut out = Vec::new();
         enc.gather_into(&sel, &mut out);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn filter_skips_runs() {
+        let values = vec![1i64, 1, 2, 2, 2, 3, 1, 1];
+        let enc = RleInt::encode(&values);
+        let mut out = Vec::new();
+        for range in [
+            IntRange::new(2, 2),
+            IntRange::negated(1, 1),
+            IntRange::new(1, 3),
+            IntRange::new(9, 9),
+        ] {
+            enc.filter_into(&range, &mut out);
+            assert_eq!(
+                out,
+                crate::filter::filter_naive(&values, &range),
+                "{range:?}"
+            );
+        }
+        let zone = enc.value_bounds().unwrap();
+        assert_eq!((zone.min, zone.max), (1, 3));
+        assert!(RleInt::encode(&[]).value_bounds().is_none());
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Property-based tests: every encoding is a lossless, random-access
 //! bijection and survives serialization.
 
+use corra_columnar::predicate::IntRange;
 use corra_columnar::selection::SelectionVector;
+use corra_encodings::filter::filter_naive;
 use corra_encodings::{
-    choose_int_baseline, choose_int_full, DeltaInt, DictInt, DictStr, ForInt, FrequencyInt,
-    IntAccess, IntEncoding, PlainInt, RleInt, StrAccess,
+    choose_int_baseline, choose_int_full, DeltaInt, DictInt, DictStr, FilterInt, ForInt,
+    FrequencyInt, IntAccess, IntEncoding, PlainInt, RleInt, StrAccess,
 };
 use proptest::prelude::*;
 
@@ -125,6 +127,62 @@ proptest! {
         enc.write_to(&mut buf);
         let back = DictStr::read_from(&mut buf.as_slice()).unwrap();
         prop_assert_eq!(back, enc);
+    }
+
+    /// Pushdown parity: every codec's compressed-domain filter kernel finds
+    /// exactly the positions decompress-then-filter would, for arbitrary
+    /// ranges (including negated, empty, and all-covering ones).
+    #[test]
+    fn filter_kernels_match_naive(
+        values in int_column(),
+        a in any::<i64>(),
+        b in any::<i64>(),
+        negate in any::<bool>(),
+    ) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let ranges = [
+            IntRange { lo, hi, negate },
+            // Constants drawn from the data exercise exact-hit paths.
+            IntRange { lo: values.first().copied().unwrap_or(0), hi: values.last().copied().unwrap_or(0), negate },
+            IntRange::empty(),
+            IntRange::all(),
+        ];
+        let encodings = [
+            IntEncoding::Plain(PlainInt::encode(&values)),
+            IntEncoding::For(ForInt::encode(&values)),
+            IntEncoding::Dict(DictInt::encode(&values)),
+            IntEncoding::Rle(RleInt::encode(&values)),
+            IntEncoding::Delta(DeltaInt::encode(&values)),
+            IntEncoding::Frequency(FrequencyInt::encode(&values, 4)),
+        ];
+        for range in &ranges {
+            let want = filter_naive(&values, range);
+            for enc in &encodings {
+                let mut got = Vec::new();
+                enc.filter_into(range, &mut got);
+                prop_assert!(got == want, "{} {:?}: {:?} != {:?}", enc.scheme(), range, got, want);
+            }
+        }
+    }
+
+    /// Every codec's zone map covers every encoded value.
+    #[test]
+    fn value_bounds_cover_data(values in int_column()) {
+        let encodings = [
+            IntEncoding::Plain(PlainInt::encode(&values)),
+            IntEncoding::For(ForInt::encode(&values)),
+            IntEncoding::Dict(DictInt::encode(&values)),
+            IntEncoding::Rle(RleInt::encode(&values)),
+            IntEncoding::Delta(DeltaInt::encode(&values)),
+            IntEncoding::Frequency(FrequencyInt::encode(&values, 4)),
+        ];
+        for enc in &encodings {
+            if let Some(zone) = enc.value_bounds() {
+                for &v in &values {
+                    prop_assert!(zone.covers(v), "{} {:?} misses {}", enc.scheme(), zone, v);
+                }
+            }
+        }
     }
 
     /// The full chooser's pick is minimal among all candidates it considers.
