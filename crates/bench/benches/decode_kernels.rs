@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the width-specialized batched decode engine:
+//! batched `unpack_into` vs the old per-element scalar getter, the fused
+//! FOR add vs a decode-then-add second pass, and the downstream codec
+//! decodes (FOR / Dict / Delta) that ride on the new kernels.
+
+use corra_bench::{scalar_unpack_into, width_payload};
+use corra_columnar::bitpack::BitPackedVec;
+use corra_encodings::{DeltaInt, DictInt, ForInt, IntAccess};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const N: usize = 200_000;
+
+fn payload(bits: u8) -> Vec<u64> {
+    width_payload(bits, N)
+}
+
+fn unpack_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_unpack");
+    group.throughput(Throughput::Elements(N as u64));
+    // 8/16: dividing widths (dict codes, bytes); 12: the paper's date
+    // width, straddling; 20/48: wider straddling tiles.
+    for bits in [8u8, 12, 16, 20, 48] {
+        let packed = BitPackedVec::pack(&payload(bits), bits).unwrap();
+        let mut out = Vec::new();
+        group.bench_function(BenchmarkId::new("batched", bits), |b| {
+            b.iter(|| packed.unpack_into(&mut out));
+        });
+        group.bench_function(BenchmarkId::new("scalar", bits), |b| {
+            b.iter(|| scalar_unpack_into(&packed, &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn fused_for_add(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_fused_add");
+    group.throughput(Throughput::Elements(N as u64));
+    for bits in [12u8, 16] {
+        let packed = BitPackedVec::pack(&payload(bits), bits).unwrap();
+        let base = 8_035i64;
+        let mut fused = Vec::new();
+        group.bench_function(BenchmarkId::new("fused", bits), |b| {
+            b.iter(|| packed.unpack_add_into(base, &mut fused));
+        });
+        let mut scratch = Vec::new();
+        let mut added = Vec::new();
+        group.bench_function(BenchmarkId::new("two_pass", bits), |b| {
+            b.iter(|| {
+                scalar_unpack_into(&packed, &mut scratch);
+                added.clear();
+                added.extend(scratch.iter().map(|&v| base.wrapping_add(v as i64)));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn codec_decodes(c: &mut Criterion) {
+    let dates: Vec<i64> = (0..N).map(|i| 8_035 + (i as i64 * 17 % 2_500)).collect();
+    let sorted: Vec<i64> = (0..N).map(|i| 1_600_000_000 + i as i64 * 2).collect();
+    let mut group = c.benchmark_group("decode_codecs");
+    group.throughput(Throughput::Elements(N as u64));
+    let mut out = Vec::new();
+    let enc = ForInt::encode(&dates);
+    group.bench_function("for/decode", |b| {
+        b.iter(|| enc.decode_into(&mut out));
+    });
+    let enc = DictInt::encode(&dates);
+    group.bench_function("dict/decode", |b| {
+        b.iter(|| enc.decode_into(&mut out));
+    });
+    let enc = DeltaInt::encode(&sorted);
+    group.bench_function("delta/decode", |b| {
+        b.iter(|| enc.decode_into(&mut out));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = unpack_kernels, fused_for_add, codec_decodes
+);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! **Decode bench** — throughput of the width-specialized batched unpack
+//! kernels vs the old per-element scalar path, plus the fused FOR add vs a
+//! decode-then-add second pass. Prints old-vs-new values/sec per width and
+//! seeds the repo's decode perf trajectory: CI's `perf-smoke` job runs it
+//! in quick mode, gates the 8/12/16-bit speedup, and uploads
+//! `BENCH_decode.json` as a workflow artifact.
+//!
+//! ```sh
+//! cargo run --release -p corra-bench --bin decode_bench               # full
+//! cargo run --release -p corra-bench --bin decode_bench -- --quick --json
+//! cargo run --release -p corra-bench --bin decode_bench -- --quick --min-speedup 2.0
+//! CORRA_DECODE_VALUES=8000000 cargo run --release -p corra-bench --bin decode_bench
+//! ```
+
+use corra_bench::{median_secs, scalar_unpack_into, width_payload};
+use corra_columnar::bitpack::BitPackedVec;
+
+/// Bit widths measured; 8/12/16 are the acceptance-gated hot widths (dict
+/// codes, dates, IDs), the rest cover dividing, straddling and full widths.
+const WIDTHS: &[u8] = &[1, 2, 4, 8, 12, 16, 20, 24, 32, 48, 64];
+
+/// Widths the `--min-speedup` gate applies to.
+const GATED_WIDTHS: &[u8] = &[8, 12, 16];
+
+struct DecodeRow {
+    bits: u8,
+    /// Old scalar path (per-element getter), seconds.
+    old_secs: f64,
+    /// New batched kernel, seconds.
+    new_secs: f64,
+    /// Fused unpack+add, seconds (vs `old_add_secs` two-pass).
+    fused_secs: f64,
+    old_add_secs: f64,
+    values: usize,
+}
+
+impl DecodeRow {
+    fn old_vps(&self) -> f64 {
+        self.values as f64 / self.old_secs.max(f64::MIN_POSITIVE)
+    }
+
+    fn new_vps(&self) -> f64 {
+        self.values as f64 / self.new_secs.max(f64::MIN_POSITIVE)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.old_secs / self.new_secs.max(f64::MIN_POSITIVE)
+    }
+
+    fn fused_speedup(&self) -> f64 {
+        self.old_add_secs / self.fused_secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+impl serde::Serialize for DecodeRow {
+    fn to_value(&self) -> serde::Value {
+        serde_json::json!({
+            "bits": self.bits as u64,
+            "values": self.values,
+            "old_secs": self.old_secs,
+            "new_secs": self.new_secs,
+            "old_values_per_sec": self.old_vps(),
+            "new_values_per_sec": self.new_vps(),
+            "speedup": self.speedup(),
+            "fused_add_secs": self.fused_secs,
+            "two_pass_add_secs": self.old_add_secs,
+            "fused_add_speedup": self.fused_speedup(),
+        })
+    }
+}
+
+fn bench_width(bits: u8, n: usize, reps: usize) -> DecodeRow {
+    let values = width_payload(bits, n);
+    let packed = BitPackedVec::pack(&values, bits).expect("pack");
+    let base = 8_035i64;
+
+    // Parity safety net: the bench never times a wrong kernel.
+    let mut new_out = Vec::new();
+    packed.unpack_into(&mut new_out);
+    let mut old_out = Vec::new();
+    scalar_unpack_into(&packed, &mut old_out);
+    assert_eq!(new_out, old_out, "batched kernel diverged at width {bits}");
+
+    let old_secs = median_secs(reps, || {
+        scalar_unpack_into(&packed, &mut old_out);
+        std::hint::black_box(&old_out);
+    });
+    let new_secs = median_secs(reps, || {
+        packed.unpack_into(&mut new_out);
+        std::hint::black_box(&new_out);
+    });
+    // FOR decode: fused single pass vs unpack then add (the old shape).
+    let mut fused = Vec::new();
+    let fused_secs = median_secs(reps, || {
+        packed.unpack_add_into(base, &mut fused);
+        std::hint::black_box(&fused);
+    });
+    let mut scratch = Vec::new();
+    let mut added = Vec::new();
+    let old_add_secs = median_secs(reps, || {
+        scalar_unpack_into(&packed, &mut scratch);
+        added.clear();
+        added.extend(scratch.iter().map(|&v| base.wrapping_add(v as i64)));
+        std::hint::black_box(&added);
+    });
+
+    DecodeRow {
+        bits,
+        old_secs,
+        new_secs,
+        fused_secs,
+        old_add_secs,
+        values: n,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let min_speedup: Option<f64> = args
+        .iter()
+        .position(|a| a == "--min-speedup")
+        .and_then(|k| args.get(k + 1))
+        .and_then(|s| s.parse().ok());
+    // Quick mode stays cache-resident: the gate measures kernel throughput,
+    // not the machine's DRAM bandwidth.
+    let n: usize = std::env::var("CORRA_DECODE_VALUES")
+        .ok()
+        .and_then(|s| s.replace('_', "").parse().ok())
+        .unwrap_or(if quick { 200_000 } else { 4_000_000 });
+    let reps = if quick { 7 } else { 9 };
+    println!("Decode bench at {n} values/width, {reps} reps (quick={quick})");
+
+    let rows: Vec<DecodeRow> = WIDTHS.iter().map(|&b| bench_width(b, n, reps)).collect();
+
+    println!(
+        "\n{:>5} {:>14} {:>14} {:>9} {:>14} {:>10}",
+        "bits", "old vals/s", "new vals/s", "speedup", "fused vals/s", "fused spd"
+    );
+    for r in &rows {
+        println!(
+            "{:>5} {:>13.1}M {:>13.1}M {:>8.2}x {:>13.1}M {:>9.2}x",
+            r.bits,
+            r.old_vps() / 1e6,
+            r.new_vps() / 1e6,
+            r.speedup(),
+            r.values as f64 / r.fused_secs.max(f64::MIN_POSITIVE) / 1e6,
+            r.fused_speedup(),
+        );
+    }
+
+    if json {
+        let doc = serde_json::json!({
+            "bench": "decode",
+            "values_per_width": n,
+            "reps": reps,
+            "quick": quick,
+            "series": serde::Value::Array(
+                rows.iter().map(serde::Serialize::to_value).collect()
+            ),
+        });
+        let path = "BENCH_decode.json";
+        let body = serde_json::to_string(&doc).expect("serialize");
+        std::fs::write(path, &body).expect("write BENCH_decode.json");
+        println!("\nwrote {path} ({} bytes)", body.len());
+    }
+
+    if let Some(min) = min_speedup {
+        let mut failed = false;
+        for r in rows.iter().filter(|r| GATED_WIDTHS.contains(&r.bits)) {
+            let ok = r.speedup() >= min;
+            println!(
+                "gate: {}-bit unpack speedup {:.2}x (>= {min:.2}x) {}",
+                r.bits,
+                r.speedup(),
+                if ok { "OK" } else { "FAIL" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            eprintln!("decode speedup gate failed");
+            std::process::exit(1);
+        }
+    }
+}

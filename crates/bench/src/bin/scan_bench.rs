@@ -13,7 +13,7 @@
 //! ```
 
 use corra_bench::{compress_table, median_secs};
-use corra_core::scan::{scan_blocks, Predicate, ScanStats};
+use corra_core::scan::{scan_blocks, scan_blocks_parallel, Predicate, ScanStats};
 use corra_core::{ColumnPlan, CompressedBlock, CompressionConfig};
 use corra_datagen::{LineitemDates, MessageParams, MessageTable, TaxiParams, TaxiTable};
 use corra_encodings::filter::filter_naive;
@@ -23,6 +23,8 @@ struct ScanRow {
     name: &'static str,
     column: &'static str,
     scan_secs: f64,
+    /// Morsel-parallel scan at the machine's parallelism.
+    par_secs: f64,
     naive_secs: f64,
     stats: ScanStats,
 }
@@ -30,6 +32,16 @@ struct ScanRow {
 impl ScanRow {
     fn speedup(&self) -> f64 {
         self.naive_secs / self.scan_secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// Scanned values per second (new kernels).
+    fn scan_vps(&self) -> f64 {
+        self.stats.rows_total as f64 / self.scan_secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// Decompress-then-filter values per second (the old shape).
+    fn naive_vps(&self) -> f64 {
+        self.stats.rows_total as f64 / self.naive_secs.max(f64::MIN_POSITIVE)
     }
 }
 
@@ -39,8 +51,11 @@ impl serde::Serialize for ScanRow {
             "name": self.name,
             "column": self.column,
             "scan_secs": self.scan_secs,
+            "parallel_scan_secs": self.par_secs,
             "naive_secs": self.naive_secs,
             "speedup": self.speedup(),
+            "scan_values_per_sec": self.scan_vps(),
+            "naive_values_per_sec": self.naive_vps(),
             "rows_total": self.stats.rows_total,
             "rows_matched": self.stats.rows_matched,
             "blocks": self.stats.blocks,
@@ -56,9 +71,19 @@ fn time_scan(
     name: &'static str,
     reps: usize,
 ) -> ScanRow {
-    let (_, stats) = scan_blocks(blocks, pred).expect("scan");
+    let (serial_sels, stats) = scan_blocks(blocks, pred).expect("scan");
     let scan_secs = median_secs(reps, || {
         let out = scan_blocks(blocks, pred).expect("scan");
+        std::hint::black_box(out);
+    });
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let (par_sels, _) = scan_blocks_parallel(blocks, pred, threads).expect("parallel scan");
+    assert_eq!(
+        par_sels, serial_sels,
+        "parallel scan must be byte-identical"
+    );
+    let par_secs = median_secs(reps, || {
+        let out = scan_blocks_parallel(blocks, pred, threads).expect("parallel scan");
         std::hint::black_box(out);
     });
     // Comparator: decompress the whole column, then filter the raw values.
@@ -74,6 +99,7 @@ fn time_scan(
         name,
         column,
         scan_secs,
+        par_secs,
         naive_secs,
         stats,
     }
@@ -181,17 +207,26 @@ fn main() {
     ];
 
     println!(
-        "\n{:<26} {:>12} {:>12} {:>9} {:>12} {:>8}",
-        "series", "scan", "decode+filt", "speedup", "matched", "pruned"
+        "\n{:<26} {:>12} {:>12} {:>12} {:>9} {:>12} {:>12} {:>8}",
+        "series",
+        "scan",
+        "par-scan",
+        "decode+filt",
+        "speedup",
+        "scan vals/s",
+        "old vals/s",
+        "pruned"
     );
     for r in &series {
         println!(
-            "{:<26} {:>10.3}ms {:>10.3}ms {:>8.2}x {:>12} {:>8}",
+            "{:<26} {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>8.2}x {:>11.1}M {:>11.1}M {:>8}",
             r.name,
             r.scan_secs * 1e3,
+            r.par_secs * 1e3,
             r.naive_secs * 1e3,
             r.speedup(),
-            r.stats.rows_matched,
+            r.scan_vps() / 1e6,
+            r.naive_vps() / 1e6,
             r.stats.blocks_pruned,
         );
     }

@@ -72,12 +72,13 @@ impl Dfor {
         }
         out.clear();
         out.reserve(self.len());
-        for (i, &r) in reference.iter().enumerate() {
-            out.push(
-                r.wrapping_add(self.base)
-                    .wrapping_add(self.diffs.get_unchecked_len(i) as i64),
-            );
-        }
+        // Batched diff unpack fused with the reference add.
+        let base = self.base;
+        self.diffs.unpack_chunks(|start, chunk| {
+            for (&r, &d) in reference[start..start + chunk.len()].iter().zip(chunk) {
+                out.push(r.wrapping_add(base).wrapping_add(d as i64));
+            }
+        });
         Ok(())
     }
 
@@ -97,14 +98,17 @@ impl Dfor {
             });
         }
         out.clear();
-        for (i, &r) in reference.iter().enumerate() {
-            let v = r
-                .wrapping_add(self.base)
-                .wrapping_add(self.diffs.get_unchecked_len(i) as i64);
-            if range.matches(v) {
-                out.push(i as u32);
+        let base = self.base;
+        self.diffs.unpack_chunks(|start, chunk| {
+            for (j, &d) in chunk.iter().enumerate() {
+                let v = reference[start + j]
+                    .wrapping_add(base)
+                    .wrapping_add(d as i64);
+                if range.matches(v) {
+                    out.push((start + j) as u32);
+                }
             }
-        }
+        });
         Ok(())
     }
 

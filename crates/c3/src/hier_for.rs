@@ -105,14 +105,33 @@ impl HierFor {
         }
         out.clear();
         out.reserve(self.len());
-        for (i, &r) in reference.iter().enumerate() {
-            let k = self
-                .ref_keys
-                .binary_search(&r)
-                .map_err(|_| Error::invalid("reference value unseen at encode time"))?;
-            out.push(
-                self.children[(self.offsets[k] + self.codes.get_unchecked_len(i) as u32) as usize],
-            );
+        // Batched group-index unpack; the key lookup memoizes the previous
+        // reference value (references are frequently run-heavy).
+        let mut unseen = false;
+        let mut memo: Option<(i64, usize)> = None;
+        self.codes.unpack_chunks(|start, chunk| {
+            if unseen {
+                return;
+            }
+            for (&r, &c) in reference[start..start + chunk.len()].iter().zip(chunk) {
+                let k = match memo {
+                    Some((mr, mk)) if mr == r => mk,
+                    _ => match self.ref_keys.binary_search(&r) {
+                        Ok(k) => {
+                            memo = Some((r, k));
+                            k
+                        }
+                        Err(_) => {
+                            unseen = true;
+                            return;
+                        }
+                    },
+                };
+                out.push(self.children[(self.offsets[k] + c as u32) as usize]);
+            }
+        });
+        if unseen {
+            return Err(Error::invalid("reference value unseen at encode time"));
         }
         Ok(())
     }
@@ -140,14 +159,34 @@ impl HierFor {
         }
         out.clear();
         let verdicts: Vec<bool> = self.children.iter().map(|&v| range.matches(v)).collect();
-        for (i, &r) in reference.iter().enumerate() {
-            let k = self
-                .ref_keys
-                .binary_search(&r)
-                .map_err(|_| Error::invalid("reference value unseen at encode time"))?;
-            if verdicts[(self.offsets[k] + self.codes.get_unchecked_len(i) as u32) as usize] {
-                out.push(i as u32);
+        let mut unseen = false;
+        let mut memo: Option<(i64, usize)> = None;
+        self.codes.unpack_chunks(|start, chunk| {
+            if unseen {
+                return;
             }
+            for (j, &c) in chunk.iter().enumerate() {
+                let r = reference[start + j];
+                let k = match memo {
+                    Some((mr, mk)) if mr == r => mk,
+                    _ => match self.ref_keys.binary_search(&r) {
+                        Ok(k) => {
+                            memo = Some((r, k));
+                            k
+                        }
+                        Err(_) => {
+                            unseen = true;
+                            return;
+                        }
+                    },
+                };
+                if verdicts[(self.offsets[k] + c as u32) as usize] {
+                    out.push((start + j) as u32);
+                }
+            }
+        });
+        if unseen {
+            return Err(Error::invalid("reference value unseen at encode time"));
         }
         Ok(())
     }

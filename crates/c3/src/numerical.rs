@@ -108,13 +108,17 @@ impl Numerical {
         }
         out.clear();
         out.reserve(self.len());
-        for (i, &r) in reference.iter().enumerate() {
-            out.push(
-                predict(self.slope_num, r)
-                    .wrapping_add(self.base)
-                    .wrapping_add(self.residuals.get_unchecked_len(i) as i64),
-            );
-        }
+        // Batched residual unpack fused with the affine prediction.
+        let (slope_num, base) = (self.slope_num, self.base);
+        self.residuals.unpack_chunks(|start, chunk| {
+            for (&r, &d) in reference[start..start + chunk.len()].iter().zip(chunk) {
+                out.push(
+                    predict(slope_num, r)
+                        .wrapping_add(base)
+                        .wrapping_add(d as i64),
+                );
+            }
+        });
         Ok(())
     }
 
@@ -133,14 +137,17 @@ impl Numerical {
             });
         }
         out.clear();
-        for (i, &r) in reference.iter().enumerate() {
-            let v = predict(self.slope_num, r)
-                .wrapping_add(self.base)
-                .wrapping_add(self.residuals.get_unchecked_len(i) as i64);
-            if range.matches(v) {
-                out.push(i as u32);
+        let (slope_num, base) = (self.slope_num, self.base);
+        self.residuals.unpack_chunks(|start, chunk| {
+            for (j, &d) in chunk.iter().enumerate() {
+                let v = predict(slope_num, reference[start + j])
+                    .wrapping_add(base)
+                    .wrapping_add(d as i64);
+                if range.matches(v) {
+                    out.push((start + j) as u32);
+                }
             }
-        }
+        });
         Ok(())
     }
 

@@ -105,11 +105,21 @@ impl OneToOne {
         }
         out.clear();
         out.reserve(self.len);
+        // Memoize the previous key: references are frequently run-heavy, so
+        // most rows skip the binary search entirely.
+        let mut memo: Option<(i64, usize)> = None;
         for &r in reference {
-            let k = self
-                .ref_keys
-                .binary_search(&r)
-                .map_err(|_| Error::invalid("reference value unseen at encode time"))?;
+            let k = match memo {
+                Some((mr, mk)) if mr == r => mk,
+                _ => {
+                    let k = self
+                        .ref_keys
+                        .binary_search(&r)
+                        .map_err(|_| Error::invalid("reference value unseen at encode time"))?;
+                    memo = Some((r, k));
+                    k
+                }
+            };
             out.push(self.mapped[k]);
         }
         for (j, &p) in self.exc_pos.iter().enumerate() {

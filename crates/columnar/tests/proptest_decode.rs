@@ -1,0 +1,175 @@
+//! Parity suite for the width-specialized batched decode engine: the
+//! chunked kernels behind `unpack_into` / `unpack_add_into` /
+//! `unpack_chunks` must agree with the scalar per-element getter for every
+//! bit width in `0..=64`, at every chunk-boundary length, and on
+//! all-zeros / all-max payloads — including widths whose values straddle
+//! word boundaries.
+
+use corra_columnar::bitpack::{BitPackedVec, UNPACK_CHUNK};
+use proptest::prelude::*;
+
+/// The old scalar decode path: one `get` per element.
+fn scalar_unpack(v: &BitPackedVec) -> Vec<u64> {
+    (0..v.len()).map(|i| v.get(i)).collect()
+}
+
+fn width_mask(bits: u8) -> u64 {
+    if bits == 0 {
+        0
+    } else {
+        u64::MAX >> (64 - bits as u32)
+    }
+}
+
+/// Deterministic per-width payload mixing structure and noise.
+fn payload(bits: u8, len: usize) -> Vec<u64> {
+    let mask = width_mask(bits);
+    (0..len as u64)
+        .map(|i| (i ^ i.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17)) & mask)
+        .collect()
+}
+
+/// Lengths hitting the chunk boundary from every side, plus word-spill
+/// offsets inside a chunk.
+const LENGTHS: &[usize] = &[
+    0,
+    1,
+    2,
+    63,
+    64,
+    65,
+    127,
+    128,
+    1023,
+    1024,
+    1025,
+    2047,
+    2048,
+    2049,
+    3 * 1024 + 917,
+];
+
+#[test]
+fn batched_unpack_parity_every_width_and_length() {
+    for bits in 0u8..=64 {
+        for &len in LENGTHS {
+            let values = payload(bits, len);
+            let packed = BitPackedVec::pack(&values, bits).unwrap();
+            assert_eq!(packed.unpack(), values, "width {bits} len {len}");
+            assert_eq!(
+                packed.unpack(),
+                scalar_unpack(&packed),
+                "width {bits} len {len} vs scalar"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_unpack_parity_all_zeros_and_all_max() {
+    for bits in 0u8..=64 {
+        for &len in &[1023usize, 1024, 1025] {
+            for value in [0u64, width_mask(bits)] {
+                let values = vec![value; len];
+                let packed = BitPackedVec::pack(&values, bits).unwrap();
+                assert_eq!(packed.unpack(), values, "width {bits} len {len} v {value}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_add_parity_every_width() {
+    for bits in 0u8..=64 {
+        let values = payload(bits, 1025);
+        let packed = BitPackedVec::pack(&values, bits).unwrap();
+        for base in [0i64, 1, -1, 8_035, i64::MIN, i64::MAX] {
+            let mut fused = Vec::new();
+            packed.unpack_add_into(base, &mut fused);
+            let want: Vec<i64> = values
+                .iter()
+                .map(|&v| base.wrapping_add(v as i64))
+                .collect();
+            assert_eq!(fused, want, "width {bits} base {base}");
+        }
+    }
+}
+
+#[test]
+fn chunk_visitor_parity_every_width() {
+    for bits in 0u8..=64 {
+        let values = payload(bits, 2 * UNPACK_CHUNK + 333);
+        let packed = BitPackedVec::pack(&values, bits).unwrap();
+        let mut seen = Vec::new();
+        let mut last_end = 0usize;
+        packed.unpack_chunks(|start, chunk| {
+            assert_eq!(start, last_end, "width {bits}: chunks must be contiguous");
+            assert!(chunk.len() <= UNPACK_CHUNK);
+            last_end = start + chunk.len();
+            seen.extend_from_slice(chunk);
+        });
+        assert_eq!(seen, values, "width {bits}");
+    }
+}
+
+proptest! {
+    /// Random widths, lengths and payloads: batched == scalar.
+    #[test]
+    fn unpack_matches_scalar(
+        bits in 0u8..=64,
+        len in 0usize..2_200,
+        seed in any::<u64>(),
+    ) {
+        let mask = width_mask(bits);
+        let values: Vec<u64> = (0..len as u64)
+            .map(|i| i.wrapping_mul(seed | 1).rotate_left((i % 63) as u32) & mask)
+            .collect();
+        let packed = BitPackedVec::pack(&values, bits).unwrap();
+        prop_assert_eq!(packed.unpack(), scalar_unpack(&packed));
+        prop_assert_eq!(packed.unpack(), values);
+    }
+
+    /// Fused FOR add == scalar decode then add, with wrapping semantics.
+    #[test]
+    fn unpack_add_matches_scalar(
+        bits in 0u8..=64,
+        len in 0usize..1_500,
+        base in any::<i64>(),
+        seed in any::<u64>(),
+    ) {
+        let mask = width_mask(bits);
+        let values: Vec<u64> = (0..len as u64)
+            .map(|i| i.wrapping_mul(seed | 1) & mask)
+            .collect();
+        let packed = BitPackedVec::pack(&values, bits).unwrap();
+        let mut fused = Vec::new();
+        packed.unpack_add_into(base, &mut fused);
+        let want: Vec<i64> = scalar_unpack(&packed)
+            .iter()
+            .map(|&v| base.wrapping_add(v as i64))
+            .collect();
+        prop_assert_eq!(fused, want);
+    }
+
+    /// The hoisted-mask reader and the gather kernel agree with `get`.
+    #[test]
+    fn reader_and_gather_match_get(
+        bits in 0u8..=64,
+        len in 1usize..1_500,
+        seed in any::<u64>(),
+    ) {
+        let mask = width_mask(bits);
+        let values: Vec<u64> = (0..len as u64)
+            .map(|i| i.wrapping_mul(seed | 1) & mask)
+            .collect();
+        let packed = BitPackedVec::pack(&values, bits).unwrap();
+        let reader = packed.reader();
+        let positions: Vec<u32> = (0..len as u32).step_by(7).collect();
+        let mut gathered = Vec::new();
+        packed.gather_into(&positions, &mut gathered);
+        for (k, &p) in positions.iter().enumerate() {
+            prop_assert_eq!(reader.get(p as usize), values[p as usize]);
+            prop_assert_eq!(gathered[k], values[p as usize]);
+        }
+    }
+}

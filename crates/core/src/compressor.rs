@@ -397,13 +397,7 @@ impl CompressedBlock {
                 enc.decode_into(&mut out);
                 Ok(Column::Int64(out))
             }
-            ColumnCodec::Str(enc) => {
-                let mut pool = StringPool::with_capacity(enc.len(), enc.len() * 8);
-                for k in 0..enc.len() {
-                    pool.push(enc.get(k));
-                }
-                Ok(Column::Utf8(pool))
-            }
+            ColumnCodec::Str(enc) => Ok(Column::Utf8(enc.decode_into_pool())),
             ColumnCodec::PlainStr(p) => Ok(Column::Utf8(p.clone())),
             ColumnCodec::NonHier { enc, reference } => {
                 let refv = self.decompress_int(*reference as usize)?;
@@ -445,18 +439,21 @@ impl CompressedBlock {
         }
     }
 
-    /// Extracts per-row parent dictionary codes from a reference column.
+    /// Extracts per-row parent dictionary codes from a reference column
+    /// through the batched code kernels.
     pub(crate) fn parent_codes(&self, i: usize) -> Result<Vec<u32>> {
+        let mut codes = Vec::new();
         match &self.codecs[i] {
-            ColumnCodec::Int(IntEncoding::Dict(d)) => {
-                Ok((0..d.len()).map(|k| d.code_at(k)).collect())
+            ColumnCodec::Int(IntEncoding::Dict(d)) => d.codes_into(&mut codes),
+            ColumnCodec::Str(d) => d.codes_into(&mut codes),
+            other => {
+                return Err(Error::TypeMismatch {
+                    expected: "dict-encoded reference",
+                    found: codec_kind(other),
+                })
             }
-            ColumnCodec::Str(d) => Ok((0..d.len()).map(|k| d.code_at(k)).collect()),
-            other => Err(Error::TypeMismatch {
-                expected: "dict-encoded reference",
-                found: codec_kind(other),
-            }),
         }
+        Ok(codes)
     }
 
     /// Computes per-group reference sums by decoding every group member.
@@ -477,14 +474,17 @@ impl CompressedBlock {
 }
 
 fn parent_codes_of(codec: &Option<ColumnCodec>, rows: usize) -> Result<(Vec<u32>, usize)> {
+    let mut codes = Vec::new();
     match codec {
         Some(ColumnCodec::Int(IntEncoding::Dict(d))) => {
             debug_assert_eq!(d.len(), rows);
-            Ok(((0..rows).map(|k| d.code_at(k)).collect(), d.dict().len()))
+            d.codes_into(&mut codes);
+            Ok((codes, d.dict().len()))
         }
         Some(ColumnCodec::Str(d)) => {
             debug_assert_eq!(d.len(), rows);
-            Ok(((0..rows).map(|k| d.code_at(k)).collect(), d.distinct()))
+            d.codes_into(&mut codes);
+            Ok((codes, d.distinct()))
         }
         Some(other) => Err(Error::TypeMismatch {
             expected: "dict-encoded reference",

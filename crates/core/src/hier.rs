@@ -143,10 +143,14 @@ impl HierInt {
         }
         out.clear();
         out.reserve(self.len());
-        for (i, &p) in parent_codes.iter().enumerate() {
-            let off = self.offsets[p as usize];
-            out.push(self.values[(off + self.codes.get_unchecked_len(i) as u32) as usize]);
-        }
+        // Batched group-index unpack; Alg. 1's metadata lookup runs over
+        // cache-hot chunks.
+        self.codes.unpack_chunks(|start, chunk| {
+            for (&p, &c) in parent_codes[start..start + chunk.len()].iter().zip(chunk) {
+                let off = self.offsets[p as usize];
+                out.push(self.values[(off + c as u32) as usize]);
+            }
+        });
         Ok(())
     }
 
@@ -178,12 +182,15 @@ impl HierInt {
     ) {
         out.clear();
         let verdicts: Vec<bool> = self.values.iter().map(|&v| range.matches(v)).collect();
-        for i in 0..self.len() {
-            let off = self.offsets[parent_code_at(i) as usize];
-            if verdicts[(off + self.codes.get_unchecked_len(i) as u32) as usize] {
-                out.push(i as u32);
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                let i = start + j;
+                let off = self.offsets[parent_code_at(i) as usize];
+                if verdicts[(off + c as u32) as usize] {
+                    out.push(i as u32);
+                }
             }
-        }
+        });
     }
 
     /// Exact value bounds from the metadata array: every stored child value
@@ -353,13 +360,12 @@ impl HierStr {
             });
         }
         let mut pool = StringPool::with_capacity(self.len(), self.len() * 8);
-        for (i, &p) in parent_codes.iter().enumerate() {
-            let off = self.offsets[p as usize];
-            pool.push(
-                self.values
-                    .get((off + self.codes.get_unchecked_len(i) as u32) as usize),
-            );
-        }
+        self.codes.unpack_chunks(|start, chunk| {
+            for (&p, &c) in parent_codes[start..start + chunk.len()].iter().zip(chunk) {
+                let off = self.offsets[p as usize];
+                pool.push(self.values.get((off + c as u32) as usize));
+            }
+        });
         Ok(pool)
     }
 
@@ -392,12 +398,15 @@ impl HierStr {
         let verdicts: Vec<bool> = (0..self.values.len())
             .map(|k| (self.values.get(k) == value) != negate)
             .collect();
-        for i in 0..self.len() {
-            let off = self.offsets[parent_code_at(i) as usize];
-            if verdicts[(off + self.codes.get_unchecked_len(i) as u32) as usize] {
-                out.push(i as u32);
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                let i = start + j;
+                let off = self.offsets[parent_code_at(i) as usize];
+                if verdicts[(off + c as u32) as usize] {
+                    out.push(i as u32);
+                }
             }
-        }
+        });
     }
 
     /// Compressed size: packed codes + flattened string metadata + offsets.

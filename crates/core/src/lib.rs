@@ -49,5 +49,6 @@ pub use optimizer::{apply_assignment, Assignment, ColumnGraph, EncodedColumn};
 pub use outlier::OutlierRegion;
 pub use query::{query_both, query_column, query_two_columns, QueryOutput};
 pub use scan::{
-    scan, scan_blocks, scan_pruned, scan_query, scan_query_both, CmpOp, Predicate, ScanStats,
+    query_parallel, scan, scan_blocks, scan_blocks_parallel, scan_pruned, scan_query,
+    scan_query_both, CmpOp, Predicate, ScanStats,
 };

@@ -267,12 +267,15 @@ impl MultiRefInt {
         out.reserve(self.len());
         let g = group_sums.len();
         let mut sums_at = vec![0i64; g];
-        for i in 0..self.len() {
-            for (k, s) in group_sums.iter().enumerate() {
-                sums_at[k] = s[i];
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                let i = start + j;
+                for (k, s) in group_sums.iter().enumerate() {
+                    sums_at[k] = s[i];
+                }
+                out.push(self.formulas[c as usize].eval(&sums_at));
             }
-            out.push(self.formulas[self.codes.get_unchecked_len(i) as usize].eval(&sums_at));
-        }
+        });
         self.outliers.patch(out);
         Ok(())
     }
@@ -290,21 +293,21 @@ impl MultiRefInt {
     ) {
         out.clear();
         let mut exc = self.outliers.iter().peekable();
-        for i in 0..self.len() {
-            let v = match exc.peek() {
-                Some(&(oi, ov)) if oi == i as u32 => {
-                    exc.next();
-                    ov
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                let i = start + j;
+                let v = match exc.peek() {
+                    Some(&(oi, ov)) if oi == i as u32 => {
+                        exc.next();
+                        ov
+                    }
+                    _ => eval_mask(self.formulas[c as usize].0, i),
+                };
+                if range.matches(v) {
+                    out.push(i as u32);
                 }
-                _ => {
-                    let mask = self.formulas[self.codes.get_unchecked_len(i) as usize].0;
-                    eval_mask(mask, i)
-                }
-            };
-            if range.matches(v) {
-                out.push(i as u32);
             }
-        }
+        });
     }
 
     /// Materializes selected rows; `group_sum_at(g, row)` fetches (and

@@ -232,12 +232,14 @@ impl NonHierInt {
         }
         out.clear();
         out.reserve(self.len());
-        for (i, &r) in reference.iter().enumerate() {
-            out.push(
-                r.wrapping_add(self.base)
-                    .wrapping_add(self.diffs.get_unchecked_len(i) as i64),
-            );
-        }
+        // Batched diff unpack fused with the reference add; the outlier
+        // patch stays a sparse post-pass.
+        let base = self.base;
+        self.diffs.unpack_chunks(|start, chunk| {
+            for (&r, &d) in reference[start..start + chunk.len()].iter().zip(chunk) {
+                out.push(r.wrapping_add(base).wrapping_add(d as i64));
+            }
+        });
         self.outliers.patch(out);
         Ok(())
     }
@@ -345,30 +347,32 @@ impl NonHierInt {
         out.clear();
         let base = self.base;
         if self.outliers.is_empty() {
-            for i in 0..self.len() {
-                let v = ref_at(i)
-                    .wrapping_add(base)
-                    .wrapping_add(self.diffs.get_unchecked_len(i) as i64);
-                if range.matches(v) {
-                    out.push(i as u32);
+            self.diffs.unpack_chunks(|start, chunk| {
+                for (j, &d) in chunk.iter().enumerate() {
+                    let i = start + j;
+                    let v = ref_at(i).wrapping_add(base).wrapping_add(d as i64);
+                    if range.matches(v) {
+                        out.push(i as u32);
+                    }
                 }
-            }
+            });
         } else {
             let mut exc = self.outliers.iter().peekable();
-            for i in 0..self.len() {
-                let v = match exc.peek() {
-                    Some(&(oi, ov)) if oi == i as u32 => {
-                        exc.next();
-                        ov
+            self.diffs.unpack_chunks(|start, chunk| {
+                for (j, &d) in chunk.iter().enumerate() {
+                    let i = start + j;
+                    let v = match exc.peek() {
+                        Some(&(oi, ov)) if oi == i as u32 => {
+                            exc.next();
+                            ov
+                        }
+                        _ => ref_at(i).wrapping_add(base).wrapping_add(d as i64),
+                    };
+                    if range.matches(v) {
+                        out.push(i as u32);
                     }
-                    _ => ref_at(i)
-                        .wrapping_add(base)
-                        .wrapping_add(self.diffs.get_unchecked_len(i) as i64),
-                };
-                if range.matches(v) {
-                    out.push(i as u32);
                 }
-            }
+            });
         }
     }
 

@@ -62,11 +62,18 @@ impl QueryOutput {
 }
 
 /// Fast reference-value accessor resolved once per query: the common
-/// vertical codecs get direct, assertion-free paths (the selection vector
-/// is validated once at query entry).
+/// vertical codecs get direct, assertion-free paths with the bit-width
+/// mask hoisted into a [`PackedReader`](corra_columnar::bitpack::PackedReader)
+/// (the selection vector is validated once at query entry).
 pub(crate) enum RefAccess<'a> {
-    For(&'a corra_encodings::ForInt),
-    Dict(&'a corra_encodings::DictInt),
+    For {
+        base: i64,
+        offsets: corra_columnar::bitpack::PackedReader<'a>,
+    },
+    Dict {
+        dict: &'a [i64],
+        codes: corra_columnar::bitpack::PackedReader<'a>,
+    },
     Plain(&'a [i64]),
     Other(&'a IntEncoding),
 }
@@ -75,34 +82,39 @@ impl RefAccess<'_> {
     #[inline]
     pub(crate) fn get(&self, i: usize) -> i64 {
         match self {
-            RefAccess::For(e) => e.value_at_unchecked(i),
-            RefAccess::Dict(e) => e.value_at_unchecked(i),
+            RefAccess::For { base, offsets } => base.wrapping_add(offsets.get(i) as i64),
+            RefAccess::Dict { dict, codes } => dict[codes.get(i) as usize],
             RefAccess::Plain(v) => v[i],
             RefAccess::Other(e) => e.get(i),
         }
     }
 }
 
-/// Parent-code accessor for hierarchical targets.
+/// Parent-code accessor for hierarchical targets (hoisted-mask readers).
 pub(crate) enum CodeAccess<'a> {
-    IntDict(&'a corra_encodings::DictInt),
-    StrDict(&'a corra_encodings::DictStr),
+    IntDict(corra_columnar::bitpack::PackedReader<'a>),
+    StrDict(corra_columnar::bitpack::PackedReader<'a>),
 }
 
 impl CodeAccess<'_> {
     #[inline]
     pub(crate) fn code(&self, i: usize) -> u32 {
         match self {
-            CodeAccess::IntDict(d) => d.code_at_unchecked(i),
-            CodeAccess::StrDict(d) => d.code_at_unchecked(i),
+            CodeAccess::IntDict(r) | CodeAccess::StrDict(r) => r.get(i) as u32,
         }
     }
 }
 
 pub(crate) fn ref_access<'a>(block: &'a CompressedBlock, idx: usize) -> Result<RefAccess<'a>> {
     match block.codec_at(idx) {
-        ColumnCodec::Int(IntEncoding::For(e)) => Ok(RefAccess::For(e)),
-        ColumnCodec::Int(IntEncoding::Dict(e)) => Ok(RefAccess::Dict(e)),
+        ColumnCodec::Int(IntEncoding::For(e)) => Ok(RefAccess::For {
+            base: e.base(),
+            offsets: e.offset_reader(),
+        }),
+        ColumnCodec::Int(IntEncoding::Dict(e)) => Ok(RefAccess::Dict {
+            dict: e.dict(),
+            codes: e.code_reader(),
+        }),
         ColumnCodec::Int(IntEncoding::Plain(e)) => Ok(RefAccess::Plain(e.values())),
         ColumnCodec::Int(e) => Ok(RefAccess::Other(e)),
         _ => Err(Error::TypeMismatch {
@@ -147,8 +159,8 @@ pub(crate) fn eval_formula_mask(members: &[Vec<RefAccess<'_>>], mask: u8, i: usi
 
 pub(crate) fn code_access<'a>(block: &'a CompressedBlock, idx: usize) -> Result<CodeAccess<'a>> {
     match block.codec_at(idx) {
-        ColumnCodec::Int(IntEncoding::Dict(d)) => Ok(CodeAccess::IntDict(d)),
-        ColumnCodec::Str(d) => Ok(CodeAccess::StrDict(d)),
+        ColumnCodec::Int(IntEncoding::Dict(d)) => Ok(CodeAccess::IntDict(d.code_reader())),
+        ColumnCodec::Str(d) => Ok(CodeAccess::StrDict(d.code_reader())),
         _ => Err(Error::TypeMismatch {
             expected: "dict-encoded reference",
             found: "non-dict reference",

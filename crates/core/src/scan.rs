@@ -18,6 +18,12 @@
 //! 3. **Materialization** — [`scan_query`] / [`scan_query_both`] feed the
 //!    produced selection into the existing [`crate::query`] kernels, so
 //!    filter → materialize runs end to end on compressed data.
+//!
+//! Multi-block scans also come in a morsel-parallel flavor
+//! ([`scan_blocks_parallel`] / [`query_parallel`]): scoped workers pull
+//! block morsels off an atomic counter and write into indexed result
+//! slots, so output order (and every [`SelectionVector`]) is byte-identical
+//! to the serial path.
 
 use corra_columnar::error::{Error, Result};
 use corra_columnar::predicate::{IntRange, RangeVerdict};
@@ -287,6 +293,126 @@ pub fn scan_blocks(
         selections.push(sel);
     }
     Ok((selections, stats))
+}
+
+/// One indexed result slot per block: workers write each block's outcome
+/// into its own slot, which is what makes parallel output order (and
+/// content) identical to the serial path.
+type ResultSlots<T> = Vec<std::sync::Mutex<Option<Result<T>>>>;
+
+/// Morsel-driven parallel [`scan_blocks`]: `threads` scoped workers pull
+/// block-granularity morsels off a shared atomic counter (blocks are
+/// self-contained, mirroring [`crate::compressor::compress_blocks`]).
+///
+/// Output is deterministic: per-block selections land in indexed slots, so
+/// the returned vector is byte-identical to the serial scan's regardless of
+/// worker interleaving, and [`ScanStats`] are merged in block order.
+pub fn scan_blocks_parallel(
+    blocks: &[CompressedBlock],
+    pred: &Predicate,
+    threads: usize,
+) -> Result<(Vec<SelectionVector>, ScanStats)> {
+    let threads = threads.max(1).min(blocks.len().max(1));
+    if threads <= 1 || blocks.len() <= 1 {
+        return scan_blocks(blocks, pred);
+    }
+    let slots: ResultSlots<(SelectionVector, bool)> = (0..blocks.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let panicked = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= blocks.len() {
+                        break;
+                    }
+                    let scanned = scan_pruned(&blocks[i], pred);
+                    *slots[i].lock().expect("scan slot poisoned") = Some(scanned);
+                })
+            })
+            .collect();
+        workers.into_iter().any(|w| w.join().is_err())
+    });
+    if panicked {
+        return Err(Error::invalid("parallel scan worker panicked"));
+    }
+    let mut stats = ScanStats::default();
+    let mut selections = Vec::with_capacity(blocks.len());
+    for (slot, block) in slots.into_iter().zip(blocks) {
+        let (sel, pruned) = slot
+            .into_inner()
+            .expect("scan slot poisoned")
+            .expect("every block visited")?;
+        stats.blocks += 1;
+        stats.blocks_pruned += usize::from(pruned);
+        stats.rows_total += block.rows();
+        stats.rows_matched += sel.len();
+        selections.push(sel);
+    }
+    Ok((selections, stats))
+}
+
+/// Morsel-driven parallel materialization: runs
+/// [`crate::query::query_column`] for `column` against every
+/// `(block, selection)` pair with `threads` scoped workers. Outputs land in
+/// indexed slots, so the result order matches the serial loop exactly.
+///
+/// # Errors
+///
+/// [`Error::LengthMismatch`] if `selections` is not aligned with `blocks`,
+/// plus anything the per-block query reports.
+pub fn query_parallel(
+    blocks: &[CompressedBlock],
+    column: &str,
+    selections: &[SelectionVector],
+    threads: usize,
+) -> Result<Vec<QueryOutput>> {
+    if blocks.len() != selections.len() {
+        return Err(Error::LengthMismatch {
+            left: blocks.len(),
+            right: selections.len(),
+        });
+    }
+    let threads = threads.max(1).min(blocks.len().max(1));
+    if threads <= 1 || blocks.len() <= 1 {
+        return blocks
+            .iter()
+            .zip(selections)
+            .map(|(b, sel)| crate::query::query_column(b, column, sel))
+            .collect();
+    }
+    let slots: ResultSlots<QueryOutput> = (0..blocks.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let panicked = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= blocks.len() {
+                        break;
+                    }
+                    let out = crate::query::query_column(&blocks[i], column, &selections[i]);
+                    *slots[i].lock().expect("query slot poisoned") = Some(out);
+                })
+            })
+            .collect();
+        workers.into_iter().any(|w| w.join().is_err())
+    });
+    if panicked {
+        return Err(Error::invalid("parallel query worker panicked"));
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("query slot poisoned")
+                .expect("every block visited")
+        })
+        .collect()
 }
 
 /// Filter → materialize in one call: scans for `pred` and materializes
@@ -581,6 +707,54 @@ mod tests {
         assert_eq!(stats.blocks_pruned, 2);
         assert_eq!(stats.rows_total, 4_000);
         assert_eq!(stats.rows_matched, 0);
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial() {
+        let (block, cfg) = date_block(2_000);
+        let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
+        // Mix matching and pruned blocks so both paths run in workers.
+        let blocks = vec![compressed.clone(), compressed.clone(), compressed];
+        for pred in [
+            Predicate::between("l_receiptdate", 8_100, 8_300),
+            Predicate::lt("l_shipdate", 0), // pruned everywhere
+        ] {
+            let (serial_sel, serial_stats) = scan_blocks(&blocks, &pred).unwrap();
+            for threads in 1..=8 {
+                let (sel, stats) = scan_blocks_parallel(&blocks, &pred, threads).unwrap();
+                assert_eq!(sel, serial_sel, "{pred:?} threads {threads}");
+                assert_eq!(stats, serial_stats, "{pred:?} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scan_propagates_errors() {
+        let (block, cfg) = date_block(100);
+        let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
+        let blocks = vec![compressed.clone(), compressed];
+        let pred = Predicate::eq("no_such_column", 1);
+        assert!(scan_blocks_parallel(&blocks, &pred, 4).is_err());
+    }
+
+    #[test]
+    fn parallel_query_matches_serial() {
+        let (block, cfg) = date_block(3_000);
+        let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
+        let blocks = vec![compressed.clone(), compressed];
+        let pred = Predicate::between("l_receiptdate", 8_100, 8_400);
+        let (sels, _) = scan_blocks(&blocks, &pred).unwrap();
+        let serial: Vec<_> = blocks
+            .iter()
+            .zip(&sels)
+            .map(|(b, sel)| crate::query::query_column(b, "l_receiptdate", sel).unwrap())
+            .collect();
+        for threads in 1..=4 {
+            let parallel = query_parallel(&blocks, "l_receiptdate", &sels, threads).unwrap();
+            assert_eq!(parallel, serial, "threads {threads}");
+        }
+        // Misaligned selections are rejected.
+        assert!(query_parallel(&blocks, "l_receiptdate", &sels[..1], 2).is_err());
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Morsel-parallelism equivalence suite: `scan_blocks_parallel` must
+//! return byte-identical `SelectionVector`s and identical `ScanStats` to
+//! the serial `scan_blocks` for every thread count in `1..=8`, across
+//! vertical, non-hierarchical, hierarchical and multi-reference codecs,
+//! and with pruned blocks in the mix. `query_parallel` must likewise match
+//! the serial per-block materialization loop.
+
+use corra_columnar::block::DataBlock;
+use corra_columnar::column::{Column, DataType};
+use corra_columnar::schema::{Field, Schema};
+use corra_core::scan::{scan_blocks, scan_blocks_parallel, Predicate};
+use corra_core::{query_column, query_parallel, ColumnPlan, CompressedBlock, CompressionConfig};
+
+/// Builds `n_blocks` compressed blocks whose date domains are staggered, so
+/// range predicates prune some blocks, cover others entirely, and leave the
+/// rest for the per-row kernels.
+fn staggered_blocks(n_blocks: usize, rows: usize) -> Vec<CompressedBlock> {
+    let cfg = CompressionConfig::baseline()
+        .with(
+            "l_receiptdate",
+            ColumnPlan::NonHier {
+                reference: "l_shipdate".into(),
+            },
+        )
+        .with(
+            "child",
+            ColumnPlan::Hier {
+                reference: "parent".into(),
+            },
+        )
+        .with(
+            "total",
+            ColumnPlan::MultiRef {
+                groups: vec![vec!["l_shipdate".into()], vec!["fee".into()]],
+                code_bits: 2,
+            },
+        );
+    (0..n_blocks)
+        .map(|b| {
+            let lo = 8_000 + (b as i64) * 400;
+            let ship: Vec<i64> = (0..rows).map(|i| lo + (i as i64 * 17 % 300)).collect();
+            let receipt: Vec<i64> = ship
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| s + 1 + (i as i64 % 30))
+                .collect();
+            let parent: Vec<i64> = (0..rows).map(|i| (i % 5) as i64).collect();
+            let child: Vec<i64> = (0..rows)
+                .map(|i| (i % 5) as i64 * 1_000 + (i / 5 % 4) as i64)
+                .collect();
+            let fee: Vec<i64> = (0..rows).map(|i| (i % 3) as i64 * 25).collect();
+            let total: Vec<i64> = (0..rows)
+                .map(|i| {
+                    if i % 4 == 0 {
+                        ship[i]
+                    } else {
+                        ship[i] + fee[i]
+                    }
+                })
+                .collect();
+            let block = DataBlock::new(
+                Schema::new(vec![
+                    Field::new("l_shipdate", DataType::Date),
+                    Field::new("l_receiptdate", DataType::Date),
+                    Field::new("parent", DataType::Int64),
+                    Field::new("child", DataType::Int64),
+                    Field::new("fee", DataType::Int64),
+                    Field::new("total", DataType::Int64),
+                ])
+                .unwrap(),
+                vec![
+                    Column::Int64(ship),
+                    Column::Int64(receipt),
+                    Column::Int64(parent),
+                    Column::Int64(child),
+                    Column::Int64(fee),
+                    Column::Int64(total),
+                ],
+            )
+            .unwrap();
+            CompressedBlock::compress(&block, &cfg).unwrap()
+        })
+        .collect()
+}
+
+fn predicates() -> Vec<Predicate> {
+    vec![
+        // Straddles some staggered domains, misses others (pruning mix).
+        Predicate::between("l_shipdate", 8_200, 9_100),
+        // Diff-encoded target through its reference.
+        Predicate::le("l_receiptdate", 8_700),
+        // Hierarchical target through parent codes.
+        Predicate::between("child", 1_000, 2_003),
+        // Multi-reference target through formula evaluation.
+        Predicate::ge("total", 8_900),
+        // Conjunction across codec families.
+        Predicate::and(vec![
+            Predicate::ge("l_shipdate", 8_150),
+            Predicate::le("total", 9_500),
+        ]),
+        // Pruned everywhere.
+        Predicate::lt("l_shipdate", 0),
+    ]
+}
+
+#[test]
+fn parallel_scan_identical_to_serial_for_all_thread_counts() {
+    let blocks = staggered_blocks(7, 1_500);
+    for pred in predicates() {
+        let (serial_sels, serial_stats) = scan_blocks(&blocks, &pred).unwrap();
+        for threads in 1..=8 {
+            let (sels, stats) = scan_blocks_parallel(&blocks, &pred, threads).unwrap();
+            // Byte-identical selections, in block order.
+            assert_eq!(sels, serial_sels, "{pred:?} threads {threads}");
+            assert_eq!(stats, serial_stats, "{pred:?} threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn parallel_scan_single_and_empty_inputs() {
+    let blocks = staggered_blocks(1, 800);
+    let pred = Predicate::between("l_shipdate", 8_000, 8_200);
+    let (serial_sels, serial_stats) = scan_blocks(&blocks, &pred).unwrap();
+    let (sels, stats) = scan_blocks_parallel(&blocks, &pred, 8).unwrap();
+    assert_eq!(sels, serial_sels);
+    assert_eq!(stats, serial_stats);
+    let (sels, stats) = scan_blocks_parallel(&[], &pred, 8).unwrap();
+    assert!(sels.is_empty());
+    assert_eq!(stats, corra_core::ScanStats::default());
+}
+
+#[test]
+fn parallel_query_identical_to_serial() {
+    let blocks = staggered_blocks(5, 1_200);
+    let pred = Predicate::between("l_receiptdate", 8_100, 9_000);
+    let (sels, _) = scan_blocks(&blocks, &pred).unwrap();
+    for column in ["l_shipdate", "l_receiptdate", "child", "total"] {
+        let serial: Vec<_> = blocks
+            .iter()
+            .zip(&sels)
+            .map(|(b, sel)| query_column(b, column, sel).unwrap())
+            .collect();
+        for threads in 1..=8 {
+            let parallel = query_parallel(&blocks, column, &sels, threads).unwrap();
+            assert_eq!(parallel, serial, "{column} threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn parallel_errors_surface_deterministically() {
+    let blocks = staggered_blocks(3, 300);
+    // Unknown column fails regardless of which worker sees it first.
+    for threads in 1..=8 {
+        assert!(scan_blocks_parallel(&blocks, &Predicate::eq("nope", 1), threads).is_err());
+    }
+    let (sels, _) = scan_blocks(&blocks, &Predicate::lt("l_shipdate", 0)).unwrap();
+    for threads in 1..=8 {
+        assert!(query_parallel(&blocks, "nope", &sels, threads).is_err());
+    }
+    // Misaligned selections are rejected before any worker spawns.
+    assert!(query_parallel(&blocks, "l_shipdate", &sels[..2], 4).is_err());
+}

@@ -114,15 +114,20 @@ impl IntAccess for DeltaInt {
     fn decode_into(&self, out: &mut Vec<i64>) {
         out.clear();
         out.reserve(self.len);
+        // Batched delta unpack; the prefix sum with miniblock restarts runs
+        // over cache-hot decoded chunks (MINIBLOCK divides the chunk size).
         let mut v = 0i64;
-        for i in 0..self.len {
-            if i % MINIBLOCK == 0 {
-                v = self.restarts[i / MINIBLOCK];
-            } else {
-                v = v.wrapping_add(zigzag_decode(self.deltas.get_unchecked_len(i)));
+        self.deltas.unpack_chunks(|start, chunk| {
+            for (j, &d) in chunk.iter().enumerate() {
+                let i = start + j;
+                if i % MINIBLOCK == 0 {
+                    v = self.restarts[i / MINIBLOCK];
+                } else {
+                    v = v.wrapping_add(zigzag_decode(d));
+                }
+                out.push(v);
             }
-            out.push(v);
-        }
+        });
     }
 
     fn compressed_bytes(&self) -> usize {
@@ -138,16 +143,19 @@ impl FilterInt for DeltaInt {
     fn filter_into(&self, range: &IntRange, out: &mut Vec<u32>) {
         out.clear();
         let mut v = 0i64;
-        for i in 0..self.len {
-            if i % MINIBLOCK == 0 {
-                v = self.restarts[i / MINIBLOCK];
-            } else {
-                v = v.wrapping_add(zigzag_decode(self.deltas.get_unchecked_len(i)));
+        self.deltas.unpack_chunks(|start, chunk| {
+            for (j, &d) in chunk.iter().enumerate() {
+                let i = start + j;
+                if i % MINIBLOCK == 0 {
+                    v = self.restarts[i / MINIBLOCK];
+                } else {
+                    v = v.wrapping_add(zigzag_decode(d));
+                }
+                if range.matches(v) {
+                    out.push(i as u32);
+                }
             }
-            if range.matches(v) {
-                out.push(i as u32);
-            }
-        }
+        });
     }
 
     /// Tight bounds would require the same streaming pass as the kernel

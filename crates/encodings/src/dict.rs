@@ -10,6 +10,7 @@ use bytes::{Buf, BufMut};
 use corra_columnar::bitpack::BitPackedVec;
 use corra_columnar::error::{Error, Result};
 use corra_columnar::predicate::IntRange;
+use corra_columnar::selection::SelectionVector;
 use corra_columnar::stats::ZoneMap;
 use corra_columnar::strings::{StringDictBuilder, StringPool};
 use rustc_hash::FxHashMap;
@@ -73,6 +74,22 @@ impl DictInt {
         self.dict[self.codes.get_unchecked_len(i) as usize]
     }
 
+    /// A hoisted-mask reader over the packed codes (hot query loops).
+    #[inline]
+    pub fn code_reader(&self) -> corra_columnar::bitpack::PackedReader<'_> {
+        self.codes.reader()
+    }
+
+    /// Bulk-decodes the per-row codes into `out` (cleared first) through the
+    /// batched kernels — the parent-code fetch of hierarchical encoding.
+    pub fn codes_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(self.len());
+        self.codes.unpack_chunks(|_, chunk| {
+            out.extend(chunk.iter().map(|&c| c as u32));
+        });
+    }
+
     /// Serialized length of [`write_to`](Self::write_to).
     pub fn serialized_len(&self) -> usize {
         8 + self.dict.len() * 8 + self.codes.serialized_len()
@@ -117,6 +134,31 @@ impl IntAccess for DictInt {
         self.dict[self.codes.get(i) as usize]
     }
 
+    fn decode_into(&self, out: &mut Vec<i64>) {
+        out.clear();
+        out.reserve(self.len());
+        self.codes.unpack_chunks(|_, chunk| {
+            out.extend(chunk.iter().map(|&c| self.dict[c as usize]));
+        });
+    }
+
+    fn gather_into(&self, sel: &SelectionVector, out: &mut Vec<i64>) {
+        // Positions are sorted, so one check on the last bounds them all.
+        if let Some(&last) = sel.positions().last() {
+            assert!(
+                (last as usize) < self.len(),
+                "position {last} out of bounds (len {})",
+                self.len()
+            );
+        }
+        out.clear();
+        out.reserve(sel.len());
+        let r = self.codes.reader();
+        for &p in sel.positions() {
+            out.push(self.dict[r.get(p as usize) as usize]);
+        }
+    }
+
     fn compressed_bytes(&self) -> usize {
         // dictionary values + width byte + tightly packed codes.
         self.dict.len() * 8 + 1 + self.codes.tight_bytes()
@@ -146,12 +188,14 @@ impl FilterInt for DictInt {
             }
             return;
         }
-        for i in 0..n {
-            let c = self.codes.get_unchecked_len(i);
-            if ((lo_code <= c) & (c < hi_code)) != range.negate {
-                out.push(i as u32);
+        let negate = range.negate;
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                if ((lo_code <= c) & (c < hi_code)) != negate {
+                    out.push((start + j) as u32);
+                }
             }
-        }
+        });
     }
 
     /// Exact bounds: the sorted dictionary's first and last entry.
@@ -236,6 +280,33 @@ impl DictStr {
         self.codes.get_unchecked_len(i) as u32
     }
 
+    /// A hoisted-mask reader over the packed codes (hot query loops).
+    #[inline]
+    pub fn code_reader(&self) -> corra_columnar::bitpack::PackedReader<'_> {
+        self.codes.reader()
+    }
+
+    /// Bulk-decodes the per-row codes into `out` (cleared first) through the
+    /// batched kernels.
+    pub fn codes_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(self.len());
+        self.codes.unpack_chunks(|_, chunk| {
+            out.extend(chunk.iter().map(|&c| c as u32));
+        });
+    }
+
+    /// Bulk-decodes every row back into a per-row [`StringPool`].
+    pub fn decode_into_pool(&self) -> StringPool {
+        let mut pool = StringPool::with_capacity(self.len(), self.len() * 8);
+        self.codes.unpack_chunks(|_, chunk| {
+            for &c in chunk {
+                pool.push(self.pool.get(c as usize));
+            }
+        });
+        pool
+    }
+
     /// Serialized length of [`write_to`](Self::write_to).
     pub fn serialized_len(&self) -> usize {
         self.pool.serialized_len() + self.codes.serialized_len()
@@ -267,6 +338,23 @@ impl StrAccess for DictStr {
         self.pool.get(self.codes.get(i) as usize)
     }
 
+    fn gather_into(&self, sel: &SelectionVector, out: &mut Vec<String>) {
+        // Positions are sorted, so one check on the last bounds them all.
+        if let Some(&last) = sel.positions().last() {
+            assert!(
+                (last as usize) < self.len(),
+                "position {last} out of bounds (len {})",
+                self.len()
+            );
+        }
+        out.clear();
+        out.reserve(sel.len());
+        let r = self.codes.reader();
+        for &p in sel.positions() {
+            out.push(self.pool.get(r.get(p as usize) as usize).to_owned());
+        }
+    }
+
     fn compressed_bytes(&self) -> usize {
         // flattened distinct strings + offsets + width byte + packed codes.
         self.pool.heap_bytes() + 1 + self.codes.tight_bytes()
@@ -288,11 +376,13 @@ impl FilterStr for DictStr {
             return;
         };
         let target = target as u64;
-        for i in 0..n {
-            if (self.codes.get_unchecked_len(i) == target) != negate {
-                out.push(i as u32);
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                if (c == target) != negate {
+                    out.push((start + j) as u32);
+                }
             }
-        }
+        });
     }
 }
 

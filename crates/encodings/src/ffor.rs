@@ -88,6 +88,12 @@ impl ForInt {
         self.packed.get(i)
     }
 
+    /// A hoisted-mask reader over the packed offsets (hot query loops).
+    #[inline]
+    pub fn offset_reader(&self) -> corra_columnar::bitpack::PackedReader<'_> {
+        self.packed.reader()
+    }
+
     /// Value access skipping the per-call bounds assertion; the caller must
     /// have validated `i < len` (hot query path).
     #[inline]
@@ -107,20 +113,27 @@ impl IntAccess for ForInt {
     }
 
     fn decode_into(&self, out: &mut Vec<i64>) {
-        out.clear();
-        out.reserve(self.len());
-        let base = self.base;
-        for i in 0..self.len() {
-            out.push((base as i128 + self.packed.get_unchecked_len(i) as i128) as i64);
-        }
+        // Fused batched kernel: offsets decode and the frame add happen in
+        // one width-specialized pass.
+        self.packed.unpack_add_into(self.base, out);
     }
 
     fn gather_into(&self, sel: &SelectionVector, out: &mut Vec<i64>) {
+        // Positions are sorted, so one check on the last bounds them all —
+        // out-of-range selections panic like the scalar getter would.
+        if let Some(&last) = sel.positions().last() {
+            assert!(
+                (last as usize) < self.len(),
+                "position {last} out of bounds (len {})",
+                self.len()
+            );
+        }
         out.clear();
         out.reserve(sel.len());
         let base = self.base;
+        let r = self.packed.reader();
         for &p in sel.positions() {
-            out.push((base as i128 + self.packed.get(p as usize) as i128) as i64);
+            out.push(base.wrapping_add(r.get(p as usize) as i64));
         }
     }
 
@@ -149,12 +162,14 @@ impl FilterInt for ForInt {
         }
         let lo_off = lo_wide.max(0) as u64;
         let hi_off = hi_wide.min(u64::MAX as i128) as u64;
-        for i in 0..n {
-            let off = self.packed.get_unchecked_len(i);
-            if ((lo_off <= off) & (off <= hi_off)) != range.negate {
-                out.push(i as u32);
+        let negate = range.negate;
+        self.packed.unpack_chunks(|start, chunk| {
+            for (j, &off) in chunk.iter().enumerate() {
+                if ((lo_off <= off) & (off <= hi_off)) != negate {
+                    out.push((start + j) as u32);
+                }
             }
-        }
+        });
     }
 
     /// O(1) covering bounds from the frame: `[base, base + 2^bits - 1]`

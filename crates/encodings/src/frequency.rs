@@ -160,9 +160,9 @@ impl IntAccess for FrequencyInt {
     fn decode_into(&self, out: &mut Vec<i64>) {
         out.clear();
         out.reserve(self.len());
-        for i in 0..self.len() {
-            out.push(self.hot[self.codes.get_unchecked_len(i) as usize]);
-        }
+        self.codes.unpack_chunks(|_, chunk| {
+            out.extend(chunk.iter().map(|&c| self.hot[c as usize]));
+        });
         for (k, &p) in self.exc_pos.iter().enumerate() {
             out[p as usize] = self.exc_val[k];
         }
@@ -182,16 +182,19 @@ impl FilterInt for FrequencyInt {
         out.clear();
         let hot_match: Vec<bool> = self.hot.iter().map(|&v| range.matches(v)).collect();
         let mut e = 0usize;
-        for i in 0..self.len() {
-            if e < self.exc_pos.len() && self.exc_pos[e] == i as u32 {
-                if range.matches(self.exc_val[e]) {
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                let i = start + j;
+                if e < self.exc_pos.len() && self.exc_pos[e] == i as u32 {
+                    if range.matches(self.exc_val[e]) {
+                        out.push(i as u32);
+                    }
+                    e += 1;
+                } else if hot_match[c as usize] {
                     out.push(i as u32);
                 }
-                e += 1;
-            } else if hot_match[self.codes.get_unchecked_len(i) as usize] {
-                out.push(i as u32);
             }
-        }
+        });
     }
 
     /// Exact bounds over the hot values and the exception region — every

@@ -115,12 +115,9 @@ impl IntAccess for RleInt {
     fn decode_into(&self, out: &mut Vec<i64>) {
         out.clear();
         out.reserve(self.len());
-        let mut start = 0u32;
-        for (v, &end) in self.run_values.iter().zip(&self.run_ends) {
-            for _ in start..end {
-                out.push(*v);
-            }
-            start = end;
+        // One resize-fill per run instead of a per-element push loop.
+        for (&v, &end) in self.run_values.iter().zip(&self.run_ends) {
+            out.resize(end as usize, v);
         }
     }
 
