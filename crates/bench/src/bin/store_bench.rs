@@ -1,0 +1,217 @@
+//! **Store bench** — byte-level efficiency of the indexed table format:
+//! full-block reads vs footer-addressed projected reads vs footer-pruned
+//! scans, in bytes/sec and bytes touched.
+//!
+//! CI's `perf-smoke` job runs this in quick mode, *asserts* that projected
+//! reads fetch strictly fewer bytes than full reads (the projection-pushdown
+//! guarantee), and uploads `BENCH_store.json` as the perf breadcrumb.
+//!
+//! ```sh
+//! cargo run --release -p corra-bench --bin store_bench              # full
+//! cargo run --release -p corra-bench --bin store_bench -- --quick --json
+//! CORRA_STORE_ROWS=2000000 cargo run --release -p corra-bench --bin store_bench
+//! ```
+
+use corra_bench::median_secs;
+use corra_core::store::{TableReader, TableWriter};
+use corra_core::{compress_blocks, ColumnPlan, CompressionConfig, Predicate};
+use corra_datagen::LineitemDates;
+
+struct StoreRow {
+    name: &'static str,
+    secs: f64,
+    bytes_read: u64,
+    rows: usize,
+}
+
+impl StoreRow {
+    fn bytes_per_sec(&self) -> f64 {
+        self.bytes_read as f64 / self.secs.max(f64::MIN_POSITIVE)
+    }
+
+    fn rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+impl serde::Serialize for StoreRow {
+    fn to_value(&self) -> serde::Value {
+        serde_json::json!({
+            "name": self.name,
+            "secs": self.secs,
+            "bytes_read": self.bytes_read,
+            "rows": self.rows,
+            "bytes_per_sec": self.bytes_per_sec(),
+            "rows_per_sec": self.rows_per_sec(),
+        })
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let rows: usize = std::env::var("CORRA_STORE_ROWS")
+        .ok()
+        .and_then(|s| s.replace('_', "").parse().ok())
+        .unwrap_or(if quick { 400_000 } else { 2_000_000 });
+    let reps = if quick { 3 } else { 7 };
+    println!("Store bench at {rows} rows, {reps} reps (quick={quick})");
+
+    // TPC-H date triple across several blocks, receiptdate diff-encoded.
+    let table = LineitemDates::generate(rows, 42).into_table();
+    let schema = table.schema().clone();
+    let blocks = table.into_blocks((rows / 4).max(1));
+    let cfg = CompressionConfig::baseline().with(
+        "l_receiptdate",
+        ColumnPlan::NonHier {
+            reference: "l_shipdate".into(),
+        },
+    );
+    let compressed = compress_blocks(&blocks, &cfg, 4).expect("compress");
+
+    let dir = std::env::temp_dir().join("corra_store_bench");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("bench.corra");
+    let file = std::fs::File::create(&path).expect("create");
+    let mut writer = TableWriter::with_schema(file, schema).expect("writer");
+    for block in &compressed {
+        writer.write_block(block).expect("stream block");
+    }
+    writer.finish().expect("finish");
+
+    let reader = TableReader::open(&path).expect("open");
+    let n_blocks = reader.n_blocks();
+    let file_bytes = reader.file_bytes();
+    println!("table: {n_blocks} blocks, {file_bytes} B on disk");
+
+    // Full read: every payload of every block.
+    let full_bytes = {
+        let r = TableReader::open(&path).expect("open");
+        for b in 0..n_blocks {
+            std::hint::black_box(r.read_block(b).expect("read"));
+        }
+        r.bytes_read()
+    };
+    let full_secs = median_secs(reps, || {
+        let r = TableReader::open(&path).expect("open");
+        for b in 0..n_blocks {
+            std::hint::black_box(r.read_block(b).expect("read"));
+        }
+    });
+
+    // Projected read: one diff-encoded column (plus its reference chain).
+    let projected_bytes = {
+        let r = TableReader::open(&path).expect("open");
+        for b in 0..n_blocks {
+            std::hint::black_box(r.read_column(b, "l_receiptdate").expect("read"));
+        }
+        r.bytes_read()
+    };
+    let projected_secs = median_secs(reps, || {
+        let r = TableReader::open(&path).expect("open");
+        for b in 0..n_blocks {
+            std::hint::black_box(r.read_column(b, "l_receiptdate").expect("read"));
+        }
+    });
+
+    // Pruned scan: the predicate misses every block's zone map, so the
+    // reader answers from the footer without touching payload bytes.
+    let pruned_pred = Predicate::lt("l_shipdate", 0);
+    let (_, pruned_stats) = reader.scan_blocks(&pruned_pred).expect("scan");
+    let pruned_secs = median_secs(reps, || {
+        let r = TableReader::open(&path).expect("open");
+        std::hint::black_box(r.scan_blocks(&pruned_pred).expect("scan"));
+    });
+
+    // A kernel scan for contrast (straddles every block).
+    let kernel_pred = Predicate::between("l_receiptdate", 8_100, 8_350);
+    let kernel_bytes = {
+        let r = TableReader::open(&path).expect("open");
+        r.scan_blocks(&kernel_pred).expect("scan");
+        r.bytes_read()
+    };
+    let kernel_secs = median_secs(reps, || {
+        let r = TableReader::open(&path).expect("open");
+        std::hint::black_box(r.scan_blocks(&kernel_pred).expect("scan"));
+    });
+
+    let series = vec![
+        StoreRow {
+            name: "full_read",
+            secs: full_secs,
+            bytes_read: full_bytes,
+            rows,
+        },
+        StoreRow {
+            name: "projected_read/l_receiptdate",
+            secs: projected_secs,
+            bytes_read: projected_bytes,
+            rows,
+        },
+        StoreRow {
+            name: "pruned_scan/below_domain",
+            secs: pruned_secs,
+            bytes_read: pruned_stats.bytes_read,
+            rows,
+        },
+        StoreRow {
+            name: "kernel_scan/range10pct",
+            secs: kernel_secs,
+            bytes_read: kernel_bytes,
+            rows,
+        },
+    ];
+
+    println!(
+        "\n{:<30} {:>12} {:>14} {:>14} {:>12}",
+        "series", "time", "bytes read", "bytes/sec", "rows/sec"
+    );
+    for r in &series {
+        println!(
+            "{:<30} {:>10.3}ms {:>14} {:>13.1}M {:>11.1}M",
+            r.name,
+            r.secs * 1e3,
+            r.bytes_read,
+            r.bytes_per_sec() / 1e6,
+            r.rows_per_sec() / 1e6,
+        );
+    }
+
+    // The projection-pushdown guarantee, enforced as hard gates: a
+    // projected read must fetch strictly fewer bytes than a full read, and
+    // a footer-pruned scan must fetch none at all.
+    assert!(
+        projected_bytes < full_bytes,
+        "projected read fetched {projected_bytes} B >= full read {full_bytes} B"
+    );
+    assert_eq!(
+        pruned_stats.bytes_read, 0,
+        "footer-pruned scan touched payload bytes"
+    );
+    println!(
+        "\nprojection gate: {projected_bytes} B projected < {full_bytes} B full \
+         ({:.1}% of full), pruned scan read 0 B",
+        projected_bytes as f64 / full_bytes as f64 * 100.0
+    );
+
+    if json {
+        let doc = serde_json::json!({
+            "bench": "store",
+            "rows": rows,
+            "reps": reps,
+            "quick": quick,
+            "n_blocks": n_blocks,
+            "file_bytes": file_bytes,
+            "series": serde::Value::Array(
+                series.iter().map(serde::Serialize::to_value).collect()
+            ),
+        });
+        let path = "BENCH_store.json";
+        let body = serde_json::to_string(&doc).expect("serialize");
+        std::fs::write(path, &body).expect("write BENCH_store.json");
+        println!("wrote {path} ({} bytes)", body.len());
+    }
+
+    std::fs::remove_file(&path).ok();
+}

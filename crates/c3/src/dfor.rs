@@ -116,6 +116,28 @@ impl Dfor {
     pub fn compressed_bytes(&self) -> usize {
         8 + 1 + self.diffs.tight_bytes()
     }
+
+    /// Writes `base (i64) | diffs` little-endian.
+    pub fn write_to(&self, buf: &mut impl bytes::BufMut) {
+        buf.put_i64_le(self.base);
+        self.diffs.write_to(buf);
+    }
+
+    /// Reads back a [`write_to`](Self::write_to) payload.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncated or inconsistent input.
+    pub fn read_from(buf: &mut impl bytes::Buf) -> Result<Self> {
+        if buf.remaining() < 8 {
+            return Err(Error::corrupt("dfor header truncated"));
+        }
+        let base = buf.get_i64_le();
+        Ok(Self {
+            base,
+            diffs: BitPackedVec::read_from(buf)?,
+        })
+    }
 }
 
 #[cfg(test)]

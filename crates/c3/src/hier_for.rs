@@ -108,9 +108,10 @@ impl HierFor {
         // Batched group-index unpack; the key lookup memoizes the previous
         // reference value (references are frequently run-heavy).
         let mut unseen = false;
+        let mut bad_code = false;
         let mut memo: Option<(i64, usize)> = None;
         self.codes.unpack_chunks(|start, chunk| {
-            if unseen {
+            if unseen || bad_code {
                 return;
             }
             for (&r, &c) in reference[start..start + chunk.len()].iter().zip(chunk) {
@@ -127,11 +128,22 @@ impl HierFor {
                         }
                     },
                 };
-                out.push(self.children[(self.offsets[k] + c as u32) as usize]);
+                // A code must index within its row's group — a hostile
+                // payload cannot be bounded at read time (the row -> group
+                // mapping depends on the reference), so it is checked here.
+                let idx = self.offsets[k] as usize + c as usize;
+                if idx >= self.offsets[k + 1] as usize {
+                    bad_code = true;
+                    return;
+                }
+                out.push(self.children[idx]);
             }
         });
         if unseen {
             return Err(Error::invalid("reference value unseen at encode time"));
+        }
+        if bad_code {
+            return Err(Error::corrupt("hier-for code outside its group"));
         }
         Ok(())
     }
@@ -160,9 +172,10 @@ impl HierFor {
         out.clear();
         let verdicts: Vec<bool> = self.children.iter().map(|&v| range.matches(v)).collect();
         let mut unseen = false;
+        let mut bad_code = false;
         let mut memo: Option<(i64, usize)> = None;
         self.codes.unpack_chunks(|start, chunk| {
-            if unseen {
+            if unseen || bad_code {
                 return;
             }
             for (j, &c) in chunk.iter().enumerate() {
@@ -180,13 +193,21 @@ impl HierFor {
                         }
                     },
                 };
-                if verdicts[(self.offsets[k] + c as u32) as usize] {
+                let idx = self.offsets[k] as usize + c as usize;
+                if idx >= self.offsets[k + 1] as usize {
+                    bad_code = true;
+                    return;
+                }
+                if verdicts[idx] {
                     out.push((start + j) as u32);
                 }
             }
         });
         if unseen {
             return Err(Error::invalid("reference value unseen at encode time"));
+        }
+        if bad_code {
+            return Err(Error::corrupt("hier-for code outside its group"));
         }
         Ok(())
     }
@@ -197,6 +218,76 @@ impl HierFor {
     /// along with the reference column's own dictionary and is not charged.
     pub fn compressed_bytes(&self) -> usize {
         1 + self.codes.tight_bytes() + self.children.len() * 8 + self.offsets.len() * 4
+    }
+
+    /// Writes `n_keys (u64) | ref_keys | n_children (u64) | children |
+    /// offsets (n_keys + 1 u32s) | codes` little-endian.
+    pub fn write_to(&self, buf: &mut impl bytes::BufMut) {
+        buf.put_u64_le(self.ref_keys.len() as u64);
+        for &k in &self.ref_keys {
+            buf.put_i64_le(k);
+        }
+        buf.put_u64_le(self.children.len() as u64);
+        for &c in &self.children {
+            buf.put_i64_le(c);
+        }
+        for &o in &self.offsets {
+            buf.put_u32_le(o);
+        }
+        self.codes.write_to(buf);
+    }
+
+    /// Reads back a [`write_to`](Self::write_to) payload, validating the
+    /// sorted-key and monotone-offset invariants the lookup paths rely on.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncation or violated invariants.
+    pub fn read_from(buf: &mut impl bytes::Buf) -> Result<Self> {
+        if buf.remaining() < 8 {
+            return Err(Error::corrupt("hier-for header truncated"));
+        }
+        let n_keys = buf.get_u64_le() as usize;
+        if buf.remaining() < n_keys.saturating_mul(8).saturating_add(8) {
+            return Err(Error::corrupt("hier-for keys truncated"));
+        }
+        let mut ref_keys = Vec::with_capacity(n_keys);
+        for _ in 0..n_keys {
+            ref_keys.push(buf.get_i64_le());
+        }
+        let n_children = buf.get_u64_le() as usize;
+        let offsets_len = n_keys.saturating_add(1);
+        if buf.remaining()
+            < n_children
+                .saturating_mul(8)
+                .saturating_add(offsets_len.saturating_mul(4))
+        {
+            return Err(Error::corrupt("hier-for children truncated"));
+        }
+        let mut children = Vec::with_capacity(n_children);
+        for _ in 0..n_children {
+            children.push(buf.get_i64_le());
+        }
+        let mut offsets = Vec::with_capacity(offsets_len);
+        for _ in 0..offsets_len {
+            offsets.push(buf.get_u32_le());
+        }
+        let codes = BitPackedVec::read_from(buf)?;
+        if ref_keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::corrupt("hier-for keys not strictly sorted"));
+        }
+        if offsets[0] != 0
+            || *offsets.last().expect("offsets non-empty") as usize != children.len()
+            || offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(Error::corrupt("hier-for offsets inconsistent"));
+        }
+        Ok(Self {
+            ref_keys,
+            children,
+            offsets,
+            codes,
+        })
     }
 }
 

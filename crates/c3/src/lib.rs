@@ -31,6 +31,17 @@ pub mod hier_for;
 pub mod numerical;
 pub mod one_to_one;
 
+// Format-v2 framing: every C3 scheme serializes with the same length-prefix
+// frame as the Corra codecs, so C3-encoded payloads are independently
+// addressable in indexed storage too.
+corra_columnar::impl_framed!(
+    chooser::C3Encoding,
+    dfor::Dfor,
+    hier_for::HierFor,
+    numerical::Numerical,
+    one_to_one::OneToOne,
+);
+
 pub use chooser::{choose, C3Encoding};
 pub use dfor::Dfor;
 pub use hier_for::HierFor;

@@ -155,6 +155,31 @@ impl Numerical {
     pub fn compressed_bytes(&self) -> usize {
         8 + 8 + 1 + self.residuals.tight_bytes()
     }
+
+    /// Writes `slope_num (i64) | base (i64) | residuals` little-endian.
+    pub fn write_to(&self, buf: &mut impl bytes::BufMut) {
+        buf.put_i64_le(self.slope_num);
+        buf.put_i64_le(self.base);
+        self.residuals.write_to(buf);
+    }
+
+    /// Reads back a [`write_to`](Self::write_to) payload.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncated or inconsistent input.
+    pub fn read_from(buf: &mut impl bytes::Buf) -> Result<Self> {
+        if buf.remaining() < 16 {
+            return Err(Error::corrupt("numerical header truncated"));
+        }
+        let slope_num = buf.get_i64_le();
+        let base = buf.get_i64_le();
+        Ok(Self {
+            slope_num,
+            base,
+            residuals: BitPackedVec::read_from(buf)?,
+        })
+    }
 }
 
 /// Least-squares slope of target on reference, quantized to fixed point and

@@ -179,6 +179,80 @@ impl OneToOne {
     pub fn compressed_bytes(&self) -> usize {
         self.mapped.len() * 8 + self.exc_pos.len() * 12
     }
+
+    /// Writes `len (u64) | n_keys (u64) | ref_keys | mapped | n_exc (u64) |
+    /// exc_pos | exc_val` little-endian.
+    pub fn write_to(&self, buf: &mut impl bytes::BufMut) {
+        buf.put_u64_le(self.len as u64);
+        buf.put_u64_le(self.ref_keys.len() as u64);
+        for &k in &self.ref_keys {
+            buf.put_i64_le(k);
+        }
+        for &m in &self.mapped {
+            buf.put_i64_le(m);
+        }
+        buf.put_u64_le(self.exc_pos.len() as u64);
+        for &p in &self.exc_pos {
+            buf.put_u32_le(p);
+        }
+        for &v in &self.exc_val {
+            buf.put_i64_le(v);
+        }
+    }
+
+    /// Reads back a [`write_to`](Self::write_to) payload, validating the
+    /// sortedness invariants the lookup paths binary-search on.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] on truncation, unsorted keys or exception
+    /// positions, or exception positions outside `0..len`.
+    pub fn read_from(buf: &mut impl bytes::Buf) -> Result<Self> {
+        if buf.remaining() < 16 {
+            return Err(Error::corrupt("one-to-one header truncated"));
+        }
+        let len = buf.get_u64_le() as usize;
+        let n_keys = buf.get_u64_le() as usize;
+        if buf.remaining() < n_keys.saturating_mul(16).saturating_add(8) {
+            return Err(Error::corrupt("one-to-one mapping truncated"));
+        }
+        let mut ref_keys = Vec::with_capacity(n_keys);
+        for _ in 0..n_keys {
+            ref_keys.push(buf.get_i64_le());
+        }
+        let mut mapped = Vec::with_capacity(n_keys);
+        for _ in 0..n_keys {
+            mapped.push(buf.get_i64_le());
+        }
+        let n_exc = buf.get_u64_le() as usize;
+        if buf.remaining() < n_exc.saturating_mul(12) {
+            return Err(Error::corrupt("one-to-one exceptions truncated"));
+        }
+        let mut exc_pos = Vec::with_capacity(n_exc);
+        for _ in 0..n_exc {
+            exc_pos.push(buf.get_u32_le());
+        }
+        let mut exc_val = Vec::with_capacity(n_exc);
+        for _ in 0..n_exc {
+            exc_val.push(buf.get_i64_le());
+        }
+        if ref_keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::corrupt("one-to-one keys not strictly sorted"));
+        }
+        if exc_pos.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::corrupt("one-to-one exceptions not sorted"));
+        }
+        if exc_pos.last().is_some_and(|&p| p as usize >= len) {
+            return Err(Error::corrupt("one-to-one exception position out of range"));
+        }
+        Ok(Self {
+            len,
+            ref_keys,
+            mapped,
+            exc_pos,
+            exc_val,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -299,6 +299,8 @@ impl BitPackedVec {
     }
 }
 
+crate::impl_framed!(BitPackedVec);
+
 #[inline]
 fn mask_for(bits: u8) -> u64 {
     debug_assert!((1..=64).contains(&bits));

@@ -18,6 +18,8 @@
 //!   plus the [`stats::ZoneMap`] used for scan-time block pruning;
 //! * [`predicate::IntRange`] — the normalized range predicate every filter
 //!   kernel evaluates in its compressed domain;
+//! * [`frame::Framed`] — the format-v2 length-prefix framing that makes
+//!   every serialized codec payload independently addressable;
 //! * [`temporal`] — from-scratch civil-date ↔ epoch-day conversion.
 
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@ pub mod bitpack;
 pub mod block;
 pub mod column;
 pub mod error;
+pub mod frame;
 pub mod predicate;
 pub mod schema;
 pub mod selection;
@@ -38,6 +41,7 @@ pub use bitpack::BitPackedVec;
 pub use block::{DataBlock, Table, DEFAULT_BLOCK_ROWS};
 pub use column::{Column, DataType};
 pub use error::{Error, Result};
+pub use frame::Framed;
 pub use predicate::{IntRange, RangeVerdict};
 pub use schema::{Field, Schema};
 pub use selection::SelectionVector;

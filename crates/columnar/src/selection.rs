@@ -80,6 +80,51 @@ impl SelectionVector {
         SelectionVector { positions: out }
     }
 
+    /// The sorted union of two selections (merge walk).
+    pub fn union(&self, other: &SelectionVector) -> SelectionVector {
+        let (a, b) = (&self.positions, &other.positions);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        SelectionVector { positions: out }
+    }
+
+    /// The complement of this selection within `0..rows`: every row of the
+    /// block that is *not* selected (the selection-vector form of `NOT`).
+    ///
+    /// Positions `>= rows` are ignored; validate the selection first if
+    /// out-of-range positions should be an error.
+    pub fn complement(&self, rows: usize) -> SelectionVector {
+        let mut out = Vec::with_capacity(rows.saturating_sub(self.positions.len()));
+        let mut sel = self.positions.iter().peekable();
+        for p in 0..rows as u32 {
+            if sel.peek() == Some(&&p) {
+                sel.next();
+            } else {
+                out.push(p);
+            }
+        }
+        SelectionVector { positions: out }
+    }
+
     /// The selected positions, ascending and distinct.
     #[inline]
     pub fn positions(&self) -> &[u32] {
@@ -279,6 +324,38 @@ mod tests {
         assert!(SelectionVector::from_sorted(vec![]).is_ok());
         assert!(SelectionVector::from_sorted(vec![3, 3]).is_err());
         assert!(SelectionVector::from_sorted(vec![5, 2]).is_err());
+    }
+
+    #[test]
+    fn union_is_sorted_merged_set() {
+        let a = SelectionVector::new(vec![1, 3, 5, 9]);
+        let b = SelectionVector::new(vec![0, 3, 4, 9, 10]);
+        assert_eq!(a.union(&b).positions(), &[0, 1, 3, 4, 5, 9, 10]);
+        assert_eq!(b.union(&a), a.union(&b));
+        assert_eq!(a.union(&SelectionVector::empty()), a);
+        assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn complement_within_rows() {
+        let a = SelectionVector::new(vec![1, 3]);
+        assert_eq!(a.complement(5).positions(), &[0, 2, 4]);
+        assert_eq!(a.complement(0), SelectionVector::empty());
+        assert_eq!(
+            SelectionVector::empty().complement(3),
+            SelectionVector::all(3)
+        );
+        assert_eq!(
+            SelectionVector::all(4).complement(4),
+            SelectionVector::empty()
+        );
+        // Out-of-range positions are ignored.
+        assert_eq!(
+            SelectionVector::new(vec![7]).complement(2).positions(),
+            &[0, 1]
+        );
+        // complement is an involution on in-range selections.
+        assert_eq!(a.complement(6).complement(6), a);
     }
 
     #[test]

@@ -134,7 +134,34 @@ impl ZoneMap {
     pub fn covers(&self, v: i64) -> bool {
         self.min <= v && v <= self.max
     }
+
+    /// Writes `min (i64 LE) | max (i64 LE)` — the footer form consumed by
+    /// store-level block pruning.
+    pub fn write_to(&self, buf: &mut impl bytes::BufMut) {
+        buf.put_i64_le(self.min);
+        buf.put_i64_le(self.max);
+    }
+
+    /// Reads back a [`write_to`](Self::write_to) payload.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::Error::Corrupt`] on truncation or an inverted zone
+    /// (`min > max`), which no covering zone map can produce.
+    pub fn read_from(buf: &mut impl bytes::Buf) -> crate::error::Result<Self> {
+        if buf.remaining() < 16 {
+            return Err(crate::error::Error::corrupt("zone map truncated"));
+        }
+        let min = buf.get_i64_le();
+        let max = buf.get_i64_le();
+        if min > max {
+            return Err(crate::error::Error::corrupt("zone map min > max"));
+        }
+        Ok(Self { min, max })
+    }
 }
+
+crate::impl_framed!(ZoneMap);
 
 /// Statistics over a string column.
 #[derive(Debug, Clone, PartialEq)]
@@ -270,6 +297,27 @@ mod tests {
         let s = IntStats::compute(&[5, -3, 9]);
         assert_eq!(ZoneMap::from_stats(&s), Some(z));
         assert_eq!(ZoneMap::from_stats(&IntStats::compute(&[])), None);
+    }
+
+    #[test]
+    fn zone_map_serialization_roundtrip() {
+        use crate::frame::Framed;
+        let z = ZoneMap { min: -40, max: 977 };
+        let mut buf = Vec::new();
+        z.write_to(&mut buf);
+        assert_eq!(buf.len(), 16);
+        assert_eq!(ZoneMap::read_from(&mut buf.as_slice()).unwrap(), z);
+        // Inverted zones and truncation are rejected.
+        let mut bad = Vec::new();
+        ZoneMap { min: 977, max: 977 }.write_to(&mut bad);
+        bad[..8].copy_from_slice(&1_000i64.to_le_bytes());
+        assert!(ZoneMap::read_from(&mut bad.as_slice()).is_err());
+        assert!(ZoneMap::read_from(&mut &buf[..7]).is_err());
+        // Framed form carries the v2 length prefix.
+        let mut framed = Vec::new();
+        z.write_framed(&mut framed).unwrap();
+        assert_eq!(framed.len(), 4 + 16);
+        assert_eq!(ZoneMap::read_framed(&mut framed.as_slice()).unwrap(), z);
     }
 
     #[test]

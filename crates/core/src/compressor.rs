@@ -157,6 +157,27 @@ impl ColumnCodec {
         }
     }
 
+    /// Number of rows the codec stores. Deserialization validates this
+    /// against the containing block's row count, which is what bounds
+    /// hostile length fields (a zero-bit packed column's `len` is otherwise
+    /// backed by no payload bytes at all).
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnCodec::Int(e) => IntAccess::len(e),
+            ColumnCodec::Str(e) => StrAccess::len(e),
+            ColumnCodec::PlainStr(p) => p.len(),
+            ColumnCodec::NonHier { enc, .. } => enc.len(),
+            ColumnCodec::HierInt { enc, .. } => enc.len(),
+            ColumnCodec::HierStr { enc, .. } => enc.len(),
+            ColumnCodec::MultiRef { enc, .. } => enc.len(),
+        }
+    }
+
+    /// Whether the codec stores zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Whether queries on this codec must first fetch reference column(s).
     pub fn is_horizontal(&self) -> bool {
         matches!(
@@ -169,12 +190,67 @@ impl ColumnCodec {
     }
 }
 
+/// Read access to the columns of one compressed block, independent of
+/// where the codecs live.
+///
+/// Implemented by [`CompressedBlock`] (all codecs resident in memory) and
+/// by [`crate::store::BlockHandle`] (codecs loaded lazily, one payload at a
+/// time, from a v2 table file). The query and scan kernels are generic over
+/// this trait, which is what lets projection pushdown and footer-driven
+/// scans run the *same* code paths as in-memory blocks — only the codec
+/// source differs.
+pub trait BlockView {
+    /// Number of rows in the block.
+    fn rows(&self) -> usize;
+
+    /// Column names, in block order.
+    fn names(&self) -> &[String];
+
+    /// Index of column `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ColumnNotFound`] when absent.
+    fn index_of(&self, name: &str) -> Result<usize> {
+        self.names()
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| Error::ColumnNotFound(name.to_owned()))
+    }
+
+    /// The codec of the column at index `i`, materializing it first if the
+    /// implementation is lazy.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range indices, or any I/O / corruption error a lazy
+    /// implementation hits while loading the payload.
+    fn view_codec(&self, i: usize) -> Result<&ColumnCodec>;
+}
+
 /// A self-contained compressed data block.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompressedBlock {
     rows: u32,
     names: Vec<String>,
     codecs: Vec<ColumnCodec>,
+}
+
+impl BlockView for CompressedBlock {
+    fn rows(&self) -> usize {
+        CompressedBlock::rows(self)
+    }
+
+    fn names(&self) -> &[String] {
+        CompressedBlock::names(self)
+    }
+
+    fn view_codec(&self, i: usize) -> Result<&ColumnCodec> {
+        self.codecs.get(i).ok_or(Error::IndexOutOfBounds {
+            index: i,
+            len: self.codecs.len(),
+        })
+    }
 }
 
 impl CompressedBlock {
@@ -187,6 +263,12 @@ impl CompressedBlock {
     ///   string column);
     /// * any substrate error bubbling up from the individual encoders.
     pub fn compress(block: &DataBlock, config: &CompressionConfig) -> Result<Self> {
+        let rows = u32::try_from(block.rows()).map_err(|_| {
+            Error::invalid(format!(
+                "{} rows exceed the u32 row-count field",
+                block.rows()
+            ))
+        })?;
         let schema = block.schema();
         let names: Vec<String> = schema
             .fields()
@@ -329,7 +411,7 @@ impl CompressedBlock {
         }
 
         Ok(Self {
-            rows: block.rows() as u32,
+            rows,
             names,
             codecs: codecs.into_iter().map(Option::unwrap).collect(),
         })
@@ -391,86 +473,97 @@ impl CompressedBlock {
 
     /// Fully decompresses the column at index `i`.
     pub fn decompress_at(&self, i: usize) -> Result<Column> {
-        match &self.codecs[i] {
-            ColumnCodec::Int(enc) => {
-                let mut out = Vec::new();
-                enc.decode_into(&mut out);
-                Ok(Column::Int64(out))
-            }
-            ColumnCodec::Str(enc) => Ok(Column::Utf8(enc.decode_into_pool())),
-            ColumnCodec::PlainStr(p) => Ok(Column::Utf8(p.clone())),
-            ColumnCodec::NonHier { enc, reference } => {
-                let refv = self.decompress_int(*reference as usize)?;
-                let mut out = Vec::new();
-                enc.decode_into(&refv, &mut out)?;
-                Ok(Column::Int64(out))
-            }
-            ColumnCodec::HierInt { enc, reference } => {
-                let codes = self.parent_codes(*reference as usize)?;
-                let mut out = Vec::new();
-                enc.decode_into(&codes, &mut out)?;
-                Ok(Column::Int64(out))
-            }
-            ColumnCodec::HierStr { enc, reference } => {
-                let codes = self.parent_codes(*reference as usize)?;
-                Ok(Column::Utf8(enc.decode_into_pool(&codes)?))
-            }
-            ColumnCodec::MultiRef { enc, groups } => {
-                let sums = self.group_sums(groups)?;
-                let mut out = Vec::new();
-                enc.decode_into(&sums, &mut out)?;
-                Ok(Column::Int64(out))
-            }
+        decompress_column(self, i)
+    }
+}
+
+/// Fully decompresses the column at index `i` of any [`BlockView`],
+/// touching only that column's codec and its transitively referenced
+/// codecs — on a lazy view this is what makes projected reads fetch only
+/// the payloads they need.
+pub fn decompress_column<B: BlockView + ?Sized>(block: &B, i: usize) -> Result<Column> {
+    match block.view_codec(i)? {
+        ColumnCodec::Int(enc) => {
+            let mut out = Vec::new();
+            enc.decode_into(&mut out);
+            Ok(Column::Int64(out))
+        }
+        ColumnCodec::Str(enc) => Ok(Column::Utf8(enc.decode_into_pool())),
+        ColumnCodec::PlainStr(p) => Ok(Column::Utf8(p.clone())),
+        ColumnCodec::NonHier { enc, reference } => {
+            let refv = decompress_int(block, *reference as usize)?;
+            let mut out = Vec::new();
+            enc.decode_into(&refv, &mut out)?;
+            Ok(Column::Int64(out))
+        }
+        ColumnCodec::HierInt { enc, reference } => {
+            let codes = parent_codes(block, *reference as usize)?;
+            let mut out = Vec::new();
+            enc.decode_into(&codes, &mut out)?;
+            Ok(Column::Int64(out))
+        }
+        ColumnCodec::HierStr { enc, reference } => {
+            let codes = parent_codes(block, *reference as usize)?;
+            Ok(Column::Utf8(enc.decode_into_pool(&codes)?))
+        }
+        ColumnCodec::MultiRef { enc, groups } => {
+            let sums = group_sums(block, groups)?;
+            let mut out = Vec::new();
+            enc.decode_into(&sums, &mut out)?;
+            Ok(Column::Int64(out))
         }
     }
+}
 
-    /// Decodes an integer column (must be vertical) to raw values.
-    pub(crate) fn decompress_int(&self, i: usize) -> Result<Vec<i64>> {
-        match &self.codecs[i] {
-            ColumnCodec::Int(enc) => {
-                let mut out = Vec::new();
-                enc.decode_into(&mut out);
-                Ok(out)
-            }
-            other => Err(Error::TypeMismatch {
-                expected: "vertical int reference",
+/// Decodes an integer column (must be vertical) to raw values.
+pub(crate) fn decompress_int<B: BlockView + ?Sized>(block: &B, i: usize) -> Result<Vec<i64>> {
+    match block.view_codec(i)? {
+        ColumnCodec::Int(enc) => {
+            let mut out = Vec::new();
+            enc.decode_into(&mut out);
+            Ok(out)
+        }
+        other => Err(Error::TypeMismatch {
+            expected: "vertical int reference",
+            found: codec_kind(other),
+        }),
+    }
+}
+
+/// Extracts per-row parent dictionary codes from a reference column
+/// through the batched code kernels.
+pub(crate) fn parent_codes<B: BlockView + ?Sized>(block: &B, i: usize) -> Result<Vec<u32>> {
+    let mut codes = Vec::new();
+    match block.view_codec(i)? {
+        ColumnCodec::Int(IntEncoding::Dict(d)) => d.codes_into(&mut codes),
+        ColumnCodec::Str(d) => d.codes_into(&mut codes),
+        other => {
+            return Err(Error::TypeMismatch {
+                expected: "dict-encoded reference",
                 found: codec_kind(other),
-            }),
+            })
         }
     }
+    Ok(codes)
+}
 
-    /// Extracts per-row parent dictionary codes from a reference column
-    /// through the batched code kernels.
-    pub(crate) fn parent_codes(&self, i: usize) -> Result<Vec<u32>> {
-        let mut codes = Vec::new();
-        match &self.codecs[i] {
-            ColumnCodec::Int(IntEncoding::Dict(d)) => d.codes_into(&mut codes),
-            ColumnCodec::Str(d) => d.codes_into(&mut codes),
-            other => {
-                return Err(Error::TypeMismatch {
-                    expected: "dict-encoded reference",
-                    found: codec_kind(other),
-                })
+/// Computes per-group reference sums by decoding every group member.
+pub(crate) fn group_sums<B: BlockView + ?Sized>(
+    block: &B,
+    groups: &[Vec<u32>],
+) -> Result<Vec<Vec<i64>>> {
+    let mut out = Vec::with_capacity(groups.len());
+    for group in groups {
+        let mut sums = vec![0i64; block.rows()];
+        for &gi in group {
+            let v = decompress_int(block, gi as usize)?;
+            for (acc, x) in sums.iter_mut().zip(v) {
+                *acc = acc.wrapping_add(x);
             }
         }
-        Ok(codes)
+        out.push(sums);
     }
-
-    /// Computes per-group reference sums by decoding every group member.
-    pub(crate) fn group_sums(&self, groups: &[Vec<u32>]) -> Result<Vec<Vec<i64>>> {
-        let mut out = Vec::with_capacity(groups.len());
-        for group in groups {
-            let mut sums = vec![0i64; self.rows()];
-            for &gi in group {
-                let v = self.decompress_int(gi as usize)?;
-                for (acc, x) in sums.iter_mut().zip(v) {
-                    *acc = acc.wrapping_add(x);
-                }
-            }
-            out.push(sums);
-        }
-        Ok(out)
-    }
+    Ok(out)
 }
 
 fn parent_codes_of(codec: &Option<ColumnCodec>, rows: usize) -> Result<(Vec<u32>, usize)> {

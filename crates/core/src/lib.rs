@@ -23,7 +23,10 @@
 //! * [`format`](mod@format) — the versioned serialized block layout;
 //! * [`query`] — the materializing query kernels of the latency experiments;
 //! * [`scan`](mod@scan) — predicate pushdown: per-codec filter kernels,
-//!   zone-map block pruning, and the filter→materialize pipeline.
+//!   zone-map block pruning, and the filter→materialize pipeline;
+//! * [`store`](mod@store) — the indexed table storage layer: multi-block
+//!   files whose footer addresses every codec payload, enabling projection
+//!   pushdown, I/O-free block pruning and streaming writes.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,10 +41,23 @@ pub mod optimizer;
 pub mod outlier;
 pub mod query;
 pub mod scan;
+pub mod store;
+
+// Format-v2 framing for the Corra horizontal codecs and the shared outlier
+// region: the length-prefix frame wraps each existing payload layout.
+corra_columnar::impl_framed!(
+    hier::HierInt,
+    hier::HierStr,
+    multiref::MultiRefInt,
+    nonhier::NonHierInt,
+    outlier::OutlierRegion,
+);
 
 pub use compressor::{
-    compress_blocks, ColumnCodec, ColumnPlan, CompressedBlock, CompressionConfig,
+    compress_blocks, decompress_column, BlockView, ColumnCodec, ColumnPlan, CompressedBlock,
+    CompressionConfig,
 };
+pub use format::{CodecHeader, CodecWiring, PayloadSpan};
 pub use hier::{HierInt, HierStr};
 pub use multiref::{Formula, FormulaStats, MultiRefInt};
 pub use nonhier::{plan_window, NonHierInt, WindowPlan};
@@ -51,4 +67,7 @@ pub use query::{query_both, query_column, query_two_columns, QueryOutput};
 pub use scan::{
     query_parallel, scan, scan_blocks, scan_blocks_parallel, scan_pruned, scan_query,
     scan_query_both, CmpOp, Predicate, ScanStats,
+};
+pub use store::{
+    write_table, BlockHandle, BlockMeta, ColumnMeta, TableFooter, TableReader, TableWriter,
 };

@@ -369,6 +369,28 @@ impl MultiRefInt {
         }
     }
 
+    /// Checks every formula mask only names groups `< n_groups` — the
+    /// payload alone cannot know the wiring's group count, so containers
+    /// (block deserialization, the table store) call this once both are in
+    /// hand. Without it a hostile mask would index past the group-sum
+    /// arrays at decode time.
+    pub fn validate_groups(&self, n_groups: usize) -> Result<()> {
+        let allowed = if n_groups >= 8 {
+            u8::MAX
+        } else {
+            (1u8 << n_groups) - 1
+        };
+        for f in &self.formulas {
+            if f.0 & !allowed != 0 {
+                return Err(Error::corrupt(format!(
+                    "multiref formula mask {:#b} names a group >= {n_groups}",
+                    f.0
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Compressed size: formula table + packed codes + outliers.
     pub fn compressed_bytes(&self) -> usize {
         self.formulas.len() + 1 + self.codes.tight_bytes() + self.outliers.compressed_bytes()

@@ -13,7 +13,7 @@ use corra_columnar::error::{Error, Result};
 use corra_columnar::selection::SelectionVector;
 use corra_encodings::{IntAccess, IntEncoding, StrAccess};
 
-use crate::compressor::{ColumnCodec, CompressedBlock};
+use crate::compressor::{BlockView, ColumnCodec};
 
 /// Materialized query output (the paper materializes values, not positions).
 #[derive(Debug, Clone, PartialEq)]
@@ -105,8 +105,11 @@ impl CodeAccess<'_> {
     }
 }
 
-pub(crate) fn ref_access<'a>(block: &'a CompressedBlock, idx: usize) -> Result<RefAccess<'a>> {
-    match block.codec_at(idx) {
+pub(crate) fn ref_access<'a, B: BlockView + ?Sized>(
+    block: &'a B,
+    idx: usize,
+) -> Result<RefAccess<'a>> {
+    match block.view_codec(idx)? {
         ColumnCodec::Int(IntEncoding::For(e)) => Ok(RefAccess::For {
             base: e.base(),
             offsets: e.offset_reader(),
@@ -126,8 +129,8 @@ pub(crate) fn ref_access<'a>(block: &'a CompressedBlock, idx: usize) -> Result<R
 
 /// Resolves every multi-reference group member to a fast accessor, shared
 /// by the gather (query) and filter (scan) paths.
-pub(crate) fn multiref_members<'a>(
-    block: &'a CompressedBlock,
+pub(crate) fn multiref_members<'a, B: BlockView + ?Sized>(
+    block: &'a B,
     groups: &[Vec<u32>],
 ) -> Result<Vec<Vec<RefAccess<'a>>>> {
     let mut members = Vec::with_capacity(groups.len());
@@ -157,8 +160,11 @@ pub(crate) fn eval_formula_mask(members: &[Vec<RefAccess<'_>>], mask: u8, i: usi
     acc
 }
 
-pub(crate) fn code_access<'a>(block: &'a CompressedBlock, idx: usize) -> Result<CodeAccess<'a>> {
-    match block.codec_at(idx) {
+pub(crate) fn code_access<'a, B: BlockView + ?Sized>(
+    block: &'a B,
+    idx: usize,
+) -> Result<CodeAccess<'a>> {
+    match block.view_codec(idx)? {
         ColumnCodec::Int(IntEncoding::Dict(d)) => Ok(CodeAccess::IntDict(d.code_reader())),
         ColumnCodec::Str(d) => Ok(CodeAccess::StrDict(d.code_reader())),
         _ => Err(Error::TypeMismatch {
@@ -171,8 +177,8 @@ pub(crate) fn code_access<'a>(block: &'a CompressedBlock, idx: usize) -> Result<
 /// Queries a single column: decompress and materialize the values at the
 /// selected positions ("query on diff-encoded column" when the target is
 /// horizontal).
-pub fn query_column(
-    block: &CompressedBlock,
+pub fn query_column<B: BlockView + ?Sized>(
+    block: &B,
     name: &str,
     sel: &SelectionVector,
 ) -> Result<QueryOutput> {
@@ -180,7 +186,7 @@ pub fn query_column(
         return Err(Error::invalid("selection vector exceeds block rows"));
     }
     let idx = block.index_of(name)?;
-    match block.codec_at(idx) {
+    match block.view_codec(idx)? {
         ColumnCodec::Int(enc) => {
             let mut out = Vec::new();
             enc.gather_into(sel, &mut out);
@@ -250,8 +256,8 @@ pub fn query_column(
 /// [`Error::InvalidData`] if the target is vertical (no reference to
 /// co-query) or multi-reference (the paper only evaluates the target-only
 /// pattern there, Fig. 8).
-pub fn query_both(
-    block: &CompressedBlock,
+pub fn query_both<B: BlockView + ?Sized>(
+    block: &B,
     name: &str,
     sel: &SelectionVector,
 ) -> Result<(QueryOutput, QueryOutput)> {
@@ -259,7 +265,7 @@ pub fn query_both(
         return Err(Error::invalid("selection vector exceeds block rows"));
     }
     let idx = block.index_of(name)?;
-    match block.codec_at(idx) {
+    match block.view_codec(idx)? {
         ColumnCodec::NonHier { enc, reference } => {
             let refs = ref_access(block, *reference as usize)?;
             let mut tgt = Vec::new();
@@ -271,7 +277,7 @@ pub fn query_both(
             let ridx = *reference as usize;
             let codes = code_access(block, ridx)?;
             let mut tgt = Vec::with_capacity(sel.len());
-            match block.codec_at(ridx) {
+            match block.view_codec(ridx)? {
                 ColumnCodec::Int(IntEncoding::Dict(d)) => {
                     let mut rf = Vec::with_capacity(sel.len());
                     for &p in sel.positions() {
@@ -297,7 +303,7 @@ pub fn query_both(
             let ridx = *reference as usize;
             let codes = code_access(block, ridx)?;
             let mut tgt = Vec::with_capacity(sel.len());
-            match block.codec_at(ridx) {
+            match block.view_codec(ridx)? {
                 ColumnCodec::Int(IntEncoding::Dict(d)) => {
                     let mut rf = Vec::with_capacity(sel.len());
                     for &p in sel.positions() {
@@ -332,8 +338,8 @@ pub fn query_both(
 /// materializes two independent columns (the baseline must pay for both
 /// fetches, which is what Corra's both-columns advantage is measured
 /// against).
-pub fn query_two_columns(
-    block: &CompressedBlock,
+pub fn query_two_columns<B: BlockView + ?Sized>(
+    block: &B,
     target: &str,
     reference: &str,
     sel: &SelectionVector,
@@ -347,7 +353,7 @@ pub fn query_two_columns(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compressor::{ColumnPlan, CompressionConfig};
+    use crate::compressor::{ColumnPlan, CompressedBlock, CompressionConfig};
     use corra_columnar::block::DataBlock;
     use corra_columnar::column::{Column, DataType};
     use corra_columnar::schema::{Field, Schema};

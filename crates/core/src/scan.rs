@@ -31,7 +31,7 @@ use corra_columnar::selection::SelectionVector;
 use corra_columnar::stats::ZoneMap;
 use corra_encodings::FilterInt;
 
-use crate::compressor::{ColumnCodec, CompressedBlock};
+use crate::compressor::{BlockView, ColumnCodec, CompressedBlock};
 use crate::query::{code_access, eval_formula_mask, multiref_members, ref_access, QueryOutput};
 
 /// A comparison operator of a scan predicate.
@@ -110,6 +110,12 @@ pub enum Predicate {
     },
     /// Conjunction: every child predicate must match.
     And(Vec<Predicate>),
+    /// Disjunction: at least one child predicate must match. The empty
+    /// disjunction matches nothing.
+    Or(Vec<Predicate>),
+    /// Negation, evaluated at the selection-vector level
+    /// ([`SelectionVector::complement`]).
+    Not(Box<Predicate>),
 }
 
 impl Predicate {
@@ -183,6 +189,17 @@ impl Predicate {
     pub fn and(children: Vec<Predicate>) -> Self {
         Predicate::And(children)
     }
+
+    /// The disjunction of `children`.
+    pub fn or(children: Vec<Predicate>) -> Self {
+        Predicate::Or(children)
+    }
+
+    /// The negation of `child`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(child: Predicate) -> Self {
+        Predicate::Not(Box::new(child))
+    }
 }
 
 /// Aggregate statistics of a multi-block scan.
@@ -197,17 +214,24 @@ pub struct ScanStats {
     pub rows_total: usize,
     /// Rows matching the predicate.
     pub rows_matched: usize,
+    /// Blocks decided purely from *footer* zone maps in a store-driven scan
+    /// — not a single byte of these blocks' payloads was read. Always 0 for
+    /// in-memory scans (which have no I/O to skip).
+    pub blocks_skipped_io: usize,
+    /// Payload/segment bytes fetched from the underlying table file during
+    /// a store-driven scan. Always 0 for in-memory scans.
+    pub bytes_read: u64,
 }
 
 /// A covering min/max zone map for the column at `idx`, derived from its
 /// codec (and, for diff-encoded columns, its reference's codec). `None`
 /// when no cheap bounds exist (Delta payloads, multi-reference targets,
 /// string columns).
-pub fn column_bounds(block: &CompressedBlock, idx: usize) -> Option<ZoneMap> {
-    match block.codec_at(idx) {
+pub fn column_bounds<B: BlockView + ?Sized>(block: &B, idx: usize) -> Option<ZoneMap> {
+    match block.view_codec(idx).ok()? {
         ColumnCodec::Int(enc) => enc.value_bounds(),
         ColumnCodec::NonHier { enc, reference } => {
-            let ref_zone = match block.codec_at(*reference as usize) {
+            let ref_zone = match block.view_codec(*reference as usize).ok()? {
                 ColumnCodec::Int(r) => r.value_bounds(),
                 _ => None,
             }?;
@@ -218,6 +242,59 @@ pub fn column_bounds(block: &CompressedBlock, idx: usize) -> Option<ZoneMap> {
     }
 }
 
+/// Evaluates a whole predicate tree against per-column zone maps, without
+/// touching any payload bytes. `zone_of` resolves a column name to its
+/// covering zone (`None` when no zone exists — e.g. string columns), so
+/// this works off the table footer as well as off in-memory codecs.
+///
+/// Returns [`RangeVerdict::None`] / [`RangeVerdict::All`] only when
+/// provable for every row; anything uncertain is `Partial`.
+pub(crate) fn tree_verdict(
+    pred: &Predicate,
+    zone_of: &dyn Fn(&str) -> Option<ZoneMap>,
+) -> RangeVerdict {
+    match pred {
+        Predicate::Compare { column, op, value } => match zone_of(column) {
+            Some(zone) => op.to_range(*value).verdict(&zone),
+            None => RangeVerdict::Partial,
+        },
+        Predicate::Between { column, lo, hi } => match zone_of(column) {
+            Some(zone) => IntRange::new(*lo, *hi).verdict(&zone),
+            None => RangeVerdict::Partial,
+        },
+        Predicate::StrEq { .. } => RangeVerdict::Partial,
+        Predicate::And(children) => {
+            // Vacuously true; one provable miss prunes the conjunction.
+            let mut acc = RangeVerdict::All;
+            for child in children {
+                match tree_verdict(child, zone_of) {
+                    RangeVerdict::None => return RangeVerdict::None,
+                    RangeVerdict::All => {}
+                    RangeVerdict::Partial => acc = RangeVerdict::Partial,
+                }
+            }
+            acc
+        }
+        Predicate::Or(children) => {
+            // Vacuously false; one provable full match covers the block.
+            let mut acc = RangeVerdict::None;
+            for child in children {
+                match tree_verdict(child, zone_of) {
+                    RangeVerdict::All => return RangeVerdict::All,
+                    RangeVerdict::None => {}
+                    RangeVerdict::Partial => acc = RangeVerdict::Partial,
+                }
+            }
+            acc
+        }
+        Predicate::Not(child) => match tree_verdict(child, zone_of) {
+            RangeVerdict::None => RangeVerdict::All,
+            RangeVerdict::All => RangeVerdict::None,
+            RangeVerdict::Partial => RangeVerdict::Partial,
+        },
+    }
+}
+
 /// Evaluates `pred` against one compressed block, returning the matching
 /// positions as a sorted [`SelectionVector`].
 ///
@@ -225,13 +302,16 @@ pub fn column_bounds(block: &CompressedBlock, idx: usize) -> Option<ZoneMap> {
 ///
 /// Unknown column names, or a type mismatch between the predicate and the
 /// column's codec (integer predicate on a string column or vice versa).
-pub fn scan(block: &CompressedBlock, pred: &Predicate) -> Result<SelectionVector> {
+pub fn scan<B: BlockView + ?Sized>(block: &B, pred: &Predicate) -> Result<SelectionVector> {
     Ok(scan_pruned(block, pred)?.0)
 }
 
 /// Like [`scan`], additionally reporting whether the block was answered
 /// entirely from zone maps (pruned: no per-row kernel ran).
-pub fn scan_pruned(block: &CompressedBlock, pred: &Predicate) -> Result<(SelectionVector, bool)> {
+pub fn scan_pruned<B: BlockView + ?Sized>(
+    block: &B,
+    pred: &Predicate,
+) -> Result<(SelectionVector, bool)> {
     // Validate the whole predicate up front so unknown columns and type
     // mismatches error deterministically — not dependent on block row
     // counts or on which conjunct happens to empty the selection first.
@@ -242,11 +322,11 @@ pub fn scan_pruned(block: &CompressedBlock, pred: &Predicate) -> Result<(Selecti
 
 /// Checks every referenced column exists and its codec matches the
 /// predicate's operand type.
-fn validate_pred(block: &CompressedBlock, pred: &Predicate) -> Result<()> {
+fn validate_pred<B: BlockView + ?Sized>(block: &B, pred: &Predicate) -> Result<()> {
     match pred {
         Predicate::Compare { column, .. } | Predicate::Between { column, .. } => {
             let idx = block.index_of(column)?;
-            match block.codec_at(idx) {
+            match block.view_codec(idx)? {
                 ColumnCodec::Str(_) | ColumnCodec::PlainStr(_) | ColumnCodec::HierStr { .. } => {
                     Err(Error::TypeMismatch {
                         expected: "integer column for integer predicate",
@@ -258,7 +338,7 @@ fn validate_pred(block: &CompressedBlock, pred: &Predicate) -> Result<()> {
         }
         Predicate::StrEq { column, .. } => {
             let idx = block.index_of(column)?;
-            match block.codec_at(idx) {
+            match block.view_codec(idx)? {
                 ColumnCodec::Str(_) | ColumnCodec::PlainStr(_) | ColumnCodec::HierStr { .. } => {
                     Ok(())
                 }
@@ -268,12 +348,13 @@ fn validate_pred(block: &CompressedBlock, pred: &Predicate) -> Result<()> {
                 }),
             }
         }
-        Predicate::And(children) => {
+        Predicate::And(children) | Predicate::Or(children) => {
             for child in children {
                 validate_pred(block, child)?;
             }
             Ok(())
         }
+        Predicate::Not(child) => validate_pred(block, child),
     }
 }
 
@@ -415,27 +496,64 @@ pub fn query_parallel(
         .collect()
 }
 
+/// What a filter → materialize call should project.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Projection<'a> {
+    /// Materialize one column.
+    Column(&'a str),
+    /// Materialize a diff-encoded target and its reference column.
+    Both(&'a str),
+}
+
+/// The one filter → materialize path: scans for `pred`, then feeds the
+/// selection into the query kernels. [`scan_query`], [`scan_query_both`]
+/// and the [`crate::store::TableReader`] query entry points all route
+/// through here.
+pub(crate) fn scan_materialize<B: BlockView + ?Sized>(
+    block: &B,
+    pred: &Predicate,
+    projection: Projection<'_>,
+) -> Result<(QueryOutput, Option<QueryOutput>)> {
+    let sel = scan(block, pred)?;
+    match projection {
+        Projection::Column(name) => Ok((crate::query::query_column(block, name, &sel)?, None)),
+        Projection::Both(name) => {
+            let (target, reference) = crate::query::query_both(block, name, &sel)?;
+            Ok((target, Some(reference)))
+        }
+    }
+}
+
 /// Filter → materialize in one call: scans for `pred` and materializes
 /// `project` at the matching positions via [`crate::query::query_column`].
-pub fn scan_query(block: &CompressedBlock, pred: &Predicate, project: &str) -> Result<QueryOutput> {
-    let sel = scan(block, pred)?;
-    crate::query::query_column(block, project, &sel)
+pub fn scan_query<B: BlockView + ?Sized>(
+    block: &B,
+    pred: &Predicate,
+    project: &str,
+) -> Result<QueryOutput> {
+    Ok(scan_materialize(block, pred, Projection::Column(project))?.0)
 }
 
 /// Filter → materialize for a diff-encoded target *and* its reference
 /// column ("query on both columns") via [`crate::query::query_both`].
-pub fn scan_query_both(
-    block: &CompressedBlock,
+pub fn scan_query_both<B: BlockView + ?Sized>(
+    block: &B,
     pred: &Predicate,
     target: &str,
 ) -> Result<(QueryOutput, QueryOutput)> {
-    let sel = scan(block, pred)?;
-    crate::query::query_both(block, target, &sel)
+    let (target, reference) = scan_materialize(block, pred, Projection::Both(target))?;
+    Ok((
+        target,
+        reference.expect("Both projection returns a reference"),
+    ))
 }
 
 /// Returns `(selection, ran_kernel)`; `ran_kernel` is false when the result
 /// was decided without touching any row payload.
-fn scan_inner(block: &CompressedBlock, pred: &Predicate) -> Result<(SelectionVector, bool)> {
+fn scan_inner<B: BlockView + ?Sized>(
+    block: &B,
+    pred: &Predicate,
+) -> Result<(SelectionVector, bool)> {
     match pred {
         Predicate::Compare { column, op, value } => {
             eval_int_leaf(block, column, &op.to_range(*value))
@@ -468,11 +586,32 @@ fn scan_inner(block: &CompressedBlock, pred: &Predicate) -> Result<(SelectionVec
                 ran_kernel,
             ))
         }
+        Predicate::Or(children) => {
+            // The empty disjunction is vacuously false.
+            let mut acc = SelectionVector::empty();
+            let mut ran_kernel = false;
+            let rows = block.rows();
+            for child in children {
+                let (sel, ran) = scan_inner(block, child)?;
+                ran_kernel |= ran;
+                acc = acc.union(&sel);
+                if acc.len() == rows {
+                    // Already a full selection; later children cannot add
+                    // rows (they were validated up front).
+                    break;
+                }
+            }
+            Ok((acc, ran_kernel))
+        }
+        Predicate::Not(child) => {
+            let (sel, ran) = scan_inner(block, child)?;
+            Ok((sel.complement(block.rows()), ran))
+        }
     }
 }
 
-fn eval_int_leaf(
-    block: &CompressedBlock,
+fn eval_int_leaf<B: BlockView + ?Sized>(
+    block: &B,
     column: &str,
     range: &IntRange,
 ) -> Result<(SelectionVector, bool)> {
@@ -491,7 +630,7 @@ fn eval_int_leaf(
         }
     }
     let mut out = Vec::new();
-    match block.codec_at(idx) {
+    match block.view_codec(idx)? {
         ColumnCodec::Int(enc) => enc.filter_into(range, &mut out),
         ColumnCodec::NonHier { enc, reference } => {
             let refs = ref_access(block, *reference as usize)?;
@@ -524,8 +663,8 @@ fn eval_int_leaf(
     ))
 }
 
-fn eval_str_leaf(
-    block: &CompressedBlock,
+fn eval_str_leaf<B: BlockView + ?Sized>(
+    block: &B,
     column: &str,
     value: &str,
     negate: bool,
@@ -535,7 +674,7 @@ fn eval_str_leaf(
         return Ok((SelectionVector::empty(), false));
     }
     let mut out = Vec::new();
-    match block.codec_at(idx) {
+    match block.view_codec(idx)? {
         ColumnCodec::Str(enc) => {
             corra_encodings::FilterStr::filter_eq_into(enc, value, negate, &mut out)
         }
@@ -670,6 +809,110 @@ mod tests {
         // Empty conjunction selects everything.
         let all = scan(&compressed, &Predicate::and(Vec::new())).unwrap();
         assert_eq!(all.len(), block.rows());
+    }
+
+    #[test]
+    fn or_and_not_match_naive_boolean_trees() {
+        let (block, cfg) = date_block(6_000);
+        let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
+        let ship = block.column("l_shipdate").unwrap().as_i64().unwrap();
+        let receipt = block.column("l_receiptdate").unwrap().as_i64().unwrap();
+        // (ship < 8_300 OR receipt > 10_000) AND NOT(ship = 8_052)
+        let pred = Predicate::and(vec![
+            Predicate::or(vec![
+                Predicate::lt("l_shipdate", 8_300),
+                Predicate::gt("l_receiptdate", 10_000),
+            ]),
+            Predicate::not(Predicate::eq("l_shipdate", 8_052)),
+        ]);
+        let sel = scan(&compressed, &pred).unwrap();
+        let want: Vec<u32> = (0..block.rows())
+            .filter(|&i| (ship[i] < 8_300 || receipt[i] > 10_000) && ship[i] != 8_052)
+            .map(|i| i as u32)
+            .collect();
+        assert_eq!(sel.positions(), &want[..]);
+        // NOT over a pruned leaf still skips the kernel entirely.
+        let (sel, pruned) =
+            scan_pruned(&compressed, &Predicate::not(Predicate::lt("l_shipdate", 0))).unwrap();
+        assert_eq!(sel.len(), block.rows());
+        assert!(pruned);
+        // Empty disjunction matches nothing; double negation is identity.
+        let none = scan(&compressed, &Predicate::or(Vec::new())).unwrap();
+        assert!(none.is_empty());
+        let base = Predicate::between("l_shipdate", 8_100, 8_200);
+        let double = Predicate::not(Predicate::not(base.clone()));
+        assert_eq!(
+            scan(&compressed, &double).unwrap(),
+            scan(&compressed, &base).unwrap()
+        );
+        // Validation reaches inside Or/Not.
+        assert!(scan(&compressed, &Predicate::or(vec![Predicate::eq("nope", 1)])).is_err());
+        assert!(scan(
+            &compressed,
+            &Predicate::not(Predicate::str_eq("l_shipdate", "x"))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tree_verdict_combines_soundly() {
+        let zone_of = |name: &str| -> Option<ZoneMap> {
+            (name == "d").then_some(ZoneMap { min: 10, max: 20 })
+        };
+        let miss = Predicate::lt("d", 0);
+        let cover = Predicate::ge("d", -5);
+        let straddle = Predicate::ge("d", 15);
+        let opaque = Predicate::str_eq("s", "x");
+        assert_eq!(tree_verdict(&miss, &zone_of), RangeVerdict::None);
+        assert_eq!(tree_verdict(&cover, &zone_of), RangeVerdict::All);
+        assert_eq!(tree_verdict(&straddle, &zone_of), RangeVerdict::Partial);
+        assert_eq!(tree_verdict(&opaque, &zone_of), RangeVerdict::Partial);
+        assert_eq!(
+            tree_verdict(&Predicate::and(vec![cover.clone(), miss.clone()]), &zone_of),
+            RangeVerdict::None
+        );
+        assert_eq!(
+            tree_verdict(
+                &Predicate::and(vec![cover.clone(), cover.clone()]),
+                &zone_of
+            ),
+            RangeVerdict::All
+        );
+        assert_eq!(
+            tree_verdict(&Predicate::or(vec![miss.clone(), cover.clone()]), &zone_of),
+            RangeVerdict::All
+        );
+        assert_eq!(
+            tree_verdict(&Predicate::or(vec![miss.clone(), miss.clone()]), &zone_of),
+            RangeVerdict::None
+        );
+        assert_eq!(
+            tree_verdict(
+                &Predicate::or(vec![miss.clone(), straddle.clone()]),
+                &zone_of
+            ),
+            RangeVerdict::Partial
+        );
+        assert_eq!(
+            tree_verdict(&Predicate::not(miss.clone()), &zone_of),
+            RangeVerdict::All
+        );
+        assert_eq!(
+            tree_verdict(&Predicate::not(cover), &zone_of),
+            RangeVerdict::None
+        );
+        assert_eq!(
+            tree_verdict(&Predicate::and(Vec::new()), &zone_of),
+            RangeVerdict::All
+        );
+        assert_eq!(
+            tree_verdict(&Predicate::or(Vec::new()), &zone_of),
+            RangeVerdict::None
+        );
+        assert_eq!(
+            tree_verdict(&Predicate::and(vec![opaque, miss]), &zone_of),
+            RangeVerdict::None
+        );
     }
 
     #[test]

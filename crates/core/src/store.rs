@@ -1,0 +1,1276 @@
+//! Indexed table storage: multi-block files with a footer that makes every
+//! codec payload independently addressable.
+//!
+//! File layout (little-endian):
+//!
+//! ```text
+//! magic      "CORRATBL"          8 bytes
+//! block segments                 each a self-contained v2 block
+//!                                (see crate::format)
+//! footer                         schema + per-block metadata (below)
+//! footer_len u64
+//! magic      "CORRATBL"          8 bytes
+//! ```
+//!
+//! The footer records, per block, the segment's byte range and row count,
+//! and per `(block, column)` the codec header (tag + reference wiring), the
+//! byte range of the column's framed payload, and a covering
+//! [`ZoneMap`] serialized from the same codec-derived bounds the scan
+//! kernels use. That metadata enables three behaviors no sequential format
+//! can offer:
+//!
+//! * **Projection pushdown** — [`TableReader::read_column`] /
+//!   [`BlockHandle`] deserialize only the referenced column plus its
+//!   transitively referenced reference columns, resolved by walking the
+//!   footer wiring (never the payload bytes);
+//! * **I/O-free pruning** — [`TableReader::scan_blocks`] consults footer
+//!   zone maps first and never touches a pruned block's bytes
+//!   ([`ScanStats::blocks_skipped_io`] / [`ScanStats::bytes_read`]);
+//! * **Streaming writes** — [`TableWriter::write_block`] emits each block
+//!   segment as it arrives (e.g. straight out of
+//!   [`crate::compressor::compress_blocks`]) and buffers only footer
+//!   metadata, never the file.
+
+use std::cell::OnceCell;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use bytes::{Buf, BufMut};
+use corra_columnar::column::{Column, DataType};
+use corra_columnar::error::{Error, Result};
+use corra_columnar::predicate::RangeVerdict;
+use corra_columnar::schema::{Field, Schema};
+use corra_columnar::selection::SelectionVector;
+use corra_columnar::stats::ZoneMap;
+
+use crate::compressor::{decompress_column, BlockView, ColumnCodec, CompressedBlock};
+use crate::format::{read_codec_payload, CodecHeader, PayloadSpan};
+use crate::query::QueryOutput;
+use crate::scan::{
+    column_bounds, scan_materialize, scan_pruned, tree_verdict, Predicate, Projection, ScanStats,
+};
+
+/// File magic framing a Corra table (leading and trailing).
+pub const TABLE_MAGIC: [u8; 8] = *b"CORRATBL";
+/// Footer format version.
+pub const FOOTER_VERSION: u16 = 2;
+
+const TRAILER_LEN: u64 = 8 + 8; // footer_len + magic
+
+fn io_err(op: &str, e: std::io::Error) -> Error {
+    Error::invalid(format!("{op}: {e}"))
+}
+
+/// Footer metadata of one column within one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMeta {
+    /// Codec tag + cross-column wiring (the reference graph, payload-free).
+    pub header: CodecHeader,
+    /// Byte range of the column's payload, relative to the block segment.
+    pub span: PayloadSpan,
+    /// Covering min/max bounds, when the codec derives them.
+    pub zone: Option<ZoneMap>,
+}
+
+/// Footer metadata of one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMeta {
+    /// File offset of the block segment.
+    pub offset: u64,
+    /// Segment length in bytes.
+    pub len: u64,
+    /// Rows in the block.
+    pub rows: u32,
+    /// Per-column metadata, in schema order.
+    pub columns: Vec<ColumnMeta>,
+}
+
+/// The parsed table footer: schema plus per-block metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableFooter {
+    /// Column names and types shared by every block.
+    pub schema: Schema,
+    /// Per-block metadata, in file order.
+    pub blocks: Vec<BlockMeta>,
+}
+
+impl TableFooter {
+    /// Total rows across all blocks.
+    pub fn rows_total(&self) -> usize {
+        self.blocks.iter().map(|b| b.rows as usize).sum()
+    }
+
+    /// The zone map of `(block, column)`, when the footer carries one.
+    pub fn zone(&self, block: usize, column: usize) -> Option<ZoneMap> {
+        self.blocks.get(block)?.columns.get(column)?.zone
+    }
+
+    /// The transitive reference closure of column `column`: the column
+    /// itself plus every column its codec needs for reconstruction,
+    /// resolved purely from footer wiring (no payload bytes touched).
+    pub fn reference_closure(&self, block: usize, column: usize) -> Result<Vec<usize>> {
+        let meta = self
+            .blocks
+            .get(block)
+            .ok_or_else(|| Error::invalid(format!("block {block} out of range")))?;
+        let mut out = vec![column];
+        // References never chain (enforced at write), so one hop suffices;
+        // still, walk generically in case that invariant is ever relaxed.
+        let mut i = 0;
+        while i < out.len() {
+            let col = out[i];
+            let cm = meta.columns.get(col).ok_or(Error::IndexOutOfBounds {
+                index: col,
+                len: meta.columns.len(),
+            })?;
+            for r in cm.header.wiring.references() {
+                let r = r as usize;
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    fn write_to(&self, buf: &mut Vec<u8>) -> Result<()> {
+        buf.put_u16_le(FOOTER_VERSION);
+        self.schema.validate_serializable()?;
+        self.schema.write_to(buf);
+        let n_blocks = u32::try_from(self.blocks.len())
+            .map_err(|_| Error::invalid("block count exceeds the u32 footer field"))?;
+        buf.put_u32_le(n_blocks);
+        for block in &self.blocks {
+            buf.put_u64_le(block.offset);
+            buf.put_u64_le(block.len);
+            buf.put_u32_le(block.rows);
+            for col in &block.columns {
+                col.header.write_to(buf)?;
+                buf.put_u64_le(col.span.offset);
+                buf.put_u32_le(col.span.len);
+                match &col.zone {
+                    Some(zone) => {
+                        buf.put_u8(1);
+                        zone.write_to(buf);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_from(mut buf: &[u8]) -> Result<Self> {
+        if buf.remaining() < 2 {
+            return Err(Error::corrupt("footer version truncated"));
+        }
+        let version = buf.get_u16_le();
+        if version != FOOTER_VERSION {
+            return Err(Error::corrupt(format!(
+                "unsupported footer version {version}"
+            )));
+        }
+        let schema = Schema::read_from(&mut buf)?;
+        let n_cols = schema.len();
+        if buf.remaining() < 4 {
+            return Err(Error::corrupt("footer block count truncated"));
+        }
+        let n_blocks = buf.get_u32_le() as usize;
+        let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20));
+        for _ in 0..n_blocks {
+            if buf.remaining() < 8 + 8 + 4 {
+                return Err(Error::corrupt("footer block header truncated"));
+            }
+            let offset = buf.get_u64_le();
+            let len = buf.get_u64_le();
+            let rows = buf.get_u32_le();
+            let mut columns = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                let header = CodecHeader::read_from(&mut buf, n_cols)?;
+                if buf.remaining() < 8 + 4 + 1 {
+                    return Err(Error::corrupt("footer column span truncated"));
+                }
+                let span = PayloadSpan {
+                    offset: buf.get_u64_le(),
+                    len: buf.get_u32_le(),
+                };
+                let zone = match buf.get_u8() {
+                    0 => None,
+                    1 => Some(ZoneMap::read_from(&mut buf)?),
+                    f => return Err(Error::corrupt(format!("bad zone-map flag {f}"))),
+                };
+                if span
+                    .offset
+                    .checked_add(span.len as u64)
+                    .is_none_or(|end| end > len)
+                {
+                    return Err(Error::corrupt("column payload span exceeds its block"));
+                }
+                columns.push(ColumnMeta { header, span, zone });
+            }
+            // Horizontal wiring must target vertical columns, the same
+            // invariant CompressedBlock::from_parts enforces on payloads.
+            for col in &columns {
+                for r in col.header.wiring.references() {
+                    if columns[r as usize].header.is_horizontal() {
+                        return Err(Error::corrupt(
+                            "footer wiring references a horizontal column",
+                        ));
+                    }
+                }
+            }
+            blocks.push(BlockMeta {
+                offset,
+                len,
+                rows,
+                columns,
+            });
+        }
+        if !buf.is_empty() {
+            return Err(Error::corrupt(format!(
+                "{} trailing bytes after footer",
+                buf.len()
+            )));
+        }
+        Ok(Self { schema, blocks })
+    }
+}
+
+/// Streaming writer for the indexed table format.
+///
+/// Block segments are written to the sink as they arrive — only footer
+/// metadata (a few dozen bytes per block) is buffered, so a table of any
+/// size streams through without ever materializing the file:
+///
+/// ```no_run
+/// # use corra_core::store::TableWriter;
+/// # use corra_core::{compress_blocks, CompressionConfig};
+/// # fn demo(blocks: &[corra_columnar::block::DataBlock]) -> corra_columnar::error::Result<()> {
+/// let file = std::fs::File::create("table.corra").map_err(|e| {
+///     corra_columnar::error::Error::invalid(e.to_string())
+/// })?;
+/// let mut writer = TableWriter::new(file)?;
+/// for block in compress_blocks(blocks, &CompressionConfig::baseline(), 4)? {
+///     writer.write_block(&block)?; // streamed straight to disk
+/// }
+/// writer.finish()?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct TableWriter<W: Write> {
+    sink: W,
+    schema: Option<Schema>,
+    blocks: Vec<BlockMeta>,
+    offset: u64,
+}
+
+impl<W: Write> TableWriter<W> {
+    /// Starts a table, writing the leading magic. The schema is derived
+    /// from the first block (string columns become [`DataType::Utf8`],
+    /// everything else [`DataType::Int64`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the sink.
+    pub fn new(mut sink: W) -> Result<Self> {
+        sink.write_all(&TABLE_MAGIC)
+            .map_err(|e| io_err("writing table magic", e))?;
+        Ok(Self {
+            sink,
+            schema: None,
+            blocks: Vec::new(),
+            offset: TABLE_MAGIC.len() as u64,
+        })
+    }
+
+    /// Like [`new`](Self::new) with an explicit schema (preserving `Date` /
+    /// `Timestamp` types the codecs cannot distinguish from `Int64`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the sink, or a schema that exceeds the serialized
+    /// layout's width limits.
+    pub fn with_schema(sink: W, schema: Schema) -> Result<Self> {
+        schema.validate_serializable()?;
+        let mut writer = Self::new(sink)?;
+        writer.schema = Some(schema);
+        Ok(writer)
+    }
+
+    /// Appends one block segment, streaming its bytes to the sink and
+    /// recording its footer metadata (byte ranges, payload spans, zone
+    /// maps).
+    ///
+    /// # Errors
+    ///
+    /// Serialization-width violations (see [`CompressedBlock::to_bytes`]),
+    /// a block whose columns disagree with the table schema, or sink I/O
+    /// errors.
+    pub fn write_block(&mut self, block: &CompressedBlock) -> Result<()> {
+        match &self.schema {
+            None => self.schema = Some(derive_schema(block)?),
+            Some(schema) => check_schema(schema, block)?,
+        }
+        let mut buf = Vec::with_capacity(block.total_bytes() + 64);
+        let spans = block.write_v2(&mut buf)?;
+        let columns = (0..block.names().len())
+            .map(|i| ColumnMeta {
+                header: CodecHeader::of(block.codec_at(i)),
+                span: spans[i],
+                zone: column_bounds(block, i),
+            })
+            .collect();
+        self.sink
+            .write_all(&buf)
+            .map_err(|e| io_err("writing block segment", e))?;
+        self.blocks.push(BlockMeta {
+            offset: self.offset,
+            len: buf.len() as u64,
+            rows: block.rows() as u32,
+            columns,
+        });
+        self.offset += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Bytes written to the sink so far (magic + block segments).
+    pub fn written_bytes(&self) -> u64 {
+        self.offset
+    }
+
+    /// Writes the footer and trailer, returning the sink.
+    ///
+    /// An empty table (zero blocks) is valid but carries an empty schema
+    /// unless one was provided via [`with_schema`](Self::with_schema).
+    ///
+    /// # Errors
+    ///
+    /// Sink I/O errors, or footer width violations.
+    pub fn finish(mut self) -> Result<W> {
+        let footer = TableFooter {
+            schema: self.schema.take().unwrap_or_default(),
+            blocks: std::mem::take(&mut self.blocks),
+        };
+        let mut buf = Vec::new();
+        footer.write_to(&mut buf)?;
+        let footer_len = buf.len() as u64;
+        buf.put_u64_le(footer_len);
+        buf.put_slice(&TABLE_MAGIC);
+        self.sink
+            .write_all(&buf)
+            .map_err(|e| io_err("writing table footer", e))?;
+        self.sink.flush().map_err(|e| io_err("flushing table", e))?;
+        Ok(self.sink)
+    }
+}
+
+fn derive_schema(block: &CompressedBlock) -> Result<Schema> {
+    let fields = block
+        .names()
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let dt = if CodecHeader::of(block.codec_at(i)).is_string() {
+                DataType::Utf8
+            } else {
+                DataType::Int64
+            };
+            Field::new(name.clone(), dt)
+        })
+        .collect();
+    let schema = Schema::new(fields)?;
+    schema.validate_serializable()?;
+    Ok(schema)
+}
+
+fn check_schema(schema: &Schema, block: &CompressedBlock) -> Result<()> {
+    if schema.len() != block.names().len() {
+        return Err(Error::invalid(format!(
+            "block has {} columns, table schema has {}",
+            block.names().len(),
+            schema.len()
+        )));
+    }
+    for (i, (field, name)) in schema.fields().iter().zip(block.names()).enumerate() {
+        if field.name() != name {
+            return Err(Error::invalid(format!(
+                "block column {name:?} does not match table schema column {:?}",
+                field.name()
+            )));
+        }
+        let is_string = CodecHeader::of(block.codec_at(i)).is_string();
+        let declared_string = field.data_type() == DataType::Utf8;
+        if is_string != declared_string {
+            return Err(Error::invalid(format!(
+                "block column {name:?} is a {} codec but the table schema declares {:?}",
+                if is_string { "string" } else { "integer" },
+                field.data_type()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Compresses nothing, writes everything: serializes already-compressed
+/// blocks to `path` as one indexed table file, returning its total size.
+///
+/// # Errors
+///
+/// As [`TableWriter::write_block`] / [`TableWriter::finish`].
+pub fn write_table(path: &std::path::Path, blocks: &[CompressedBlock]) -> Result<u64> {
+    let file = std::fs::File::create(path).map_err(|e| io_err("creating table file", e))?;
+    let mut writer = TableWriter::new(file)?;
+    for block in blocks {
+        writer.write_block(block)?;
+    }
+    let mut file = writer.finish()?;
+    file.flush().map_err(|e| io_err("flushing table", e))?;
+    file.seek(SeekFrom::End(0))
+        .map_err(|e| io_err("sizing table", e))
+}
+
+enum Source {
+    Mem(Vec<u8>),
+    File(Mutex<std::fs::File>),
+}
+
+impl Source {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        match self {
+            Source::Mem(bytes) => {
+                let start = usize::try_from(offset)
+                    .ok()
+                    .filter(|&s| s.checked_add(len).is_some_and(|end| end <= bytes.len()))
+                    .ok_or_else(|| Error::corrupt("read past end of table buffer"))?;
+                Ok(bytes[start..start + len].to_vec())
+            }
+            Source::File(file) => {
+                let mut file = file.lock().expect("table file lock poisoned");
+                file.seek(SeekFrom::Start(offset))
+                    .map_err(|e| io_err("seeking table file", e))?;
+                let mut buf = vec![0u8; len];
+                file.read_exact(&mut buf)
+                    .map_err(|e| io_err("reading table file", e))?;
+                Ok(buf)
+            }
+        }
+    }
+}
+
+/// Random-access reader over an indexed table file.
+///
+/// All data access is metered: [`bytes_read`](Self::bytes_read) counts
+/// every payload/segment byte fetched after open (the footer parsed at
+/// open time is fixed overhead and not counted), which is what the
+/// projection and pruning guarantees are asserted against.
+pub struct TableReader {
+    source: Source,
+    file_len: u64,
+    footer: TableFooter,
+    /// Footer schema names, cached as the `BlockView::names` slice.
+    names: Vec<String>,
+    bytes_read: AtomicU64,
+}
+
+impl TableReader {
+    /// Opens a table file from disk.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, bad magic/trailer, or a corrupt footer.
+    pub fn open(path: &std::path::Path) -> Result<Self> {
+        let mut file = std::fs::File::open(path).map_err(|e| io_err("opening table file", e))?;
+        let file_len = file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| io_err("sizing table file", e))?;
+        Self::from_source(Source::File(Mutex::new(file)), file_len)
+    }
+
+    /// Opens a table held entirely in memory.
+    ///
+    /// # Errors
+    ///
+    /// Bad magic/trailer or a corrupt footer.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self> {
+        let len = bytes.len() as u64;
+        Self::from_source(Source::Mem(bytes), len)
+    }
+
+    fn from_source(source: Source, file_len: u64) -> Result<Self> {
+        let min_len = TABLE_MAGIC.len() as u64 * 2 + TRAILER_LEN - 8;
+        if file_len < min_len {
+            return Err(Error::corrupt("table file too short"));
+        }
+        let head = source.read_at(0, TABLE_MAGIC.len())?;
+        if head != TABLE_MAGIC {
+            return Err(Error::corrupt("bad table magic"));
+        }
+        let trailer = source.read_at(file_len - TRAILER_LEN, TRAILER_LEN as usize)?;
+        if trailer[8..] != TABLE_MAGIC {
+            return Err(Error::corrupt("bad trailing table magic"));
+        }
+        let footer_len = u64::from_le_bytes(trailer[..8].try_into().expect("eight bytes"));
+        let data_end = (file_len - TRAILER_LEN)
+            .checked_sub(footer_len)
+            .ok_or_else(|| Error::corrupt("footer length exceeds file"))?;
+        if data_end < TABLE_MAGIC.len() as u64 {
+            return Err(Error::corrupt("footer overlaps table magic"));
+        }
+        let footer_bytes = source.read_at(data_end, footer_len as usize)?;
+        let footer = TableFooter::read_from(&footer_bytes)?;
+        // Every block segment must lie inside the data region.
+        for (i, block) in footer.blocks.iter().enumerate() {
+            let end = block.offset.checked_add(block.len);
+            if block.offset < TABLE_MAGIC.len() as u64 || end.is_none_or(|e| e > data_end) {
+                return Err(Error::corrupt(format!(
+                    "block {i} range outside data region"
+                )));
+            }
+        }
+        let names = footer
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name().to_owned())
+            .collect();
+        Ok(Self {
+            source,
+            file_len,
+            footer,
+            names,
+            bytes_read: AtomicU64::new(0),
+        })
+    }
+
+    /// The parsed footer.
+    pub fn footer(&self) -> &TableFooter {
+        &self.footer
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.footer.schema
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.footer.blocks.len()
+    }
+
+    /// Total rows across all blocks.
+    pub fn rows_total(&self) -> usize {
+        self.footer.rows_total()
+    }
+
+    /// Total file size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.file_len
+    }
+
+    /// Payload/segment bytes fetched since open, across all reads (atomic;
+    /// accurate under concurrent scans).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    fn metered_read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let buf = self.source.read_at(offset, len)?;
+        self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+        Ok(buf)
+    }
+
+    fn block_meta(&self, block: usize) -> Result<&BlockMeta> {
+        self.footer
+            .blocks
+            .get(block)
+            .ok_or(Error::IndexOutOfBounds {
+                index: block,
+                len: self.footer.blocks.len(),
+            })
+    }
+
+    /// Reads and fully deserializes block `block` (every column payload).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range index, I/O errors, or segment corruption.
+    pub fn read_block(&self, block: usize) -> Result<CompressedBlock> {
+        let meta = self.block_meta(block)?;
+        let len = usize::try_from(meta.len)
+            .map_err(|_| Error::corrupt("block segment exceeds addressable memory"))?;
+        let bytes = self.metered_read(meta.offset, len)?;
+        CompressedBlock::from_bytes(&bytes)
+    }
+
+    /// A lazy handle over block `block`: columns load on first touch.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range index.
+    pub fn block_handle(&self, block: usize) -> Result<BlockHandle<'_>> {
+        let meta = self.block_meta(block)?;
+        Ok(BlockHandle {
+            reader: self,
+            block,
+            rows: meta.rows as usize,
+            cells: (0..meta.columns.len()).map(|_| OnceCell::new()).collect(),
+            loaded_bytes: std::cell::Cell::new(0),
+        })
+    }
+
+    /// Projection pushdown: decompresses one column of one block, reading
+    /// only that column's payload plus its transitively referenced
+    /// reference payloads (resolved from footer wiring).
+    ///
+    /// # Errors
+    ///
+    /// Unknown column, out-of-range block, I/O errors, or corruption.
+    pub fn read_column(&self, block: usize, column: &str) -> Result<Column> {
+        let handle = self.block_handle(block)?;
+        let idx = handle.index_of(column)?;
+        decompress_column(&handle, idx)
+    }
+
+    /// Loads the codec of `(block, col)` from its footer-addressed payload.
+    fn load_codec(&self, block: usize, col: usize) -> Result<ColumnCodec> {
+        let meta = self.block_meta(block)?;
+        let cm = meta.columns.get(col).ok_or(Error::IndexOutOfBounds {
+            index: col,
+            len: meta.columns.len(),
+        })?;
+        let bytes = self.metered_read(meta.offset + cm.span.offset, cm.span.len as usize)?;
+        let mut cursor = bytes.as_slice();
+        let codec = read_codec_payload(&cm.header, &mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(Error::corrupt(format!(
+                "{} trailing bytes in column payload",
+                cursor.len()
+            )));
+        }
+        // The same validations CompressedBlock::from_parts runs: a hostile
+        // length field or formula mask must not survive into the decode
+        // kernels.
+        if codec.len() != meta.rows as usize {
+            return Err(Error::corrupt(format!(
+                "column {col} stores {} rows, block has {}",
+                codec.len(),
+                meta.rows
+            )));
+        }
+        if let ColumnCodec::MultiRef { enc, groups } = &codec {
+            enc.validate_groups(groups.len())?;
+        }
+        Ok(codec)
+    }
+
+    /// Index of `name` in the footer schema.
+    fn col_index(&self, name: &str) -> Result<usize> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| Error::ColumnNotFound(name.to_owned()))
+    }
+
+    /// Validates `pred` against footer metadata alone (names + codec
+    /// tags), mirroring the in-memory up-front validation so pruned scans
+    /// report the same errors as kernel scans.
+    fn validate_pred_footer(&self, meta: &BlockMeta, pred: &Predicate) -> Result<()> {
+        match pred {
+            Predicate::Compare { column, .. } | Predicate::Between { column, .. } => {
+                let idx = self.col_index(column)?;
+                if meta.columns[idx].header.is_string() {
+                    return Err(Error::TypeMismatch {
+                        expected: "integer column for integer predicate",
+                        found: "string column",
+                    });
+                }
+                Ok(())
+            }
+            Predicate::StrEq { column, .. } => {
+                let idx = self.col_index(column)?;
+                if !meta.columns[idx].header.is_string() {
+                    return Err(Error::TypeMismatch {
+                        expected: "string column for string predicate",
+                        found: "integer column",
+                    });
+                }
+                Ok(())
+            }
+            Predicate::And(children) | Predicate::Or(children) => children
+                .iter()
+                .try_for_each(|c| self.validate_pred_footer(meta, c)),
+            Predicate::Not(child) => self.validate_pred_footer(meta, child),
+        }
+    }
+
+    /// Scans one block, consulting footer zone maps before touching any
+    /// bytes. Returns `(selection, pruned, skipped_io, bytes_read)`.
+    fn scan_block_inner(
+        &self,
+        block: usize,
+        pred: &Predicate,
+    ) -> Result<(SelectionVector, bool, bool, u64)> {
+        let meta = self.block_meta(block)?;
+        self.validate_pred_footer(meta, pred)?;
+        let rows = meta.rows as usize;
+        if rows == 0 {
+            return Ok((SelectionVector::empty(), true, true, 0));
+        }
+        let zone_of =
+            |name: &str| -> Option<ZoneMap> { meta.columns[self.col_index(name).ok()?].zone };
+        match tree_verdict(pred, &zone_of) {
+            RangeVerdict::None => Ok((SelectionVector::empty(), true, true, 0)),
+            RangeVerdict::All => Ok((SelectionVector::all(rows), true, true, 0)),
+            RangeVerdict::Partial => {
+                let handle = self.block_handle(block)?;
+                let (sel, pruned) = scan_pruned(&handle, pred)?;
+                Ok((sel, pruned, false, handle.loaded_bytes()))
+            }
+        }
+    }
+
+    /// Evaluates `pred` against one block (footer pruning included).
+    ///
+    /// # Errors
+    ///
+    /// Unknown columns, predicate/codec type mismatches, I/O errors.
+    pub fn scan(&self, block: usize, pred: &Predicate) -> Result<SelectionVector> {
+        Ok(self.scan_block_inner(block, pred)?.0)
+    }
+
+    /// Scans every block, never touching the bytes of blocks the footer
+    /// zone maps prune. Selections are byte-identical to
+    /// [`crate::scan::scan_blocks`] over the same blocks in memory.
+    ///
+    /// # Errors
+    ///
+    /// As [`scan`](Self::scan).
+    pub fn scan_blocks(&self, pred: &Predicate) -> Result<(Vec<SelectionVector>, ScanStats)> {
+        let mut stats = ScanStats::default();
+        let mut selections = Vec::with_capacity(self.n_blocks());
+        for i in 0..self.n_blocks() {
+            let (sel, pruned, skipped, bytes) = self.scan_block_inner(i, pred)?;
+            self.merge_stats(&mut stats, i, &sel, pruned, skipped, bytes);
+            selections.push(sel);
+        }
+        Ok((selections, stats))
+    }
+
+    /// Morsel-parallel [`scan_blocks`](Self::scan_blocks): `threads` scoped
+    /// workers pull block indices off an atomic counter and write into
+    /// indexed slots, so selections and stats are identical to the serial
+    /// store scan for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`scan`](Self::scan); worker panics surface as errors.
+    pub fn scan_blocks_parallel(
+        &self,
+        pred: &Predicate,
+        threads: usize,
+    ) -> Result<(Vec<SelectionVector>, ScanStats)> {
+        let n = self.n_blocks();
+        let threads = threads.max(1).min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.scan_blocks(pred);
+        }
+        type Slot = Mutex<Option<Result<(SelectionVector, bool, bool, u64)>>>;
+        let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let panicked = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let scanned = self.scan_block_inner(i, pred);
+                        *slots[i].lock().expect("scan slot poisoned") = Some(scanned);
+                    })
+                })
+                .collect();
+            workers.into_iter().any(|w| w.join().is_err())
+        });
+        if panicked {
+            return Err(Error::invalid("parallel store scan worker panicked"));
+        }
+        let mut stats = ScanStats::default();
+        let mut selections = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (sel, pruned, skipped, bytes) = slot
+                .into_inner()
+                .expect("scan slot poisoned")
+                .expect("every block visited")?;
+            self.merge_stats(&mut stats, i, &sel, pruned, skipped, bytes);
+            selections.push(sel);
+        }
+        Ok((selections, stats))
+    }
+
+    fn merge_stats(
+        &self,
+        stats: &mut ScanStats,
+        block: usize,
+        sel: &SelectionVector,
+        pruned: bool,
+        skipped: bool,
+        bytes: u64,
+    ) {
+        stats.blocks += 1;
+        stats.blocks_pruned += usize::from(pruned);
+        stats.blocks_skipped_io += usize::from(skipped);
+        stats.rows_total += self.footer.blocks[block].rows as usize;
+        stats.rows_matched += sel.len();
+        stats.bytes_read += bytes;
+    }
+
+    /// Filter → materialize against one block, loading only the predicate
+    /// and projection columns (plus their reference chains).
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::scan::scan_query`].
+    pub fn scan_query(&self, block: usize, pred: &Predicate, project: &str) -> Result<QueryOutput> {
+        let handle = self.block_handle(block)?;
+        Ok(scan_materialize(&handle, pred, Projection::Column(project))?.0)
+    }
+
+    /// Filter → materialize for a diff-encoded target *and* its reference
+    /// column against one block.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::scan::scan_query_both`].
+    pub fn scan_query_both(
+        &self,
+        block: usize,
+        pred: &Predicate,
+        target: &str,
+    ) -> Result<(QueryOutput, QueryOutput)> {
+        let handle = self.block_handle(block)?;
+        let (target, reference) = scan_materialize(&handle, pred, Projection::Both(target))?;
+        Ok((
+            target,
+            reference.expect("Both projection returns a reference"),
+        ))
+    }
+}
+
+/// A lazy view over one block of a [`TableReader`]: every column's codec is
+/// fetched (one footer-addressed payload read) the first time something
+/// touches it, and cached for the handle's lifetime.
+///
+/// Implements [`BlockView`], so the full query/scan surface —
+/// [`crate::query::query_column`], [`crate::scan::scan`],
+/// [`crate::compressor::decompress_column`] — runs against it unchanged,
+/// deserializing only the columns it actually touches.
+pub struct BlockHandle<'a> {
+    reader: &'a TableReader,
+    block: usize,
+    rows: usize,
+    cells: Vec<OnceCell<ColumnCodec>>,
+    /// Payload bytes this handle has fetched (per-handle, so per-scan byte
+    /// accounting stays exact even when scans share the reader).
+    loaded_bytes: std::cell::Cell<u64>,
+}
+
+impl BlockHandle<'_> {
+    /// How many columns this handle has materialized so far.
+    pub fn loaded_columns(&self) -> usize {
+        self.cells.iter().filter(|c| c.get().is_some()).count()
+    }
+
+    /// Payload bytes this handle has fetched so far.
+    pub fn loaded_bytes(&self) -> u64 {
+        self.loaded_bytes.get()
+    }
+
+    /// Fully decompresses column `name`, loading only its payload and its
+    /// reference chain's payloads.
+    ///
+    /// # Errors
+    ///
+    /// Unknown column, I/O errors, or corruption.
+    pub fn decompress(&self, name: &str) -> Result<Column> {
+        let idx = self.index_of(name)?;
+        decompress_column(self, idx)
+    }
+}
+
+impl BlockView for BlockHandle<'_> {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn names(&self) -> &[String] {
+        &self.reader.names
+    }
+
+    fn view_codec(&self, i: usize) -> Result<&ColumnCodec> {
+        let cell = self.cells.get(i).ok_or(Error::IndexOutOfBounds {
+            index: i,
+            len: self.cells.len(),
+        })?;
+        if cell.get().is_none() {
+            let codec = self.reader.load_codec(self.block, i)?;
+            let span = self.reader.footer.blocks[self.block].columns[i].span;
+            self.loaded_bytes
+                .set(self.loaded_bytes.get() + span.len as u64);
+            // A concurrent set is impossible (&self is single-threaded via
+            // !Sync OnceCell), so the only race is with ourselves above.
+            let _ = cell.set(codec);
+        }
+        Ok(cell.get().expect("cell populated above"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::{ColumnPlan, CompressionConfig};
+    use corra_columnar::block::DataBlock;
+    use corra_columnar::strings::StringPool;
+
+    fn wide_block(n: usize, salt: i64) -> (DataBlock, CompressionConfig) {
+        let city = StringPool::from_iter((0..n).map(|i| ["NYC", "Albany", "Naples"][i % 3]));
+        let zip: Vec<i64> = (0..n)
+            .map(|i| 10_000 + (i % 3) as i64 * 50 + (i / 3 % 4) as i64)
+            .collect();
+        let ship: Vec<i64> = (0..n).map(|i| salt + 8_035 + (i as i64 % 2_000)).collect();
+        let receipt: Vec<i64> = ship
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + 1 + (i as i64 % 30))
+            .collect();
+        let fee: Vec<i64> = (0..n).map(|i| 100 + (i as i64 % 10)).collect();
+        let extra: Vec<i64> = vec![25; n];
+        let total: Vec<i64> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    fee[i]
+                } else {
+                    fee[i] + extra[i]
+                }
+            })
+            .collect();
+        let block = DataBlock::new(
+            Schema::new(vec![
+                Field::new("city", DataType::Utf8),
+                Field::new("zip", DataType::Int64),
+                Field::new("l_shipdate", DataType::Date),
+                Field::new("l_receiptdate", DataType::Date),
+                Field::new("fee", DataType::Int64),
+                Field::new("extra", DataType::Int64),
+                Field::new("total", DataType::Int64),
+            ])
+            .unwrap(),
+            vec![
+                Column::Utf8(city),
+                Column::Int64(zip),
+                Column::Int64(ship),
+                Column::Int64(receipt),
+                Column::Int64(fee),
+                Column::Int64(extra),
+                Column::Int64(total),
+            ],
+        )
+        .unwrap();
+        let cfg = CompressionConfig::baseline()
+            .with(
+                "zip",
+                ColumnPlan::Hier {
+                    reference: "city".into(),
+                },
+            )
+            .with(
+                "l_receiptdate",
+                ColumnPlan::NonHier {
+                    reference: "l_shipdate".into(),
+                },
+            )
+            .with(
+                "total",
+                ColumnPlan::MultiRef {
+                    groups: vec![vec!["fee".into()], vec!["extra".into()]],
+                    code_bits: 2,
+                },
+            );
+        (block, cfg)
+    }
+
+    fn table_bytes(blocks: &[CompressedBlock]) -> Vec<u8> {
+        let mut writer = TableWriter::new(Vec::new()).unwrap();
+        for b in blocks {
+            writer.write_block(b).unwrap();
+        }
+        writer.finish().unwrap()
+    }
+
+    fn three_block_table() -> (Vec<DataBlock>, Vec<CompressedBlock>, Vec<u8>) {
+        // Distinct value domains per block so zone maps differ.
+        let mut raws = Vec::new();
+        let mut blocks = Vec::new();
+        for salt in [0, 100_000, 200_000] {
+            let (raw, cfg) = wide_block(2_000, salt);
+            blocks.push(CompressedBlock::compress(&raw, &cfg).unwrap());
+            raws.push(raw);
+        }
+        let bytes = table_bytes(&blocks);
+        (raws, blocks, bytes)
+    }
+
+    #[test]
+    fn full_roundtrip_through_reader() {
+        let (raws, blocks, bytes) = three_block_table();
+        let reader = TableReader::from_bytes(bytes).unwrap();
+        assert_eq!(reader.n_blocks(), 3);
+        assert_eq!(reader.rows_total(), 6_000);
+        assert_eq!(reader.schema().len(), 7);
+        for (i, (raw, block)) in raws.iter().zip(&blocks).enumerate() {
+            let back = reader.read_block(i).unwrap();
+            assert_eq!(&back, block, "block {i}");
+            for name in ["city", "zip", "l_receiptdate", "total"] {
+                assert_eq!(
+                    &reader.read_column(i, name).unwrap(),
+                    raw.column(name).unwrap(),
+                    "block {i} column {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projected_read_touches_only_the_reference_closure() {
+        let (raws, _blocks, bytes) = three_block_table();
+        let reader = TableReader::from_bytes(bytes).unwrap();
+        // A vertical column loads exactly one payload.
+        let handle = reader.block_handle(0).unwrap();
+        let fee = handle.decompress("fee").unwrap();
+        assert_eq!(&fee, raws[0].column("fee").unwrap());
+        assert_eq!(handle.loaded_columns(), 1);
+        // A NonHier column loads itself + its reference.
+        let handle = reader.block_handle(0).unwrap();
+        handle.decompress("l_receiptdate").unwrap();
+        assert_eq!(handle.loaded_columns(), 2);
+        // MultiRef loads itself + every group member (fee, extra).
+        let handle = reader.block_handle(0).unwrap();
+        handle.decompress("total").unwrap();
+        assert_eq!(handle.loaded_columns(), 3);
+        // The footer already knows the closure without any I/O.
+        let total_idx = reader.schema().index_of("total").unwrap();
+        let closure = reader.footer().reference_closure(0, total_idx).unwrap();
+        assert_eq!(closure, vec![total_idx, 4, 5]);
+    }
+
+    #[test]
+    fn projected_read_reads_under_half_the_file() {
+        // Acceptance: single-column projection on a wide block reads
+        // < 50% of the file's bytes.
+        let (raw, cfg) = wide_block(20_000, 0);
+        let block = CompressedBlock::compress(&raw, &cfg).unwrap();
+        let bytes = table_bytes(std::slice::from_ref(&block));
+        let reader = TableReader::from_bytes(bytes).unwrap();
+        // "total" pulls its whole multiref closure (total + fee + extra) yet
+        // still skips the expensive date and string payloads.
+        let col = reader.read_column(0, "total").unwrap();
+        assert_eq!(&col, raw.column("total").unwrap());
+        let read = reader.bytes_read();
+        assert!(read > 0);
+        assert!(
+            read * 2 < reader.file_bytes(),
+            "projected read fetched {read} of {} bytes",
+            reader.file_bytes()
+        );
+        // A full block read fetches the whole segment.
+        let reader2 = TableReader::from_bytes(table_bytes(std::slice::from_ref(&block))).unwrap();
+        reader2.read_block(0).unwrap();
+        assert!(reader2.bytes_read() > read);
+    }
+
+    #[test]
+    fn footer_pruning_reads_zero_bytes_and_matches_in_memory() {
+        let (_raws, blocks, bytes) = three_block_table();
+        let reader = TableReader::from_bytes(bytes).unwrap();
+        // Block domains: [8035, ~10k], [108035, ~110k], [208035, ~210k].
+        for pred in [
+            Predicate::between("l_shipdate", 108_000, 111_000), // middle only
+            Predicate::lt("l_shipdate", 0),                     // nothing
+            Predicate::ge("l_shipdate", -5),                    // everything
+            Predicate::and(vec![
+                Predicate::ge("l_shipdate", 100_000),
+                Predicate::between("l_receiptdate", 108_100, 108_200),
+            ]),
+            Predicate::or(vec![
+                Predicate::lt("l_shipdate", 9_000),
+                Predicate::gt("l_shipdate", 209_000),
+            ]),
+            Predicate::not(Predicate::between("l_shipdate", 100_000, 120_000)),
+            Predicate::str_eq("city", "Naples"),
+        ] {
+            let (want_sels, want_stats) = crate::scan::scan_blocks(&blocks, &pred).unwrap();
+            let (sels, stats) = reader.scan_blocks(&pred).unwrap();
+            assert_eq!(sels, want_sels, "{pred:?}");
+            assert_eq!(stats.blocks, want_stats.blocks);
+            assert_eq!(stats.rows_total, want_stats.rows_total);
+            assert_eq!(stats.rows_matched, want_stats.rows_matched);
+            // Parallel store scan is identical for any thread count.
+            for threads in [2, 4, 8] {
+                let (psels, pstats) = reader.scan_blocks_parallel(&pred, threads).unwrap();
+                assert_eq!(psels, sels, "{pred:?} threads {threads}");
+                assert_eq!(
+                    (
+                        pstats.blocks_pruned,
+                        pstats.blocks_skipped_io,
+                        pstats.rows_matched
+                    ),
+                    (
+                        stats.blocks_pruned,
+                        stats.blocks_skipped_io,
+                        stats.rows_matched
+                    ),
+                    "{pred:?} threads {threads}"
+                );
+            }
+        }
+        // A range straddling only the middle block's domain skips the two
+        // off-domain blocks' bytes entirely: only the middle block is
+        // touched by a kernel.
+        let before = reader.bytes_read();
+        let (_, stats) = reader
+            .scan_blocks(&Predicate::between("l_shipdate", 108_000, 109_000))
+            .unwrap();
+        assert_eq!(stats.blocks_skipped_io, 2);
+        assert_eq!(stats.blocks_pruned, 2);
+        assert_eq!(stats.bytes_read, reader.bytes_read() - before);
+        // A fully-pruned scan reads zero bytes.
+        let (sels, stats) = reader.scan_blocks(&Predicate::lt("l_shipdate", 0)).unwrap();
+        assert_eq!(stats.blocks_skipped_io, 3);
+        assert_eq!(stats.bytes_read, 0);
+        assert!(sels.iter().all(SelectionVector::is_empty));
+        // A covering scan also answers purely from the footer.
+        let (sels, stats) = reader
+            .scan_blocks(&Predicate::ge("l_shipdate", -5))
+            .unwrap();
+        assert_eq!(stats.bytes_read, 0);
+        assert_eq!(stats.blocks_skipped_io, 3);
+        assert!(sels.iter().all(|s| s.len() == 2_000));
+    }
+
+    #[test]
+    fn store_scan_validates_like_in_memory() {
+        let (_raws, _blocks, bytes) = three_block_table();
+        let reader = TableReader::from_bytes(bytes).unwrap();
+        // Unknown column: errors even though the scan would prune.
+        assert!(reader
+            .scan_blocks(&Predicate::and(vec![
+                Predicate::lt("l_shipdate", 0),
+                Predicate::eq("typo", 1),
+            ]))
+            .is_err());
+        // Type mismatches caught from footer tags alone.
+        assert!(reader.scan_blocks(&Predicate::eq("city", 1)).is_err());
+        assert!(reader.scan_blocks(&Predicate::str_eq("zip", "x")).is_err());
+    }
+
+    #[test]
+    fn scan_query_entry_points_match_block_paths() {
+        let (_raws, blocks, bytes) = three_block_table();
+        let reader = TableReader::from_bytes(bytes).unwrap();
+        let pred = Predicate::between("l_receiptdate", 8_100, 8_300);
+        let want = crate::scan::scan_query(&blocks[0], &pred, "l_receiptdate").unwrap();
+        let got = reader.scan_query(0, &pred, "l_receiptdate").unwrap();
+        assert_eq!(got, want);
+        let want = crate::scan::scan_query_both(&blocks[0], &pred, "l_receiptdate").unwrap();
+        let got = reader.scan_query_both(0, &pred, "l_receiptdate").unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn writer_enforces_schema_consistency() {
+        let (raw, cfg) = wide_block(100, 0);
+        let block = CompressedBlock::compress(&raw, &cfg).unwrap();
+        let other = DataBlock::new(
+            Schema::new(vec![Field::new("different", DataType::Int64)]).unwrap(),
+            vec![Column::Int64(vec![1, 2])],
+        )
+        .unwrap();
+        let other = CompressedBlock::compress(&other, &CompressionConfig::baseline()).unwrap();
+        let mut writer = TableWriter::new(Vec::new()).unwrap();
+        writer.write_block(&block).unwrap();
+        assert!(writer.write_block(&other).is_err());
+        // A declared schema must also agree on column *kinds*: an explicit
+        // Int64 declaration rejects a string codec of the same name.
+        let mut wrong = Schema::default();
+        for f in raw.schema().fields() {
+            let dt = if f.name() == "city" {
+                DataType::Int64
+            } else {
+                f.data_type()
+            };
+            wrong = Schema::new(
+                wrong
+                    .fields()
+                    .iter()
+                    .cloned()
+                    .chain([Field::new(f.name(), dt)])
+                    .collect(),
+            )
+            .unwrap();
+        }
+        let mut writer = TableWriter::with_schema(Vec::new(), wrong).unwrap();
+        let err = writer.write_block(&block).unwrap_err();
+        assert!(err.to_string().contains("string codec"), "{err}");
+        // An explicit schema preserves declared types.
+        let mut writer = TableWriter::with_schema(Vec::new(), raw.schema().clone()).unwrap();
+        writer.write_block(&block).unwrap();
+        let bytes = writer.finish().unwrap();
+        let reader = TableReader::from_bytes(bytes).unwrap();
+        assert_eq!(
+            reader.schema().field("l_shipdate").unwrap().data_type(),
+            DataType::Date
+        );
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let bytes = table_bytes(&[]);
+        let reader = TableReader::from_bytes(bytes).unwrap();
+        assert_eq!(reader.n_blocks(), 0);
+        assert_eq!(reader.rows_total(), 0);
+        let (sels, stats) = reader.scan_blocks(&Predicate::eq("x", 1)).unwrap();
+        assert!(sels.is_empty());
+        assert_eq!(stats.blocks, 0);
+        assert!(reader.read_block(0).is_err());
+    }
+
+    #[test]
+    fn file_backed_reader_matches_memory_reader() {
+        let (raws, blocks, bytes) = three_block_table();
+        let dir = std::env::temp_dir().join("corra_store_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.corra");
+        let written = write_table(&path, &blocks).unwrap();
+        assert_eq!(written, bytes.len() as u64);
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        let reader = TableReader::open(&path).unwrap();
+        assert_eq!(reader.file_bytes(), written);
+        for (i, raw) in raws.iter().enumerate() {
+            assert_eq!(
+                &reader.read_column(i, "total").unwrap(),
+                raw.column("total").unwrap()
+            );
+        }
+        let (sels, _) = reader
+            .scan_blocks_parallel(&Predicate::between("l_shipdate", 108_000, 111_000), 4)
+            .unwrap();
+        let mem_reader = TableReader::from_bytes(bytes).unwrap();
+        let (mem_sels, _) = mem_reader
+            .scan_blocks(&Predicate::between("l_shipdate", 108_000, 111_000))
+            .unwrap();
+        assert_eq!(sels, mem_sels);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -195,7 +195,7 @@ proptest! {
             .with("tgt", ColumnPlan::NonHier { reference: "ref".into() })
             .with("child", ColumnPlan::Hier { reference: "parent".into() });
         let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
-        let back = CompressedBlock::from_bytes(&compressed.to_bytes()).unwrap();
+        let back = CompressedBlock::from_bytes(&compressed.to_bytes().unwrap()).unwrap();
         for name in ["ref", "tgt", "parent", "child"] {
             prop_assert_eq!(&back.decompress(name).unwrap(), block.column(name).unwrap());
         }
@@ -250,7 +250,10 @@ proptest! {
         .unwrap();
         let cfg = CompressionConfig::baseline()
             .with("tgt", ColumnPlan::NonHier { reference: "ref".into() });
-        let mut bytes = CompressedBlock::compress(&block, &cfg).unwrap().to_bytes();
+        let mut bytes = CompressedBlock::compress(&block, &cfg)
+            .unwrap()
+            .to_bytes()
+            .unwrap();
         let pos = flip_at.index(bytes.len());
         bytes[pos] ^= 1 << flip_bit;
         // Must not panic; Result either way is fine.

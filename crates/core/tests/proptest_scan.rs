@@ -187,7 +187,7 @@ proptest! {
     fn scan_survives_serialization(rows in tuples(), value in 7_000i64..13_000) {
         let (block, cfg) = corra_block(&rows);
         let compressed = CompressedBlock::compress(&block, &cfg).unwrap();
-        let back = CompressedBlock::from_bytes(&compressed.to_bytes()).unwrap();
+        let back = CompressedBlock::from_bytes(&compressed.to_bytes().unwrap()).unwrap();
         for column in ["base", "shifted", "child", "total"] {
             let pred = Predicate::ge(column, value);
             let a = scan(&compressed, &pred).unwrap();

@@ -1,0 +1,277 @@
+//! Integration coverage for the v2 indexed table format: hostile-input
+//! sweeps over the whole file (footer included), v1 → v2 compatibility,
+//! and the projection / pruning byte-accounting guarantees.
+
+use corra_columnar::block::DataBlock;
+use corra_columnar::column::{Column, DataType};
+use corra_columnar::schema::{Field, Schema};
+use corra_columnar::selection::SelectionVector;
+use corra_core::store::{TableReader, TableWriter};
+use corra_core::{scan_blocks, ColumnPlan, CompressedBlock, CompressionConfig, Predicate};
+
+/// A block exercising every codec family the block format serializes:
+/// dict-string, hier-int-under-string, FOR dates, nonhier, plain string,
+/// FOR/dict ints, multiref.
+fn mixed_block(n: usize, salt: i64) -> (DataBlock, CompressionConfig) {
+    let city: Vec<&str> = (0..n).map(|i| ["NYC", "Albany", "Naples"][i % 3]).collect();
+    let note: Vec<String> = (0..n).map(|i| format!("note-{}", i % 7)).collect();
+    let zip: Vec<i64> = (0..n)
+        .map(|i| 10_000 + (i % 3) as i64 * 50 + (i / 3 % 4) as i64)
+        .collect();
+    let ship: Vec<i64> = (0..n)
+        .map(|i| salt + 8_035 + (i as i64 * 17 % 2_000))
+        .collect();
+    let receipt: Vec<i64> = ship
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| s + 1 + (i as i64 % 30))
+        .collect();
+    let fee: Vec<i64> = (0..n).map(|i| 100 + (i as i64 % 10)).collect();
+    let extra: Vec<i64> = vec![25; n];
+    let total: Vec<i64> = (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                fee[i]
+            } else {
+                fee[i] + extra[i]
+            }
+        })
+        .collect();
+    let sparse: Vec<i64> = (0..n).map(|i| ((i % 4) as i64) * 1_000_000_007).collect();
+    let block = DataBlock::new(
+        Schema::new(vec![
+            Field::new("city", DataType::Utf8),
+            Field::new("note", DataType::Utf8),
+            Field::new("zip", DataType::Int64),
+            Field::new("l_shipdate", DataType::Date),
+            Field::new("l_receiptdate", DataType::Date),
+            Field::new("fee", DataType::Int64),
+            Field::new("extra", DataType::Int64),
+            Field::new("total", DataType::Int64),
+            Field::new("sparse", DataType::Int64),
+        ])
+        .unwrap(),
+        vec![
+            Column::Utf8(city.into_iter().collect()),
+            Column::Utf8(note.iter().map(String::as_str).collect()),
+            Column::Int64(zip),
+            Column::Int64(ship),
+            Column::Int64(receipt),
+            Column::Int64(fee),
+            Column::Int64(extra),
+            Column::Int64(total),
+            Column::Int64(sparse),
+        ],
+    )
+    .unwrap();
+    let cfg = CompressionConfig::baseline()
+        .with("note", ColumnPlan::Plain)
+        .with(
+            "zip",
+            ColumnPlan::Hier {
+                reference: "city".into(),
+            },
+        )
+        .with(
+            "l_receiptdate",
+            ColumnPlan::NonHier {
+                reference: "l_shipdate".into(),
+            },
+        )
+        .with(
+            "total",
+            ColumnPlan::MultiRef {
+                groups: vec![vec!["fee".into()], vec!["extra".into()]],
+                code_bits: 2,
+            },
+        );
+    (block, cfg)
+}
+
+fn small_table() -> (Vec<DataBlock>, Vec<CompressedBlock>, Vec<u8>) {
+    let mut raws = Vec::new();
+    let mut blocks = Vec::new();
+    for salt in [0, 50_000] {
+        let (raw, cfg) = mixed_block(96, salt);
+        blocks.push(CompressedBlock::compress(&raw, &cfg).unwrap());
+        raws.push(raw);
+    }
+    let mut writer = TableWriter::new(Vec::new()).unwrap();
+    for b in &blocks {
+        writer.write_block(b).unwrap();
+    }
+    let bytes = writer.finish().unwrap();
+    (raws, blocks, bytes)
+}
+
+#[test]
+fn truncation_sweep_never_panics() {
+    let (_, _, bytes) = small_table();
+    // Every prefix of the file — covering payload bytes, the footer, the
+    // trailer — must be rejected with an error, never a panic.
+    for cut in 0..bytes.len() {
+        assert!(
+            TableReader::from_bytes(bytes[..cut].to_vec()).is_err(),
+            "cut {cut}"
+        );
+    }
+}
+
+#[test]
+fn bit_flip_sweep_never_panics() {
+    let (_, _, bytes) = small_table();
+    // Flip a high bit at every offset. The reader must either reject the
+    // file, or — when the flip lands in a value byte and stays structurally
+    // valid — serve (possibly different) data without panicking. Opening
+    // (footer parse) runs for every offset; the deeper decode/scan paths
+    // run on every third offset to keep debug-mode runtime sane
+    // while still visiting every region of the file across offsets.
+    for i in 0..bytes.len() {
+        let mut hostile = bytes.clone();
+        hostile[i] ^= 0x80;
+        if let Ok(reader) = TableReader::from_bytes(hostile) {
+            if i % 3 != 0 {
+                continue;
+            }
+            for b in 0..reader.n_blocks() {
+                let _ = reader.read_block(b);
+                let _ = reader.read_column(b, "total");
+                let _ = reader.scan(b, &Predicate::ge("l_shipdate", 8_100));
+            }
+        }
+    }
+}
+
+#[test]
+fn footer_region_corruption_is_detected_or_harmless() {
+    let (_, blocks, bytes) = small_table();
+    // Locate the footer region via the trailer and corrupt every byte of
+    // it in turn: structural fields must error; zone-map value bytes may
+    // survive (they only *widen or narrow* pruning soundness windows), but
+    // scans that do succeed must still agree with the in-memory kernels
+    // for a kernel-forcing predicate.
+    let n = bytes.len();
+    let footer_len = u64::from_le_bytes(bytes[n - 16..n - 8].try_into().unwrap()) as usize;
+    let footer_start = n - 16 - footer_len;
+    let pred = Predicate::between("l_receiptdate", 8_100, 8_600);
+    let (want, _) = scan_blocks(&blocks, &pred).unwrap();
+    for i in footer_start..n {
+        let mut hostile = bytes.clone();
+        hostile[i] ^= 0x40;
+        if let Ok(reader) = TableReader::from_bytes(hostile) {
+            if let Ok((sels, _)) = reader.scan_blocks(&pred) {
+                // A corrupt zone map can only have widened the window (or
+                // the flip landed in a span/offset that still parses); when
+                // the scan completes it ran the same kernels.
+                for (got, want) in sels.iter().zip(&want) {
+                    if got != want {
+                        // The flip must have hit a payload-addressing field
+                        // and the reader returned an error somewhere else;
+                        // never silently wrong *and* structurally clean.
+                        assert!(
+                            reader.read_block(0).is_err() || reader.read_block(1).is_err(),
+                            "byte {i}: silent scan divergence"
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn v1_blocks_remain_readable_and_upgrade_to_v2() {
+    let (raw, cfg) = mixed_block(500, 0);
+    let compressed = CompressedBlock::compress(&raw, &cfg).unwrap();
+    // A legacy v1 serialization decodes behind the version switch...
+    let v1 = compressed.to_bytes_versioned(1).unwrap();
+    let from_v1 = CompressedBlock::from_bytes(&v1).unwrap();
+    assert_eq!(from_v1, compressed);
+    // ...and re-serializes as v2, landing byte-identical to a direct v2
+    // write (the frame wraps the same payload bytes).
+    let upgraded = from_v1.to_bytes().unwrap();
+    assert_eq!(upgraded, compressed.to_bytes().unwrap());
+    let from_v2 = CompressedBlock::from_bytes(&upgraded).unwrap();
+    assert_eq!(from_v2, compressed);
+    for name in ["city", "note", "zip", "l_receiptdate", "total", "sparse"] {
+        assert_eq!(
+            &from_v2.decompress(name).unwrap(),
+            raw.column(name).unwrap(),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn projected_read_bytes_accounting() {
+    // Acceptance: a projected single-column read through TableReader
+    // deserializes only that column's (and its reference chain's) payload
+    // bytes — under 50% of the file for a wide block.
+    let (raw, cfg) = mixed_block(20_000, 0);
+    let block = CompressedBlock::compress(&raw, &cfg).unwrap();
+    let mut writer = TableWriter::new(Vec::new()).unwrap();
+    writer.write_block(&block).unwrap();
+    let bytes = writer.finish().unwrap();
+    let file_len = bytes.len() as u64;
+    for (column, closure_cols) in [
+        ("fee", 1),           // vertical: one payload
+        ("zip", 2),           // hier: child + string parent
+        ("l_receiptdate", 2), // nonhier: diffs + date reference
+        ("total", 3),         // multiref: codes + two group members
+    ] {
+        let reader = TableReader::from_bytes(bytes.clone()).unwrap();
+        let handle = reader.block_handle(0).unwrap();
+        let col = handle.decompress(column).unwrap();
+        assert_eq!(&col, raw.column(column).unwrap(), "{column}");
+        assert_eq!(handle.loaded_columns(), closure_cols, "{column}");
+        let read = reader.bytes_read();
+        assert!(
+            read * 2 < file_len,
+            "{column}: projected read fetched {read} of {file_len} bytes"
+        );
+    }
+}
+
+#[test]
+fn pruned_store_scan_reads_zero_bytes_and_matches_serial_in_memory() {
+    // Acceptance: a footer-pruned scan reads zero payload bytes from pruned
+    // blocks while producing SelectionVectors byte-identical to the serial
+    // in-memory path.
+    let mut raws = Vec::new();
+    let mut blocks = Vec::new();
+    for salt in [0, 100_000, 200_000] {
+        let (raw, cfg) = mixed_block(2_000, salt);
+        blocks.push(CompressedBlock::compress(&raw, &cfg).unwrap());
+        raws.push(raw);
+    }
+    let mut writer = TableWriter::new(Vec::new()).unwrap();
+    for b in &blocks {
+        writer.write_block(b).unwrap();
+    }
+    let reader = TableReader::from_bytes(writer.finish().unwrap()).unwrap();
+    // Straddles only the middle block's domain.
+    let pred = Predicate::between("l_shipdate", 108_000, 109_000);
+    let (want_sels, want_stats) = scan_blocks(&blocks, &pred).unwrap();
+    let (sels, stats) = reader.scan_blocks(&pred).unwrap();
+    assert_eq!(sels, want_sels, "selections must be byte-identical");
+    assert_eq!(stats.rows_matched, want_stats.rows_matched);
+    assert_eq!(stats.blocks_skipped_io, 2, "two blocks pruned via footer");
+    // Zero bytes of the pruned blocks were read: everything fetched lies
+    // within the middle block's segment.
+    let middle = &reader.footer().blocks[1];
+    let touched = stats.bytes_read;
+    assert!(touched > 0);
+    assert!(
+        touched <= middle.len,
+        "scan read {touched} B > middle block segment of {} B",
+        middle.len
+    );
+    // Fully disjoint predicate: zero bytes total.
+    let (sels, stats) = reader.scan_blocks(&Predicate::lt("l_shipdate", 0)).unwrap();
+    assert_eq!(stats.bytes_read, 0);
+    assert_eq!(stats.blocks_skipped_io, 3);
+    assert!(sels.iter().all(SelectionVector::is_empty));
+    let (want_sels, _) = scan_blocks(&blocks, &Predicate::lt("l_shipdate", 0)).unwrap();
+    assert_eq!(sels, want_sels);
+}

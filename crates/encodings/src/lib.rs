@@ -34,6 +34,19 @@ pub mod plain;
 pub mod rle;
 pub mod traits;
 
+// Format-v2 framing: every serializable encoding gains the length-prefix
+// frame (write_framed/read_framed) around its existing payload layout.
+corra_columnar::impl_framed!(
+    chooser::IntEncoding,
+    delta::DeltaInt,
+    dict::DictInt,
+    dict::DictStr,
+    ffor::ForInt,
+    frequency::FrequencyInt,
+    plain::PlainInt,
+    rle::RleInt,
+);
+
 pub use chooser::{choose_int_baseline, choose_int_full, choose_str_baseline, IntEncoding};
 pub use delta::DeltaInt;
 pub use dict::{DictInt, DictStr};

@@ -57,10 +57,10 @@ fn main() {
 
     // 4. Self-contained serialization: everything needed to decompress
     //    travels inside the block.
-    let bytes = corra.to_bytes();
+    let bytes = corra.to_bytes().expect("serialize");
     let restored = CompressedBlock::from_bytes(&bytes).expect("roundtrip");
     println!(
-        "serialized block: {} B (magic CORA, version 1)",
+        "serialized block: {} B (magic CORA, version 2)",
         bytes.len()
     );
 

@@ -1,14 +1,16 @@
-//! Storage-format walkthrough: write a multi-block compressed table to
-//! disk, read single blocks back independently (self-containment), and
-//! demonstrate corruption detection.
+//! Storage-format walkthrough: stream a compressed multi-block table into
+//! an indexed v2 table file, then read it back three ways — full blocks,
+//! single projected columns (only the referenced payloads are fetched),
+//! and a footer-pruned scan that never touches pruned blocks' bytes.
 //!
 //! ```sh
 //! cargo run --release --example storage_format
 //! ```
 
+use corra::core::store::{TableReader, TableWriter};
+use corra::core::Predicate;
 use corra::datagen::{MessageParams, MessageTable};
 use corra::prelude::*;
-use std::io::Write;
 
 fn main() {
     let rows = 2_500_000; // 3 blocks: 1M + 1M + 0.5M
@@ -21,40 +23,33 @@ fn main() {
             reference: "countryid".into(),
         },
     );
+    let schema = table.schema().clone();
     let blocks = table.into_blocks(DEFAULT_BLOCK_ROWS);
     let compressed = corra::core::compress_blocks(&blocks, &cfg, 4).expect("parallel compression");
 
-    // Write each block as its own self-contained segment:
-    // [u64 length][block bytes] …
+    // Stream the blocks through the table writer: each segment goes to disk
+    // as it is serialized, only footer metadata is buffered.
     let dir = std::env::temp_dir().join("corra_storage_example");
     std::fs::create_dir_all(&dir).expect("tmp dir");
     let path = dir.join("message.corra");
-    let mut file = std::fs::File::create(&path).expect("create file");
-    let mut offsets = Vec::new();
-    let mut offset = 0u64;
+    let file = std::fs::File::create(&path).expect("create file");
+    let mut writer = TableWriter::with_schema(file, schema).expect("start table");
     for block in &compressed {
-        let bytes = block.to_bytes();
-        file.write_all(&(bytes.len() as u64).to_le_bytes())
-            .expect("write len");
-        file.write_all(&bytes).expect("write block");
-        offsets.push(offset);
-        offset += 8 + bytes.len() as u64;
+        writer.write_block(block).expect("stream block");
     }
-    drop(file);
+    writer.finish().expect("finish table");
+
+    let reader = TableReader::open(&path).expect("open table");
     println!(
         "wrote {} blocks, {} B total to {}",
-        compressed.len(),
-        offset,
+        reader.n_blocks(),
+        reader.file_bytes(),
         path.display()
     );
 
-    // Read back only the *middle* block — no other block is touched, because
-    // every block is self-contained (paper §3, Experimental Setup).
-    let data = std::fs::read(&path).expect("read file");
-    let start = offsets[1] as usize;
-    let len = u64::from_le_bytes(data[start..start + 8].try_into().unwrap()) as usize;
-    let middle = CompressedBlock::from_bytes(&data[start + 8..start + 8 + len])
-        .expect("self-contained decode");
+    // Read back only the *middle* block — the footer knows its byte range,
+    // so no other block is touched.
+    let middle = reader.read_block(1).expect("read middle block");
     println!(
         "independently decoded block 1: {} rows, ip column = {} B ({})",
         middle.rows(),
@@ -62,16 +57,36 @@ fn main() {
         middle.codec("ip").unwrap().scheme(),
     );
 
-    // Query it in isolation.
-    let sel = SelectionVector::new(vec![0, 123_456, 999_999]);
-    let ips = query_column(&middle, "ip", &sel).expect("query");
-    println!("sampled ips from block 1: {:?}", ips.as_int().unwrap());
+    // Projection pushdown: one column of one block. The reader fetches the
+    // ip payload plus its countryid reference payload — nothing else.
+    let before = reader.bytes_read();
+    let ips = reader.read_column(1, "ip").expect("projected read");
+    println!(
+        "projected ip read: {} values, {} B fetched ({:.1}% of file)",
+        ips.len(),
+        reader.bytes_read() - before,
+        (reader.bytes_read() - before) as f64 / reader.file_bytes() as f64 * 100.0,
+    );
 
-    // Corruption detection: flip a byte in the magic and in the payload.
-    let mut corrupt = data[start + 8..start + 8 + len].to_vec();
-    corrupt[0] ^= 0xFF;
-    match CompressedBlock::from_bytes(&corrupt) {
-        Err(e) => println!("corrupted magic correctly rejected: {e}"),
+    // Footer-driven pruning: a predicate outside every block's zone map
+    // answers from metadata alone — zero payload bytes read.
+    let before = reader.bytes_read();
+    let (sels, stats) = reader
+        .scan_blocks(&Predicate::lt("ip", 0))
+        .expect("pruned scan");
+    println!(
+        "pruned scan: {} blocks skipped via footer, {} B read, {} rows matched",
+        stats.blocks_skipped_io,
+        reader.bytes_read() - before,
+        sels.iter().map(SelectionVector::len).sum::<usize>(),
+    );
+
+    // Corruption detection: flip a byte of the trailing magic.
+    let mut bytes = std::fs::read(&path).expect("read file");
+    let n = bytes.len();
+    bytes[n - 1] ^= 0xFF;
+    match TableReader::from_bytes(bytes) {
+        Err(e) => println!("corrupted trailer correctly rejected: {e}"),
         Ok(_) => unreachable!("corruption must be detected"),
     }
 

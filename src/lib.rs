@@ -38,7 +38,7 @@
 //! |---|---|
 //! | [`columnar`] | storage substrate: bit-packing, columns, blocks, selection vectors |
 //! | [`encodings`] | vertical schemes: Plain, FOR, Dict, RLE, Delta, Frequency + baseline chooser |
-//! | [`core`] | Corra's horizontal schemes, optimizer, detection, block compressor, query kernels |
+//! | [`core`] | Corra's horizontal schemes, optimizer, detection, block compressor, query kernels, indexed table store |
 //! | [`datagen`] | synthetic TPC-H / LDBC / DMV / Taxi generators |
 //! | [`c3`] | the C3 comparator (DFOR, Numerical, 1-to-1) |
 
@@ -57,9 +57,10 @@ pub mod prelude {
         Table, DEFAULT_BLOCK_ROWS,
     };
     pub use corra_core::{
-        query_both, query_column, query_two_columns, Assignment, ColumnGraph, ColumnPlan,
-        CompressedBlock, CompressionConfig, Formula, HierInt, HierStr, MultiRefInt, NonHierInt,
-        OutlierRegion, QueryOutput,
+        query_both, query_column, query_two_columns, scan, scan_blocks, scan_query, Assignment,
+        BlockView, ColumnGraph, ColumnPlan, CompressedBlock, CompressionConfig, Formula, HierInt,
+        HierStr, MultiRefInt, NonHierInt, OutlierRegion, Predicate, QueryOutput, ScanStats,
+        TableReader, TableWriter,
     };
     pub use corra_encodings::{
         choose_int_baseline, choose_int_full, DictInt, DictStr, ForInt, IntAccess, IntEncoding,

@@ -45,7 +45,7 @@ fn tpch_pipeline() {
     roundtrip_all_columns(&blocks, &compressed);
     // Per-block self-containment through bytes.
     for (raw, comp) in blocks.iter().zip(&compressed) {
-        let back = CompressedBlock::from_bytes(&comp.to_bytes()).expect("decode");
+        let back = CompressedBlock::from_bytes(&comp.to_bytes().expect("encode")).expect("decode");
         for field in raw.schema().fields() {
             assert_eq!(
                 &back.decompress(field.name()).unwrap(),
@@ -282,7 +282,8 @@ fn failure_injection_corrupt_blocks() {
     let blocks = table.into_blocks(100_000);
     let bytes = CompressedBlock::compress(&blocks[0], &cfg)
         .unwrap()
-        .to_bytes();
+        .to_bytes()
+        .unwrap();
     // Bad magic, bad version, truncations: errors, never panics.
     let mut bad = bytes.clone();
     bad[0] = b'!';
