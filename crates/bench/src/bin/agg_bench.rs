@@ -1,0 +1,258 @@
+//! **Aggregate bench** — compressed-domain aggregation vs
+//! decompress-then-fold, plus the store's zone-map short-circuit.
+//!
+//! Two claims are measured and gated:
+//!
+//! * the RLE (per-run) and Dict (per-distinct, count-weighted) aggregate
+//!   kernels beat decompress-then-fold by `--min-speedup` (CI gates 2x) —
+//!   and the comparator uses the *batched* decode path, not a strawman;
+//! * a store-backed `MIN`/`MAX`/`COUNT` over fully-covered blocks is
+//!   answered purely from exact footer zone maps: zero payload bytes read
+//!   (hard-asserted, always).
+//!
+//! ```sh
+//! cargo run --release -p corra-bench --bin agg_bench               # full
+//! cargo run --release -p corra-bench --bin agg_bench -- --quick --json
+//! cargo run --release -p corra-bench --bin agg_bench -- --quick --min-speedup 2.0
+//! CORRA_AGG_ROWS=4000000 cargo run --release -p corra-bench --bin agg_bench
+//! ```
+
+use corra_bench::median_secs;
+use corra_columnar::aggregate::IntAggState;
+use corra_core::store::{TableReader, TableWriter};
+use corra_core::{compress_blocks, AggExpr, ColumnPlan, CompressionConfig, Predicate};
+use corra_datagen::LineitemDates;
+use corra_encodings::aggregate::aggregate_naive;
+use corra_encodings::{AggInt, DictInt, IntAccess, RleInt};
+
+struct KernelRow {
+    name: &'static str,
+    /// Decompress-then-fold comparator (batched decode), seconds.
+    naive_secs: f64,
+    /// Compressed-domain aggregate kernel, seconds.
+    kernel_secs: f64,
+    rows: usize,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.naive_secs / self.kernel_secs.max(f64::MIN_POSITIVE)
+    }
+
+    fn kernel_rps(&self) -> f64 {
+        self.rows as f64 / self.kernel_secs.max(f64::MIN_POSITIVE)
+    }
+
+    fn naive_rps(&self) -> f64 {
+        self.rows as f64 / self.naive_secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+impl serde::Serialize for KernelRow {
+    fn to_value(&self) -> serde::Value {
+        serde_json::json!({
+            "name": self.name,
+            "rows": self.rows,
+            "naive_secs": self.naive_secs,
+            "kernel_secs": self.kernel_secs,
+            "naive_rows_per_sec": self.naive_rps(),
+            "kernel_rows_per_sec": self.kernel_rps(),
+            "speedup": self.speedup(),
+        })
+    }
+}
+
+/// Times one codec's SUM/MIN/MAX/COUNT fold against decompress-then-fold
+/// over the same encoding (parity asserted before anything is timed).
+fn bench_kernel(name: &'static str, enc: &(impl AggInt + IntAccess), reps: usize) -> KernelRow {
+    let rows = IntAccess::len(enc);
+    let mut decoded = Vec::new();
+    enc.decode_into(&mut decoded);
+    let want = aggregate_naive(&decoded);
+    let mut got = IntAggState::default();
+    enc.aggregate_into(&mut got);
+    assert_eq!(got, want, "{name}: kernel diverged from oracle");
+
+    let naive_secs = median_secs(reps, || {
+        enc.decode_into(&mut decoded);
+        std::hint::black_box(aggregate_naive(&decoded));
+    });
+    let kernel_secs = median_secs(reps, || {
+        let mut state = IntAggState::default();
+        enc.aggregate_into(&mut state);
+        std::hint::black_box(state);
+    });
+    KernelRow {
+        name,
+        naive_secs,
+        kernel_secs,
+        rows,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let min_speedup: Option<f64> = args
+        .iter()
+        .position(|a| a == "--min-speedup")
+        .and_then(|k| args.get(k + 1))
+        .and_then(|s| s.parse().ok());
+    let rows: usize = std::env::var("CORRA_AGG_ROWS")
+        .ok()
+        .and_then(|s| s.replace('_', "").parse().ok())
+        .unwrap_or(if quick { 400_000 } else { 2_000_000 });
+    let reps = if quick { 5 } else { 9 };
+    println!("Aggregate bench at {rows} rows, {reps} reps (quick={quick})");
+
+    // RLE territory: long runs — the kernel folds once per run.
+    let run_values: Vec<i64> = (0..rows).map(|i| (i / 1_000) as i64).collect();
+    let rle = RleInt::encode(&run_values);
+    // Dict territory: few distinct, widely spread — the kernel folds once
+    // per distinct value weighted by its count.
+    let dict_values: Vec<i64> = (0..rows)
+        .map(|i| ((i % 16) as i64) * 1_000_000_007)
+        .collect();
+    let dict = DictInt::encode(&dict_values);
+
+    let kernels = vec![
+        bench_kernel("rle_fold/runs1k", &rle, reps),
+        bench_kernel("dict_fold/16distinct", &dict, reps),
+    ];
+
+    println!(
+        "\n{:<24} {:>14} {:>14} {:>9}",
+        "kernel", "naive rows/s", "kernel rows/s", "speedup"
+    );
+    for r in &kernels {
+        println!(
+            "{:<24} {:>13.1}M {:>13.1}M {:>8.2}x",
+            r.name,
+            r.naive_rps() / 1e6,
+            r.kernel_rps() / 1e6,
+            r.speedup(),
+        );
+    }
+
+    // Store side: TPC-H date triple across blocks, receiptdate
+    // diff-encoded; shipdate is FOR with exact footer zones.
+    let table = LineitemDates::generate(rows, 42).into_table();
+    let schema = table.schema().clone();
+    let blocks = table.into_blocks((rows / 4).max(1));
+    let cfg = CompressionConfig::baseline().with(
+        "l_receiptdate",
+        ColumnPlan::NonHier {
+            reference: "l_shipdate".into(),
+        },
+    );
+    let compressed = compress_blocks(&blocks, &cfg, 4).expect("compress");
+    let dir = std::env::temp_dir().join("corra_agg_bench");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("bench.corra");
+    let file = std::fs::File::create(&path).expect("create");
+    let mut writer = TableWriter::with_schema(file, schema).expect("writer");
+    for block in &compressed {
+        writer.write_block(block).expect("stream block");
+    }
+    writer.finish().expect("finish");
+    let reader = TableReader::open(&path).expect("open");
+    let n_blocks = reader.n_blocks();
+
+    // Zone-covered aggregates: answered from the footer, zero payload I/O.
+    let covered = [
+        ("store_min/covered", AggExpr::min("l_shipdate")),
+        ("store_max/covered", AggExpr::max("l_shipdate")),
+        ("store_count/covered", AggExpr::count()),
+        (
+            "store_count/pruned_filter",
+            AggExpr::count().with_filter(Predicate::lt("l_shipdate", 0)),
+        ),
+    ];
+    let mut store_rows = Vec::new();
+    for (name, expr) in &covered {
+        let (_, stats) = reader.aggregate(expr).expect("aggregate");
+        assert_eq!(
+            stats.bytes_read, 0,
+            "{name}: zone-covered aggregate read payload bytes"
+        );
+        assert_eq!(stats.blocks_skipped_io, n_blocks, "{name}");
+        let secs = median_secs(reps, || {
+            let r = TableReader::open(&path).expect("open");
+            std::hint::black_box(r.aggregate(expr).expect("aggregate"));
+        });
+        store_rows.push((*name, secs, 0u64));
+    }
+    // A SUM must touch payloads — the contrast series.
+    let sum_expr = AggExpr::sum("l_receiptdate");
+    let (_, sum_stats) = reader.aggregate(&sum_expr).expect("aggregate");
+    assert!(sum_stats.bytes_read > 0);
+    let sum_secs = median_secs(reps, || {
+        let r = TableReader::open(&path).expect("open");
+        std::hint::black_box(r.aggregate(&sum_expr).expect("aggregate"));
+    });
+    store_rows.push(("store_sum/kernel", sum_secs, sum_stats.bytes_read));
+
+    println!(
+        "\n{:<26} {:>12} {:>14}",
+        "store series", "time", "bytes read"
+    );
+    for (name, secs, bytes) in &store_rows {
+        println!("{:<26} {:>10.3}ms {:>14}", name, secs * 1e3, bytes);
+    }
+    println!(
+        "\nzone gate: {} covered aggregates answered with 0 payload bytes \
+         across {n_blocks} blocks",
+        covered.len()
+    );
+
+    if json {
+        let doc = serde_json::json!({
+            "bench": "agg",
+            "rows": rows,
+            "reps": reps,
+            "quick": quick,
+            "n_blocks": n_blocks,
+            "kernels": serde::Value::Array(
+                kernels.iter().map(serde::Serialize::to_value).collect()
+            ),
+            "store": serde::Value::Array(
+                store_rows
+                    .iter()
+                    .map(|(name, secs, bytes)| {
+                        serde_json::json!({
+                            "name": *name,
+                            "secs": *secs,
+                            "bytes_read": *bytes,
+                        })
+                    })
+                    .collect()
+            ),
+            "zone_covered_bytes_read": 0u64,
+        });
+        let path = "BENCH_agg.json";
+        let body = serde_json::to_string(&doc).expect("serialize");
+        std::fs::write(path, &body).expect("write BENCH_agg.json");
+        println!("wrote {path} ({} bytes)", body.len());
+    }
+
+    if let Some(min) = min_speedup {
+        let mut failed = false;
+        for r in &kernels {
+            let ok = r.speedup() >= min;
+            println!(
+                "gate: {} speedup {:.2}x (>= {min:.2}x) {}",
+                r.name,
+                r.speedup(),
+                if ok { "OK" } else { "FAIL" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            eprintln!("aggregate speedup gate failed");
+            std::process::exit(1);
+        }
+    }
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,6 +1,7 @@
 //! C3's per-pair scheme selection: "we let C3 choose the (correlation-aware)
 //! encoding scheme for a given pair of columns" (Table 3 protocol).
 
+use corra_columnar::aggregate::IntAggState;
 use corra_columnar::error::{Error, Result};
 use corra_columnar::predicate::IntRange;
 
@@ -74,6 +75,24 @@ impl C3Encoding {
             C3Encoding::Numerical(e) => e.filter_into(reference, range, out),
             C3Encoding::OneToOne(e) => e.filter_into(reference, range, out),
             C3Encoding::HierFor(e) => e.filter_into(reference, range, out),
+        }
+    }
+
+    /// Aggregate pushdown through the reference column: each scheme's
+    /// compressed-domain fold kernel (streaming reconstruction for
+    /// DFOR/Numerical, per-distinct-entry weighted folds for 1-to-1 and the
+    /// hierarchical family).
+    ///
+    /// # Errors
+    ///
+    /// As the underlying scheme kernels (misaligned reference, unseen
+    /// reference values, corrupt codes).
+    pub fn aggregate_into(&self, reference: &[i64], state: &mut IntAggState) -> Result<()> {
+        match self {
+            C3Encoding::Dfor(e) => e.aggregate_into(reference, state),
+            C3Encoding::Numerical(e) => e.aggregate_into(reference, state),
+            C3Encoding::OneToOne(e) => e.aggregate_into(reference, state),
+            C3Encoding::HierFor(e) => e.aggregate_into(reference, state),
         }
     }
 

@@ -3,6 +3,7 @@
 //! described in the Corra paper's Independent Work section, compresses the
 //! whole diff column via FOR).
 
+use corra_columnar::aggregate::IntAggState;
 use corra_columnar::bitpack::BitPackedVec;
 use corra_columnar::error::{Error, Result};
 use corra_columnar::predicate::IntRange;
@@ -107,6 +108,29 @@ impl Dfor {
                 if range.matches(v) {
                     out.push((start + j) as u32);
                 }
+            }
+        });
+        Ok(())
+    }
+
+    /// Aggregate pushdown: folds every reconstructed value
+    /// (`reference + base + diff`) into `state` in one streaming pass over
+    /// the packed diffs — no materialized vector.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthMismatch`] if `reference` is not aligned.
+    pub fn aggregate_into(&self, reference: &[i64], state: &mut IntAggState) -> Result<()> {
+        if reference.len() != self.len() {
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len(),
+            });
+        }
+        let base = self.base;
+        self.diffs.unpack_chunks(|start, chunk| {
+            for (&r, &d) in reference[start..start + chunk.len()].iter().zip(chunk) {
+                state.update(r.wrapping_add(base).wrapping_add(d as i64));
             }
         });
         Ok(())

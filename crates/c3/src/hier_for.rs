@@ -10,6 +10,7 @@
 //! reference value has exactly one child the index column packs to zero
 //! bits — the 1-to-1 case.
 
+use corra_columnar::aggregate::IntAggState;
 use corra_columnar::bitpack::BitPackedVec;
 use corra_columnar::error::{Error, Result};
 use corra_columnar::predicate::IntRange;
@@ -210,6 +211,103 @@ impl HierFor {
             return Err(Error::corrupt("hier-for code outside its group"));
         }
         Ok(())
+    }
+
+    /// Counts rows per metadata address (`offsets[key] + code`) in one
+    /// streaming pass — the same address Alg.-1-style access reads, with no
+    /// child value reconstructed. Shared by the aggregate kernels.
+    fn address_counts(&self, reference: &[i64]) -> Result<Vec<u64>> {
+        let mut counts = vec![0u64; self.children.len()];
+        let mut unseen = false;
+        let mut bad_code = false;
+        let mut memo: Option<(i64, usize)> = None;
+        self.codes.unpack_chunks(|start, chunk| {
+            if unseen || bad_code {
+                return;
+            }
+            for (&r, &c) in reference[start..start + chunk.len()].iter().zip(chunk) {
+                let k = match memo {
+                    Some((mr, mk)) if mr == r => mk,
+                    _ => match self.ref_keys.binary_search(&r) {
+                        Ok(k) => {
+                            memo = Some((r, k));
+                            k
+                        }
+                        Err(_) => {
+                            unseen = true;
+                            return;
+                        }
+                    },
+                };
+                let idx = self.offsets[k] as usize + c as usize;
+                if idx >= self.offsets[k + 1] as usize {
+                    bad_code = true;
+                    return;
+                }
+                counts[idx] += 1;
+            }
+        });
+        if unseen {
+            return Err(Error::invalid("reference value unseen at encode time"));
+        }
+        if bad_code {
+            return Err(Error::corrupt("hier-for code outside its group"));
+        }
+        Ok(counts)
+    }
+
+    /// Aggregate pushdown: folds once per distinct (reference, child)
+    /// metadata entry weighted by its address count (`child · count`) — the
+    /// per-row work is one memoized key lookup and a counter increment.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthMismatch`] on misaligned columns,
+    /// [`Error::InvalidData`] for unseen reference values, or
+    /// [`Error::Corrupt`] for codes outside their group.
+    pub fn aggregate_into(&self, reference: &[i64], state: &mut IntAggState) -> Result<()> {
+        if reference.len() != self.len() {
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len(),
+            });
+        }
+        let counts = self.address_counts(reference)?;
+        for (&v, &n) in self.children.iter().zip(&counts) {
+            state.update_n(v, n);
+        }
+        Ok(())
+    }
+
+    /// Grouped aggregation over the C3 reference: one partial state per
+    /// distinct reference key (sorted key order). The per-key fold walks
+    /// only that key's slice of the metadata arrays — `group_sums` come
+    /// straight from the per-address counts, with zero per-row
+    /// reconstruction. Keys with zero rows are omitted.
+    ///
+    /// # Errors
+    ///
+    /// As [`aggregate_into`](Self::aggregate_into).
+    pub fn aggregate_by_key(&self, reference: &[i64]) -> Result<Vec<(i64, IntAggState)>> {
+        if reference.len() != self.len() {
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len(),
+            });
+        }
+        let counts = self.address_counts(reference)?;
+        let mut out = Vec::new();
+        for (k, &key) in self.ref_keys.iter().enumerate() {
+            let (lo, hi) = (self.offsets[k] as usize, self.offsets[k + 1] as usize);
+            let mut state = IntAggState::default();
+            for (&v, &n) in self.children[lo..hi].iter().zip(&counts[lo..hi]) {
+                state.update_n(v, n);
+            }
+            if state.count > 0 {
+                out.push((key, state));
+            }
+        }
+        Ok(out)
     }
 
     /// Compressed size: packed index column + child values + offsets.

@@ -8,6 +8,7 @@
 //! All prediction arithmetic is in fixed-point integers, so reconstruction
 //! is exactly deterministic and lossless.
 
+use corra_columnar::aggregate::IntAggState;
 use corra_columnar::bitpack::BitPackedVec;
 use corra_columnar::error::{Error, Result};
 use corra_columnar::predicate::IntRange;
@@ -146,6 +147,32 @@ impl Numerical {
                 if range.matches(v) {
                     out.push((start + j) as u32);
                 }
+            }
+        });
+        Ok(())
+    }
+
+    /// Aggregate pushdown: folds every reconstructed value through the
+    /// fixed-point affine prediction in one streaming pass.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthMismatch`] if `reference` is not aligned.
+    pub fn aggregate_into(&self, reference: &[i64], state: &mut IntAggState) -> Result<()> {
+        if reference.len() != self.len() {
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len(),
+            });
+        }
+        let (slope_num, base) = (self.slope_num, self.base);
+        self.residuals.unpack_chunks(|start, chunk| {
+            for (&r, &d) in reference[start..start + chunk.len()].iter().zip(chunk) {
+                state.update(
+                    predict(slope_num, r)
+                        .wrapping_add(base)
+                        .wrapping_add(d as i64),
+                );
             }
         });
         Ok(())

@@ -6,6 +6,7 @@
 //! bits per row — just a mapping table keyed by the reference's dictionary
 //! code, plus an exception list for rows violating the dependency.
 
+use corra_columnar::aggregate::IntAggState;
 use corra_columnar::error::{Error, Result};
 use corra_columnar::predicate::IntRange;
 use rustc_hash::FxHashMap;
@@ -169,6 +170,103 @@ impl OneToOne {
             }
         }
         Ok(())
+    }
+
+    /// Counts non-exception rows per mapping key (one memoized key lookup
+    /// per row, no value reconstruction); exception rows are handed to
+    /// `on_exception` as they appear in the sorted walk. Shared by the
+    /// scalar and grouped aggregate kernels.
+    fn key_counts(
+        &self,
+        reference: &[i64],
+        mut on_exception: impl FnMut(usize, i64) -> Result<()>,
+    ) -> Result<Vec<u64>> {
+        let mut counts = vec![0u64; self.ref_keys.len()];
+        let mut memo: Option<(i64, usize)> = None;
+        let mut e = 0usize;
+        for (i, &r) in reference.iter().enumerate() {
+            if e < self.exc_pos.len() && self.exc_pos[e] == i as u32 {
+                on_exception(i, self.exc_val[e])?;
+                e += 1;
+                continue;
+            }
+            let k = match memo {
+                Some((mr, mk)) if mr == r => mk,
+                _ => {
+                    let k = self
+                        .ref_keys
+                        .binary_search(&r)
+                        .map_err(|_| Error::invalid("reference value unseen at encode time"))?;
+                    memo = Some((r, k));
+                    k
+                }
+            };
+            counts[k] += 1;
+        }
+        Ok(counts)
+    }
+
+    /// Aggregate pushdown: folds once per *mapping entry* weighted by its
+    /// row count (`mapped · count`) — the per-row work is one memoized key
+    /// lookup and a counter increment; exception rows fold verbatim.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthMismatch`] on misaligned columns,
+    /// [`Error::InvalidData`] if a reference value was unseen at encode
+    /// time.
+    pub fn aggregate_into(&self, reference: &[i64], state: &mut IntAggState) -> Result<()> {
+        if reference.len() != self.len {
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len,
+            });
+        }
+        let counts = self.key_counts(reference, |_, v| {
+            state.update(v);
+            Ok(())
+        })?;
+        for (&v, &n) in self.mapped.iter().zip(&counts) {
+            state.update_n(v, n);
+        }
+        Ok(())
+    }
+
+    /// Grouped aggregation over the C3 reference: one partial state per
+    /// distinct reference key (sorted key order), built from the same
+    /// per-key counts — the "grouped SUM" reuses the mapping metadata
+    /// instead of reconstructing any row. Exception rows fold into their
+    /// row's key group. Keys with zero rows are omitted.
+    ///
+    /// # Errors
+    ///
+    /// As [`aggregate_into`](Self::aggregate_into).
+    pub fn aggregate_by_key(&self, reference: &[i64]) -> Result<Vec<(i64, IntAggState)>> {
+        if reference.len() != self.len {
+            return Err(Error::LengthMismatch {
+                left: reference.len(),
+                right: self.len,
+            });
+        }
+        let mut states = vec![IntAggState::default(); self.ref_keys.len()];
+        let counts = self.key_counts(reference, |i, v| {
+            let k = self
+                .ref_keys
+                .binary_search(&reference[i])
+                .map_err(|_| Error::invalid("reference value unseen at encode time"))?;
+            states[k].update(v);
+            Ok(())
+        })?;
+        for (k, &n) in counts.iter().enumerate() {
+            states[k].update_n(self.mapped[k], n);
+        }
+        Ok(self
+            .ref_keys
+            .iter()
+            .zip(states)
+            .filter(|(_, s)| s.count > 0)
+            .map(|(&k, s)| (k, s))
+            .collect())
     }
 
     /// Compressed size: mapping table + exceptions. Zero bits per row.

@@ -1,0 +1,146 @@
+//! Differential oracle for the C3 aggregate kernels: every scheme's
+//! `aggregate_into` must equal decode-then-fold, and the keyed schemes'
+//! `aggregate_by_key` must equal a naive per-reference-key fold — for all
+//! four schemes (DFOR, Numerical, 1-to-1, HierFor) and the chooser's pick,
+//! across the paper-shaped correlation modes.
+
+use corra_c3::{choose, C3Encoding, Dfor, HierFor, Numerical, OneToOne};
+use corra_columnar::aggregate::IntAggState;
+use proptest::prelude::*;
+
+/// Builds a correlated (target, reference) pair shaped like the paper's
+/// datasets from raw tuples (same generator as the filter parity suite).
+fn make_pair(mode: u8, raw: &[(i64, i64)]) -> (Vec<i64>, Vec<i64>) {
+    match mode % 4 {
+        // Bounded diff (DFOR territory).
+        0 => raw
+            .iter()
+            .map(|&(r, d)| {
+                (
+                    8_000 + r.rem_euclid(3_000) + d.rem_euclid(30),
+                    8_000 + r.rem_euclid(3_000),
+                )
+            })
+            .unzip(),
+        // Affine trend (Numerical territory).
+        1 => raw
+            .iter()
+            .map(|&(r, e)| {
+                let r = r.rem_euclid(5_000);
+                (3 * r + e.rem_euclid(8), r)
+            })
+            .unzip(),
+        // Functional dependency (1-to-1 territory).
+        2 => raw
+            .iter()
+            .map(|&(r, _)| {
+                let r = r.rem_euclid(50);
+                (r * 7 + 13, r)
+            })
+            .unzip(),
+        // Hierarchy: few children per reference (HierFor territory).
+        _ => raw
+            .iter()
+            .map(|&(r, c)| {
+                let r = r.rem_euclid(40);
+                (r * 100 + c.rem_euclid(4), r)
+            })
+            .unzip(),
+    }
+}
+
+fn naive(values: &[i64]) -> IntAggState {
+    let mut state = IntAggState::default();
+    for &v in values {
+        state.update(v);
+    }
+    state
+}
+
+fn naive_by_key(values: &[i64], reference: &[i64]) -> Vec<(i64, IntAggState)> {
+    let mut keys: Vec<i64> = reference.to_vec();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut out: Vec<(i64, IntAggState)> = Vec::new();
+    for &k in &keys {
+        let mut state = IntAggState::default();
+        for (&v, &r) in values.iter().zip(reference) {
+            if r == k {
+                state.update(v);
+            }
+        }
+        if state.count > 0 {
+            out.push((k, state));
+        }
+    }
+    out
+}
+
+proptest! {
+    /// aggregate == decode-then-fold across every C3 scheme, including the
+    /// empty-column edge.
+    #[test]
+    fn c3_aggregates_match_decode_then_fold(
+        mode in any::<u8>(),
+        raw in prop::collection::vec((0i64..1_000_000, 0i64..1_000_000), 0..300),
+    ) {
+        let (target, reference) = make_pair(mode, &raw);
+        let schemes: Vec<(&str, C3Encoding)> = vec![
+            ("dfor", C3Encoding::Dfor(Dfor::encode(&target, &reference).unwrap())),
+            ("numerical", C3Encoding::Numerical(Numerical::encode(&target, &reference).unwrap())),
+            ("one-to-one", C3Encoding::OneToOne(OneToOne::encode(&target, &reference).unwrap())),
+            ("hier-for", C3Encoding::HierFor(HierFor::encode(&target, &reference).unwrap())),
+            ("chooser", choose(&target, &reference).unwrap()),
+        ];
+        for (label, enc) in &schemes {
+            let mut decoded = Vec::new();
+            enc.decode_into(&reference, &mut decoded).unwrap();
+            prop_assert_eq!(&decoded, &target);
+            let want = naive(&decoded);
+            let mut got = IntAggState::default();
+            enc.aggregate_into(&reference, &mut got).unwrap();
+            prop_assert!(got == want, "{}: {:?} != {:?}", label, got, want);
+        }
+    }
+
+    /// Grouped aggregation over the C3 reference (keyed schemes) equals the
+    /// naive per-key fold, key for key, in sorted key order.
+    #[test]
+    fn c3_keyed_grouped_aggregates_match_naive(
+        mode in any::<u8>(),
+        raw in prop::collection::vec((0i64..1_000_000, 0i64..1_000_000), 0..250),
+    ) {
+        let (target, reference) = make_pair(mode, &raw);
+        let want = naive_by_key(&target, &reference);
+        let one = OneToOne::encode(&target, &reference).unwrap();
+        let got = one.aggregate_by_key(&reference).unwrap();
+        prop_assert!(got == want, "one-to-one: {:?} != {:?}", got, want);
+        let hf = HierFor::encode(&target, &reference).unwrap();
+        let got = hf.aggregate_by_key(&reference).unwrap();
+        prop_assert!(got == want, "hier-for: {:?} != {:?}", got, want);
+    }
+
+    /// Misaligned reference lengths error on every scheme's aggregate
+    /// kernel.
+    #[test]
+    fn c3_aggregates_reject_misaligned(
+        mode in any::<u8>(),
+        raw in prop::collection::vec((0i64..1_000, 0i64..1_000), 1..100),
+    ) {
+        let (target, reference) = make_pair(mode, &raw);
+        let short = &reference[..reference.len() - 1];
+        let mut state = IntAggState::default();
+        prop_assert!(Dfor::encode(&target, &reference).unwrap()
+            .aggregate_into(short, &mut state).is_err());
+        prop_assert!(Numerical::encode(&target, &reference).unwrap()
+            .aggregate_into(short, &mut state).is_err());
+        prop_assert!(OneToOne::encode(&target, &reference).unwrap()
+            .aggregate_into(short, &mut state).is_err());
+        prop_assert!(HierFor::encode(&target, &reference).unwrap()
+            .aggregate_into(short, &mut state).is_err());
+        prop_assert!(HierFor::encode(&target, &reference).unwrap()
+            .aggregate_by_key(short).is_err());
+        prop_assert!(OneToOne::encode(&target, &reference).unwrap()
+            .aggregate_by_key(short).is_err());
+    }
+}

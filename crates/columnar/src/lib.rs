@@ -18,6 +18,9 @@
 //!   plus the [`stats::ZoneMap`] used for scan-time block pruning;
 //! * [`predicate::IntRange`] — the normalized range predicate every filter
 //!   kernel evaluates in its compressed domain;
+//! * [`aggregate::IntAggState`] / [`aggregate::StrAggState`] — mergeable
+//!   partial aggregate states every compressed-domain aggregate kernel
+//!   folds into (`SUM` in `i128`, so it never silently wraps);
 //! * [`frame::Framed`] — the format-v2 length-prefix framing that makes
 //!   every serialized codec payload independently addressable;
 //! * [`temporal`] — from-scratch civil-date ↔ epoch-day conversion.
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod aggregate;
 pub mod bitpack;
 pub mod block;
 pub mod column;
@@ -37,6 +41,7 @@ pub mod stats;
 pub mod strings;
 pub mod temporal;
 
+pub use aggregate::{IntAggState, StrAggState};
 pub use bitpack::BitPackedVec;
 pub use block::{DataBlock, Table, DEFAULT_BLOCK_ROWS};
 pub use column::{Column, DataType};

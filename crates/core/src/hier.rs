@@ -15,6 +15,7 @@
 //! ```
 
 use bytes::{Buf, BufMut};
+use corra_columnar::aggregate::{IntAggState, StrAggState};
 use corra_columnar::bitpack::BitPackedVec;
 use corra_columnar::error::{Error, Result};
 use corra_columnar::predicate::IntRange;
@@ -197,6 +198,65 @@ impl HierInt {
     /// occurs in at least one row (entries are created on first occurrence).
     pub fn value_bounds(&self) -> Option<ZoneMap> {
         ZoneMap::from_values(&self.values)
+    }
+
+    /// Aggregate pushdown: histograms the per-row metadata addresses
+    /// (`offsets[parent] + code`, the same address Alg. 1 reads), then
+    /// folds once per distinct (parent, child) entry weighted by its count
+    /// — no child value is reconstructed per row.
+    pub fn aggregate_with_parents(
+        &self,
+        parent_code_at: impl Fn(usize) -> u32,
+        state: &mut IntAggState,
+    ) {
+        let mut counts = vec![0u64; self.values.len()];
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                let off = self.offsets[parent_code_at(start + j) as usize];
+                counts[(off + c as u32) as usize] += 1;
+            }
+        });
+        for (&v, &n) in self.values.iter().zip(&counts) {
+            state.update_n(v, n);
+        }
+    }
+
+    /// [`aggregate_with_parents`](Self::aggregate_with_parents) over the
+    /// selected positions only (the caller validates `sel`).
+    pub fn aggregate_selected_with_parents(
+        &self,
+        sel: &SelectionVector,
+        parent_code_at: impl Fn(usize) -> u32,
+        state: &mut IntAggState,
+    ) {
+        debug_assert!(sel.validate(self.len()));
+        let mut counts = vec![0u64; self.values.len()];
+        for &p in sel.positions() {
+            let i = p as usize;
+            let off = self.offsets[parent_code_at(i) as usize];
+            counts[(off + self.codes.get_unchecked_len(i) as u32) as usize] += 1;
+        }
+        for (&v, &n) in self.values.iter().zip(&counts) {
+            state.update_n(v, n);
+        }
+    }
+
+    /// Grouped aggregate pushdown: folds row `i` into
+    /// `states[group_of[i]]` through the Alg. 1 metadata address.
+    pub fn aggregate_grouped_with_parents(
+        &self,
+        group_of: &[u32],
+        parent_code_at: impl Fn(usize) -> u32,
+        states: &mut [IntAggState],
+    ) {
+        assert_eq!(group_of.len(), self.len(), "group codes misaligned");
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                let i = start + j;
+                let off = self.offsets[parent_code_at(i) as usize];
+                states[group_of[i] as usize].update(self.values[(off + c as u32) as usize]);
+            }
+        });
     }
 
     /// Compressed size: packed codes + metadata arrays (the paper includes
@@ -405,6 +465,68 @@ impl HierStr {
                 if verdicts[(off + c as u32) as usize] {
                     out.push(i as u32);
                 }
+            }
+        });
+    }
+
+    /// Aggregate pushdown (`COUNT`, lexicographic `MIN`/`MAX`): histograms
+    /// the metadata addresses, then compares each distinct (parent, child)
+    /// string against the bounds once, weighted by its count.
+    pub fn aggregate_with_parents(
+        &self,
+        parent_code_at: impl Fn(usize) -> u32,
+        state: &mut StrAggState,
+    ) {
+        let mut counts = vec![0u64; self.values.len()];
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                let off = self.offsets[parent_code_at(start + j) as usize];
+                counts[(off + c as u32) as usize] += 1;
+            }
+        });
+        for (k, &n) in counts.iter().enumerate() {
+            if n > 0 {
+                state.update_n(self.values.get(k), n);
+            }
+        }
+    }
+
+    /// [`aggregate_with_parents`](Self::aggregate_with_parents) over the
+    /// selected positions only (the caller validates `sel`).
+    pub fn aggregate_selected_with_parents(
+        &self,
+        sel: &SelectionVector,
+        parent_code_at: impl Fn(usize) -> u32,
+        state: &mut StrAggState,
+    ) {
+        debug_assert!(sel.validate(self.len()));
+        let mut counts = vec![0u64; self.values.len()];
+        for &p in sel.positions() {
+            let i = p as usize;
+            let off = self.offsets[parent_code_at(i) as usize];
+            counts[(off + self.codes.get_unchecked_len(i) as u32) as usize] += 1;
+        }
+        for (k, &n) in counts.iter().enumerate() {
+            if n > 0 {
+                state.update_n(self.values.get(k), n);
+            }
+        }
+    }
+
+    /// Grouped aggregate pushdown: folds row `i` into
+    /// `states[group_of[i]]` through the metadata address.
+    pub fn aggregate_grouped_with_parents(
+        &self,
+        group_of: &[u32],
+        parent_code_at: impl Fn(usize) -> u32,
+        states: &mut [StrAggState],
+    ) {
+        assert_eq!(group_of.len(), self.len(), "group codes misaligned");
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                let i = start + j;
+                let off = self.offsets[parent_code_at(i) as usize];
+                states[group_of[i] as usize].update(self.values.get((off + c as u32) as usize));
             }
         });
     }

@@ -24,6 +24,10 @@
 //! * [`query`] — the materializing query kernels of the latency experiments;
 //! * [`scan`](mod@scan) — predicate pushdown: per-codec filter kernels,
 //!   zone-map block pruning, and the filter→materialize pipeline;
+//! * [`aggregate`](mod@aggregate) — compressed-domain aggregation:
+//!   `COUNT`/`SUM`/`MIN`/`MAX`/`AVG` with optional filter and `GROUP BY`,
+//!   folded per codec without materializing values, merged
+//!   deterministically across blocks (serial or morsel-parallel);
 //! * [`store`](mod@store) — the indexed table storage layer: multi-block
 //!   files whose footer addresses every codec payload, enabling projection
 //!   pushdown, I/O-free block pruning and streaming writes.
@@ -31,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod aggregate;
 pub mod compressor;
 pub mod detect;
 pub mod format;
@@ -53,6 +58,10 @@ corra_columnar::impl_framed!(
     outlier::OutlierRegion,
 );
 
+pub use aggregate::{
+    aggregate, aggregate_blocks, aggregate_blocks_parallel, exact_column_bounds, AggExpr, AggFunc,
+    AggResult, AggValue, GroupKey,
+};
 pub use compressor::{
     compress_blocks, decompress_column, BlockView, ColumnCodec, ColumnPlan, CompressedBlock,
     CompressionConfig,

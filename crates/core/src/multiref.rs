@@ -13,6 +13,7 @@
 //! `2^code_bits` subsets that together explain the most rows.
 
 use bytes::{Buf, BufMut};
+use corra_columnar::aggregate::IntAggState;
 use corra_columnar::bitpack::BitPackedVec;
 use corra_columnar::error::{Error, Result};
 use corra_columnar::selection::SelectionVector;
@@ -367,6 +368,72 @@ impl MultiRefInt {
                 out.push(eval_mask(mask, i));
             }
         }
+    }
+
+    /// Aggregate pushdown: folds every reconstructed value into `state` in
+    /// one streaming pass. Each row evaluates only the reference groups its
+    /// coded formula names (`eval_mask(mask, row)`), per the §2.3
+    /// decompression order; outlier rows are merged in by a sorted walk and
+    /// fold their verbatim values.
+    pub fn aggregate_masked(&self, eval_mask: impl Fn(u8, usize) -> i64, state: &mut IntAggState) {
+        let mut exc = self.outliers.iter().peekable();
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                let i = start + j;
+                let v = match exc.peek() {
+                    Some(&(oi, ov)) if oi == i as u32 => {
+                        exc.next();
+                        ov
+                    }
+                    _ => eval_mask(self.formulas[c as usize].0, i),
+                };
+                state.update(v);
+            }
+        });
+    }
+
+    /// [`aggregate_masked`](Self::aggregate_masked) over the selected
+    /// positions only (the caller validates `sel`).
+    pub fn aggregate_selected_masked(
+        &self,
+        sel: &SelectionVector,
+        eval_mask: impl Fn(u8, usize) -> i64,
+        state: &mut IntAggState,
+    ) {
+        debug_assert!(sel.validate(self.len()));
+        for &p in sel.positions() {
+            let i = p as usize;
+            let v = match self.outliers.lookup(p) {
+                Some(v) => v,
+                None => eval_mask(self.formulas[self.codes.get_unchecked_len(i) as usize].0, i),
+            };
+            state.update(v);
+        }
+    }
+
+    /// Grouped aggregate pushdown: folds row `i` into
+    /// `states[group_of[i]]`, evaluating only the formula-named groups.
+    pub fn aggregate_grouped_masked(
+        &self,
+        group_of: &[u32],
+        eval_mask: impl Fn(u8, usize) -> i64,
+        states: &mut [IntAggState],
+    ) {
+        assert_eq!(group_of.len(), self.len(), "group codes misaligned");
+        let mut exc = self.outliers.iter().peekable();
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                let i = start + j;
+                let v = match exc.peek() {
+                    Some(&(oi, ov)) if oi == i as u32 => {
+                        exc.next();
+                        ov
+                    }
+                    _ => eval_mask(self.formulas[c as usize].0, i),
+                };
+                states[group_of[i] as usize].update(v);
+            }
+        });
     }
 
     /// Checks every formula mask only names groups `< n_groups` — the

@@ -13,6 +13,7 @@
 //! assert that property on TPC-H-shaped data.
 
 use bytes::{Buf, BufMut};
+use corra_columnar::aggregate::IntAggState;
 use corra_columnar::bitpack::{bits_needed, BitPackedVec};
 use corra_columnar::error::{Error, Result};
 use corra_columnar::predicate::IntRange;
@@ -374,6 +375,86 @@ impl NonHierInt {
                 }
             });
         }
+    }
+
+    /// Aggregate pushdown: folds every reconstructed value
+    /// (`reference + base + diff`) into `state` in one streaming pass over
+    /// the packed diffs, consulting the reference through `ref_at`; outlier
+    /// rows are merged in by a sorted walk and fold their verbatim values.
+    pub fn aggregate_map(&self, ref_at: impl Fn(usize) -> i64, state: &mut IntAggState) {
+        let base = self.base;
+        if self.outliers.is_empty() {
+            self.diffs.unpack_chunks(|start, chunk| {
+                for (j, &d) in chunk.iter().enumerate() {
+                    let i = start + j;
+                    state.update(ref_at(i).wrapping_add(base).wrapping_add(d as i64));
+                }
+            });
+        } else {
+            let mut exc = self.outliers.iter().peekable();
+            self.diffs.unpack_chunks(|start, chunk| {
+                for (j, &d) in chunk.iter().enumerate() {
+                    let i = start + j;
+                    let v = match exc.peek() {
+                        Some(&(oi, ov)) if oi == i as u32 => {
+                            exc.next();
+                            ov
+                        }
+                        _ => ref_at(i).wrapping_add(base).wrapping_add(d as i64),
+                    };
+                    state.update(v);
+                }
+            });
+        }
+    }
+
+    /// [`aggregate_map`](Self::aggregate_map) over the selected positions
+    /// only. The caller must have validated `sel` against the column length.
+    pub fn aggregate_selected_map(
+        &self,
+        sel: &SelectionVector,
+        ref_at: impl Fn(usize) -> i64,
+        state: &mut IntAggState,
+    ) {
+        debug_assert!(sel.validate(self.len()));
+        let base = self.base;
+        for &p in sel.positions() {
+            let i = p as usize;
+            let v = match self.outliers.lookup(p) {
+                Some(v) => v,
+                None => ref_at(i)
+                    .wrapping_add(base)
+                    .wrapping_add(self.diffs.get_unchecked_len(i) as i64),
+            };
+            state.update(v);
+        }
+    }
+
+    /// Grouped aggregate pushdown: folds row `i` into
+    /// `states[group_of[i]]`, reconstructing through `ref_at` as in
+    /// [`aggregate_map`](Self::aggregate_map).
+    pub fn aggregate_grouped_map(
+        &self,
+        group_of: &[u32],
+        ref_at: impl Fn(usize) -> i64,
+        states: &mut [IntAggState],
+    ) {
+        assert_eq!(group_of.len(), self.len(), "group codes misaligned");
+        let base = self.base;
+        let mut exc = self.outliers.iter().peekable();
+        self.diffs.unpack_chunks(|start, chunk| {
+            for (j, &d) in chunk.iter().enumerate() {
+                let i = start + j;
+                let v = match exc.peek() {
+                    Some(&(oi, ov)) if oi == i as u32 => {
+                        exc.next();
+                        ov
+                    }
+                    _ => ref_at(i).wrapping_add(base).wrapping_add(d as i64),
+                };
+                states[group_of[i] as usize].update(v);
+            }
+        });
     }
 
     /// Covering value bounds derived from the reference column's zone map:

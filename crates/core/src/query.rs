@@ -174,6 +174,76 @@ pub(crate) fn code_access<'a, B: BlockView + ?Sized>(
     }
 }
 
+/// One integer column resolved into its kernel shape: the codec plus every
+/// reference accessor its reconstruction rule needs, ready for a per-family
+/// kernel dispatch.
+///
+/// This is the one place the per-codec `ColumnCodec` ladder is walked for
+/// kernel families — filter ([`crate::scan`]), gather ([`query_column`])
+/// and aggregate ([`crate::aggregate`]) all match on these four shapes, so
+/// a new kernel family adds one 4-arm match instead of re-deriving the
+/// accessor-resolution boilerplate.
+pub(crate) enum IntColumn<'a> {
+    /// Vertically encoded column: the kernel runs on the codec alone.
+    Vertical(&'a IntEncoding),
+    /// §2.1 diff-encoded column: reconstruction adds the reference value.
+    NonHier {
+        /// The diff encoding.
+        enc: &'a crate::nonhier::NonHierInt,
+        /// Fast accessor over the reference column.
+        refs: RefAccess<'a>,
+    },
+    /// §2.2 hierarchical column: reconstruction indexes metadata by the
+    /// parent's dictionary code.
+    Hier {
+        /// The hierarchical encoding.
+        enc: &'a crate::hier::HierInt,
+        /// Fast accessor over the parent's codes.
+        codes: CodeAccess<'a>,
+    },
+    /// §2.3 multi-reference column: reconstruction sums the formula-named
+    /// reference groups.
+    MultiRef {
+        /// The multi-reference encoding.
+        enc: &'a crate::multiref::MultiRefInt,
+        /// Fast accessors over every group member.
+        members: Vec<Vec<RefAccess<'a>>>,
+    },
+}
+
+/// Resolves the column at `idx` into an [`IntColumn`].
+///
+/// # Errors
+///
+/// [`Error::TypeMismatch`] for string codecs, plus anything reference
+/// resolution reports (lazy-load I/O, corrupt wiring).
+pub(crate) fn int_column<'a, B: BlockView + ?Sized>(
+    block: &'a B,
+    idx: usize,
+) -> Result<IntColumn<'a>> {
+    match block.view_codec(idx)? {
+        ColumnCodec::Int(enc) => Ok(IntColumn::Vertical(enc)),
+        ColumnCodec::NonHier { enc, reference } => Ok(IntColumn::NonHier {
+            enc,
+            refs: ref_access(block, *reference as usize)?,
+        }),
+        ColumnCodec::HierInt { enc, reference } => Ok(IntColumn::Hier {
+            enc,
+            codes: code_access(block, *reference as usize)?,
+        }),
+        ColumnCodec::MultiRef { enc, groups } => Ok(IntColumn::MultiRef {
+            enc,
+            members: multiref_members(block, groups)?,
+        }),
+        ColumnCodec::Str(_) | ColumnCodec::PlainStr(_) | ColumnCodec::HierStr { .. } => {
+            Err(Error::TypeMismatch {
+                expected: "integer column",
+                found: "string column",
+            })
+        }
+    }
+}
+
 /// Queries a single column: decompress and materialize the values at the
 /// selected positions ("query on diff-encoded column" when the target is
 /// horizontal).
@@ -187,37 +257,17 @@ pub fn query_column<B: BlockView + ?Sized>(
     }
     let idx = block.index_of(name)?;
     match block.view_codec(idx)? {
-        ColumnCodec::Int(enc) => {
-            let mut out = Vec::new();
-            enc.gather_into(sel, &mut out);
-            Ok(QueryOutput::Int(out))
-        }
         ColumnCodec::Str(enc) => {
             let mut out = Vec::new();
             enc.gather_into(sel, &mut out);
-            Ok(QueryOutput::Str(out))
+            return Ok(QueryOutput::Str(out));
         }
         ColumnCodec::PlainStr(pool) => {
             let mut out = Vec::with_capacity(sel.len());
             for &p in sel.positions() {
                 out.push(pool.get(p as usize).to_owned());
             }
-            Ok(QueryOutput::Str(out))
-        }
-        ColumnCodec::NonHier { enc, reference } => {
-            let refs = ref_access(block, *reference as usize)?;
-            let mut out = Vec::new();
-            enc.gather_map(sel, |i| refs.get(i), &mut out);
-            Ok(QueryOutput::Int(out))
-        }
-        ColumnCodec::HierInt { enc, reference } => {
-            let codes = code_access(block, *reference as usize)?;
-            let mut out = Vec::with_capacity(sel.len());
-            for &p in sel.positions() {
-                let i = p as usize;
-                out.push(enc.get_unchecked_len(i, codes.code(i)));
-            }
-            Ok(QueryOutput::Int(out))
+            return Ok(QueryOutput::Str(out));
         }
         ColumnCodec::HierStr { enc, reference } => {
             let codes = code_access(block, *reference as usize)?;
@@ -226,22 +276,33 @@ pub fn query_column<B: BlockView + ?Sized>(
                 let i = p as usize;
                 out.push(enc.get_unchecked_len(i, codes.code(i)).to_owned());
             }
-            Ok(QueryOutput::Str(out))
+            return Ok(QueryOutput::Str(out));
         }
-        ColumnCodec::MultiRef { enc, groups } => {
+        _ => {}
+    }
+    let mut out = Vec::new();
+    match int_column(block, idx)? {
+        IntColumn::Vertical(enc) => enc.gather_into(sel, &mut out),
+        IntColumn::NonHier { enc, refs } => enc.gather_map(sel, |i| refs.get(i), &mut out),
+        IntColumn::Hier { enc, codes } => {
+            out.reserve(sel.len());
+            for &p in sel.positions() {
+                let i = p as usize;
+                out.push(enc.get_unchecked_len(i, codes.code(i)));
+            }
+        }
+        IntColumn::MultiRef { enc, members } => {
             // Per §2.3 decompression: identify the row's coded formula, then
             // "read the values from the reference columns" — only the
             // groups that formula actually sums are fetched.
-            let members = multiref_members(block, groups)?;
-            let mut out = Vec::with_capacity(sel.len());
             enc.gather_masked(
                 sel,
                 |mask, i| eval_formula_mask(&members, mask, i),
                 &mut out,
             );
-            Ok(QueryOutput::Int(out))
         }
     }
+    Ok(QueryOutput::Int(out))
 }
 
 /// Queries the target column *and* its reference column together ("query on

@@ -32,7 +32,7 @@ use corra_columnar::stats::ZoneMap;
 use corra_encodings::FilterInt;
 
 use crate::compressor::{BlockView, ColumnCodec, CompressedBlock};
-use crate::query::{code_access, eval_formula_mask, multiref_members, ref_access, QueryOutput};
+use crate::query::{code_access, eval_formula_mask, int_column, IntColumn, QueryOutput};
 
 /// A comparison operator of a scan predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -321,8 +321,9 @@ pub fn scan_pruned<B: BlockView + ?Sized>(
 }
 
 /// Checks every referenced column exists and its codec matches the
-/// predicate's operand type.
-fn validate_pred<B: BlockView + ?Sized>(block: &B, pred: &Predicate) -> Result<()> {
+/// predicate's operand type. Shared with the aggregate engine, which
+/// validates its optional filter the same way before any kernel runs.
+pub(crate) fn validate_pred<B: BlockView + ?Sized>(block: &B, pred: &Predicate) -> Result<()> {
     match pred {
         Predicate::Compare { column, .. } | Predicate::Between { column, .. } => {
             let idx = block.index_of(column)?;
@@ -630,31 +631,20 @@ fn eval_int_leaf<B: BlockView + ?Sized>(
         }
     }
     let mut out = Vec::new();
-    match block.view_codec(idx)? {
-        ColumnCodec::Int(enc) => enc.filter_into(range, &mut out),
-        ColumnCodec::NonHier { enc, reference } => {
-            let refs = ref_access(block, *reference as usize)?;
-            enc.filter_map(range, |i| refs.get(i), &mut out);
+    match int_column(block, idx)? {
+        IntColumn::Vertical(enc) => enc.filter_into(range, &mut out),
+        IntColumn::NonHier { enc, refs } => enc.filter_map(range, |i| refs.get(i), &mut out),
+        IntColumn::Hier { enc, codes } => {
+            enc.filter_with_parents(range, |i| codes.code(i), &mut out)
         }
-        ColumnCodec::HierInt { enc, reference } => {
-            let codes = code_access(block, *reference as usize)?;
-            enc.filter_with_parents(range, |i| codes.code(i), &mut out);
-        }
-        ColumnCodec::MultiRef { enc, groups } => {
+        IntColumn::MultiRef { enc, members } => {
             // Streaming-reconstruction fallback: each row evaluates only the
             // reference groups its formula names (§2.3 decompression order).
-            let members = multiref_members(block, groups)?;
             enc.filter_masked(
                 range,
                 |mask, i| eval_formula_mask(&members, mask, i),
                 &mut out,
             );
-        }
-        ColumnCodec::Str(_) | ColumnCodec::PlainStr(_) | ColumnCodec::HierStr { .. } => {
-            return Err(Error::TypeMismatch {
-                expected: "integer column for integer predicate",
-                found: "string column",
-            });
         }
     }
     Ok((

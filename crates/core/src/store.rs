@@ -44,12 +44,16 @@ use corra_columnar::schema::{Field, Schema};
 use corra_columnar::selection::SelectionVector;
 use corra_columnar::stats::ZoneMap;
 
+use crate::aggregate::{
+    aggregate_partial, exact_column_bounds, AggExpr, AggFunc, AggMerger, AggResult, PartialAgg,
+};
 use crate::compressor::{decompress_column, BlockView, ColumnCodec, CompressedBlock};
 use crate::format::{read_codec_payload, CodecHeader, PayloadSpan};
 use crate::query::QueryOutput;
 use crate::scan::{
     column_bounds, scan_materialize, scan_pruned, tree_verdict, Predicate, Projection, ScanStats,
 };
+use corra_columnar::aggregate::{IntAggState, StrAggState};
 
 /// File magic framing a Corra table (leading and trailing).
 pub const TABLE_MAGIC: [u8; 8] = *b"CORRATBL";
@@ -71,6 +75,11 @@ pub struct ColumnMeta {
     pub span: PayloadSpan,
     /// Covering min/max bounds, when the codec derives them.
     pub zone: Option<ZoneMap>,
+    /// Whether `zone` holds the *exact* column extremes (not merely
+    /// covering). Exact zones let [`TableReader::aggregate`] answer
+    /// fully-covered `MIN`/`MAX` blocks without reading payload bytes;
+    /// covering zones are only sound for pruning.
+    pub zone_exact: bool,
 }
 
 /// Footer metadata of one block.
@@ -151,8 +160,9 @@ impl TableFooter {
                 buf.put_u64_le(col.span.offset);
                 buf.put_u32_le(col.span.len);
                 match &col.zone {
+                    // 1 = covering bounds, 2 = exact column extremes.
                     Some(zone) => {
-                        buf.put_u8(1);
+                        buf.put_u8(if col.zone_exact { 2 } else { 1 });
                         zone.write_to(buf);
                     }
                     None => buf.put_u8(0),
@@ -196,9 +206,10 @@ impl TableFooter {
                     offset: buf.get_u64_le(),
                     len: buf.get_u32_le(),
                 };
-                let zone = match buf.get_u8() {
-                    0 => None,
-                    1 => Some(ZoneMap::read_from(&mut buf)?),
+                let (zone, zone_exact) = match buf.get_u8() {
+                    0 => (None, false),
+                    1 => (Some(ZoneMap::read_from(&mut buf)?), false),
+                    2 => (Some(ZoneMap::read_from(&mut buf)?), true),
                     f => return Err(Error::corrupt(format!("bad zone-map flag {f}"))),
                 };
                 if span
@@ -208,7 +219,12 @@ impl TableFooter {
                 {
                     return Err(Error::corrupt("column payload span exceeds its block"));
                 }
-                columns.push(ColumnMeta { header, span, zone });
+                columns.push(ColumnMeta {
+                    header,
+                    span,
+                    zone,
+                    zone_exact,
+                });
             }
             // Horizontal wiring must target vertical columns, the same
             // invariant CompressedBlock::from_parts enforces on payloads.
@@ -316,10 +332,21 @@ impl<W: Write> TableWriter<W> {
         let mut buf = Vec::with_capacity(block.total_bytes() + 64);
         let spans = block.write_v2(&mut buf)?;
         let columns = (0..block.names().len())
-            .map(|i| ColumnMeta {
-                header: CodecHeader::of(block.codec_at(i)),
-                span: spans[i],
-                zone: column_bounds(block, i),
+            .map(|i| {
+                // Prefer exact extremes (one write-time streaming pass at
+                // most): they prune at least as well as covering bounds and
+                // additionally answer fully-covered MIN/MAX aggregates with
+                // zero payload reads.
+                let (zone, zone_exact) = match exact_column_bounds(block, i) {
+                    Some(z) => (Some(z), true),
+                    None => (column_bounds(block, i), false),
+                };
+                ColumnMeta {
+                    header: CodecHeader::of(block.codec_at(i)),
+                    span: spans[i],
+                    zone,
+                    zone_exact,
+                }
             })
             .collect();
         self.sink
@@ -825,6 +852,171 @@ impl TableReader {
         stats.rows_total += self.footer.blocks[block].rows as usize;
         stats.rows_matched += sel.len();
         stats.bytes_read += bytes;
+    }
+
+    /// Mirrors the in-memory up-front expression validation with footer
+    /// metadata alone (names, string-ness, horizontal-ness); dictionary
+    /// layout of an integer `GROUP BY` column is payload-level and is
+    /// checked by the kernel when a block actually evaluates.
+    fn validate_expr_footer(&self, meta: &BlockMeta, expr: &AggExpr) -> Result<()> {
+        if let Some(pred) = expr.filter() {
+            self.validate_pred_footer(meta, pred)?;
+        }
+        match (expr.column(), expr.func()) {
+            (None, AggFunc::Count) => {}
+            (None, _) => return Err(Error::invalid("aggregate function requires a column")),
+            (Some(col), func) => {
+                let idx = self.col_index(col)?;
+                if meta.columns[idx].header.is_string()
+                    && matches!(func, AggFunc::Sum | AggFunc::Avg)
+                {
+                    return Err(Error::TypeMismatch {
+                        expected: "integer column for SUM/AVG",
+                        found: "string column",
+                    });
+                }
+            }
+        }
+        if let Some(group) = expr.group_by() {
+            let idx = self.col_index(group)?;
+            if meta.columns[idx].header.is_horizontal() {
+                return Err(Error::invalid(format!(
+                    "GROUP BY column {group} must be dictionary-encoded \
+                     (a Dict plan or a hierarchical parent)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates `expr` against one block, consulting footer zone maps
+    /// before touching any bytes. Returns
+    /// `(partial, pruned, skipped_io, bytes_read, rows_matched)`.
+    fn aggregate_block_inner(
+        &self,
+        block: usize,
+        expr: &AggExpr,
+    ) -> Result<(PartialAgg, bool, bool, u64, usize)> {
+        let meta = self.block_meta(block)?;
+        self.validate_expr_footer(meta, expr)?;
+        let rows = meta.rows as usize;
+        let string_target = expr.column().is_some_and(|c| match self.col_index(c) {
+            Ok(idx) => meta.columns[idx].header.is_string(),
+            Err(_) => false,
+        });
+        let grouped = expr.group_by().is_some();
+        if rows == 0 && !grouped {
+            return Ok((PartialAgg::empty(string_target, false), true, true, 0, 0));
+        }
+        // Footer verdict of the filter; no filter covers every row.
+        let verdict = match expr.filter() {
+            None => RangeVerdict::All,
+            Some(pred) => {
+                let zone_of = |name: &str| -> Option<ZoneMap> {
+                    meta.columns[self.col_index(name).ok()?].zone
+                };
+                tree_verdict(pred, &zone_of)
+            }
+        };
+        if matches!(verdict, RangeVerdict::None) {
+            if !grouped {
+                // Provably empty selection: nothing to fold, zero bytes.
+                return Ok((PartialAgg::empty(string_target, false), true, true, 0, 0));
+            }
+            // The group column's dictionary layout is payload-level (the
+            // footer tag cannot distinguish Dict from other vertical int
+            // codecs), so load that one codec: a non-dictionary GROUP BY
+            // errors here exactly as the in-memory engine does.
+            let handle = self.block_handle(block)?;
+            let group = expr.group_by().expect("grouped");
+            let gidx = handle.index_of(group)?;
+            crate::aggregate::validate_group_codec(handle.view_codec(gidx)?, group)?;
+            return Ok((
+                PartialAgg::empty(string_target, true),
+                true,
+                false,
+                handle.loaded_bytes(),
+                0,
+            ));
+        }
+        if !grouped && matches!(verdict, RangeVerdict::All) {
+            match expr.func() {
+                // COUNT over a fully-covered block is the footer row count
+                // — typed to the target column's kind so partials merge
+                // with kernel-path partials from other blocks.
+                AggFunc::Count => {
+                    let partial = if string_target {
+                        PartialAgg::Str(StrAggState {
+                            count: rows as u64,
+                            ..StrAggState::default()
+                        })
+                    } else {
+                        PartialAgg::Int(IntAggState {
+                            count: rows as u64,
+                            ..IntAggState::default()
+                        })
+                    };
+                    return Ok((partial, true, true, 0, rows));
+                }
+                // MIN/MAX over a fully-covered block with *exact* footer
+                // bounds: answered from the zone map alone. The partial's
+                // sum stays 0 — sound, because SUM/AVG never take this
+                // path and finalize reads only count/min/max here.
+                AggFunc::Min | AggFunc::Max if !string_target => {
+                    let idx = self.col_index(expr.column().expect("validated"))?;
+                    let cm = &meta.columns[idx];
+                    if let (Some(zone), true) = (cm.zone, cm.zone_exact) {
+                        return Ok((
+                            PartialAgg::Int(IntAggState {
+                                count: rows as u64,
+                                sum: 0,
+                                min: Some(zone.min),
+                                max: Some(zone.max),
+                            }),
+                            true,
+                            true,
+                            0,
+                            rows,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Kernel path: lazy handle, loading only the payloads the filter
+        // and fold actually touch.
+        let handle = self.block_handle(block)?;
+        let (partial, pruned, matched) = aggregate_partial(&handle, expr)?;
+        Ok((partial, pruned, false, handle.loaded_bytes(), matched))
+    }
+
+    /// Evaluates an aggregate expression across every block, answering
+    /// whatever it can from the footer alone: blocks whose filter verdict
+    /// is provably empty contribute nothing, and fully-covered
+    /// `COUNT`/`MIN`/`MAX` blocks (exact footer zones) are answered with
+    /// **zero payload bytes read** — reported via
+    /// [`ScanStats::blocks_skipped_io`] / [`ScanStats::bytes_read`].
+    /// Results are identical to [`crate::aggregate::aggregate_blocks`] over
+    /// the same blocks in memory.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::aggregate::aggregate`], plus I/O and corruption errors
+    /// from lazy payload loads.
+    pub fn aggregate(&self, expr: &AggExpr) -> Result<(AggResult, ScanStats)> {
+        let mut merger = AggMerger::new();
+        let mut stats = ScanStats::default();
+        for i in 0..self.n_blocks() {
+            let (partial, pruned, skipped, bytes, matched) = self.aggregate_block_inner(i, expr)?;
+            stats.blocks += 1;
+            stats.blocks_pruned += usize::from(pruned);
+            stats.blocks_skipped_io += usize::from(skipped);
+            stats.rows_total += self.footer.blocks[i].rows as usize;
+            stats.rows_matched += matched;
+            stats.bytes_read += bytes;
+            merger.merge(partial)?;
+        }
+        Ok((merger.finish(expr), stats))
     }
 
     /// Filter → materialize against one block, loading only the predicate

@@ -7,7 +7,7 @@ use corra_columnar::column::{Column, DataType};
 use corra_columnar::schema::{Field, Schema};
 use corra_columnar::selection::SelectionVector;
 use corra_core::store::{TableReader, TableWriter};
-use corra_core::{scan_blocks, ColumnPlan, CompressedBlock, CompressionConfig, Predicate};
+use corra_core::{scan_blocks, AggExpr, ColumnPlan, CompressedBlock, CompressionConfig, Predicate};
 
 /// A block exercising every codec family the block format serializes:
 /// dict-string, hier-int-under-string, FOR dates, nonhier, plain string,
@@ -123,8 +123,8 @@ fn bit_flip_sweep_never_panics() {
     // Flip a high bit at every offset. The reader must either reject the
     // file, or — when the flip lands in a value byte and stays structurally
     // valid — serve (possibly different) data without panicking. Opening
-    // (footer parse) runs for every offset; the deeper decode/scan paths
-    // run on every third offset to keep debug-mode runtime sane
+    // (footer parse) runs for every offset; the deeper decode/scan/aggregate
+    // paths run on every third offset to keep debug-mode runtime sane
     // while still visiting every region of the file across offsets.
     for i in 0..bytes.len() {
         let mut hostile = bytes.clone();
@@ -138,6 +138,16 @@ fn bit_flip_sweep_never_panics() {
                 let _ = reader.read_column(b, "total");
                 let _ = reader.scan(b, &Predicate::ge("l_shipdate", 8_100));
             }
+            // The aggregate entry points walk footer zones, lazy payloads
+            // and reference wiring — hostile input must error, never
+            // panic or abort. SUM forces the kernel path, MIN exercises
+            // the zone short-circuit, the grouped/filtered forms walk
+            // parent codes and selections.
+            let _ = reader.aggregate(&AggExpr::sum("total"));
+            let _ = reader.aggregate(&AggExpr::min("l_shipdate"));
+            let _ = reader
+                .aggregate(&AggExpr::count().with_filter(Predicate::ge("l_receiptdate", 8_100)));
+            let _ = reader.aggregate(&AggExpr::sum("zip").with_group_by("city"));
         }
     }
 }

@@ -11,11 +11,13 @@
 //! and Frequency for the ablation benches.
 
 use bytes::{Buf, BufMut};
+use corra_columnar::aggregate::IntAggState;
 use corra_columnar::error::{Error, Result};
 use corra_columnar::predicate::IntRange;
 use corra_columnar::selection::SelectionVector;
 use corra_columnar::stats::{IntStats, ZoneMap};
 
+use crate::aggregate::AggInt;
 use crate::delta::DeltaInt;
 use crate::dict::{DictInt, DictStr};
 use crate::ffor::ForInt;
@@ -187,6 +189,52 @@ impl FilterInt for IntEncoding {
             IntEncoding::Rle(e) => e.value_bounds(),
             IntEncoding::Delta(e) => e.value_bounds(),
             IntEncoding::Frequency(e) => e.value_bounds(),
+        }
+    }
+}
+
+impl AggInt for IntEncoding {
+    fn aggregate_into(&self, state: &mut IntAggState) {
+        match self {
+            IntEncoding::Plain(e) => e.aggregate_into(state),
+            IntEncoding::For(e) => e.aggregate_into(state),
+            IntEncoding::Dict(e) => e.aggregate_into(state),
+            IntEncoding::Rle(e) => e.aggregate_into(state),
+            IntEncoding::Delta(e) => e.aggregate_into(state),
+            IntEncoding::Frequency(e) => e.aggregate_into(state),
+        }
+    }
+
+    fn aggregate_selected(&self, sel: &SelectionVector, state: &mut IntAggState) {
+        match self {
+            IntEncoding::Plain(e) => e.aggregate_selected(sel, state),
+            IntEncoding::For(e) => e.aggregate_selected(sel, state),
+            IntEncoding::Dict(e) => e.aggregate_selected(sel, state),
+            IntEncoding::Rle(e) => e.aggregate_selected(sel, state),
+            IntEncoding::Delta(e) => e.aggregate_selected(sel, state),
+            IntEncoding::Frequency(e) => e.aggregate_selected(sel, state),
+        }
+    }
+
+    fn aggregate_grouped(&self, group_of: &[u32], states: &mut [IntAggState]) {
+        match self {
+            IntEncoding::Plain(e) => e.aggregate_grouped(group_of, states),
+            IntEncoding::For(e) => e.aggregate_grouped(group_of, states),
+            IntEncoding::Dict(e) => e.aggregate_grouped(group_of, states),
+            IntEncoding::Rle(e) => e.aggregate_grouped(group_of, states),
+            IntEncoding::Delta(e) => e.aggregate_grouped(group_of, states),
+            IntEncoding::Frequency(e) => e.aggregate_grouped(group_of, states),
+        }
+    }
+
+    fn exact_bounds(&self) -> Option<ZoneMap> {
+        match self {
+            IntEncoding::Plain(e) => e.exact_bounds(),
+            IntEncoding::For(e) => e.exact_bounds(),
+            IntEncoding::Dict(e) => e.exact_bounds(),
+            IntEncoding::Rle(e) => e.exact_bounds(),
+            IntEncoding::Delta(e) => e.exact_bounds(),
+            IntEncoding::Frequency(e) => e.exact_bounds(),
         }
     }
 }

@@ -11,6 +11,10 @@ use corra_columnar::error::{Error, Result};
 use corra_columnar::predicate::IntRange;
 use corra_columnar::stats::ZoneMap;
 
+use corra_columnar::aggregate::IntAggState;
+use corra_columnar::selection::SelectionVector;
+
+use crate::aggregate::AggInt;
 use crate::filter::FilterInt;
 use crate::traits::{IntAccess, Validate};
 
@@ -162,6 +166,77 @@ impl FilterInt for DeltaInt {
     /// itself, so no cheap zone map exists for Delta.
     fn value_bounds(&self) -> Option<ZoneMap> {
         None
+    }
+}
+
+impl AggInt for DeltaInt {
+    /// One streaming pass with miniblock restarts, folding each
+    /// reconstructed value as it appears — no materialized vector, and
+    /// never the O(MINIBLOCK) random-access cost of `get`.
+    fn aggregate_into(&self, state: &mut IntAggState) {
+        let mut v = 0i64;
+        self.deltas.unpack_chunks(|start, chunk| {
+            for (j, &d) in chunk.iter().enumerate() {
+                let i = start + j;
+                if i % MINIBLOCK == 0 {
+                    v = self.restarts[i / MINIBLOCK];
+                } else {
+                    v = v.wrapping_add(zigzag_decode(d));
+                }
+                state.update(v);
+            }
+        });
+    }
+
+    /// Streams the whole column (values only exist as prefix sums) and
+    /// folds rows matched by a sorted walk over the selection.
+    fn aggregate_selected(&self, sel: &SelectionVector, state: &mut IntAggState) {
+        // Positions are sorted, so one check on the last bounds them all.
+        if let Some(&last) = sel.positions().last() {
+            assert!(
+                (last as usize) < self.len,
+                "position {last} out of bounds (len {})",
+                self.len
+            );
+        } else {
+            return;
+        }
+        let pos = sel.positions();
+        let mut p = 0usize;
+        let mut v = 0i64;
+        self.deltas.unpack_chunks(|start, chunk| {
+            if p >= pos.len() {
+                return;
+            }
+            for (j, &d) in chunk.iter().enumerate() {
+                let i = start + j;
+                if i % MINIBLOCK == 0 {
+                    v = self.restarts[i / MINIBLOCK];
+                } else {
+                    v = v.wrapping_add(zigzag_decode(d));
+                }
+                if p < pos.len() && pos[p] == i as u32 {
+                    state.update(v);
+                    p += 1;
+                }
+            }
+        });
+    }
+
+    fn aggregate_grouped(&self, group_of: &[u32], states: &mut [IntAggState]) {
+        assert_eq!(group_of.len(), self.len, "group codes misaligned");
+        let mut v = 0i64;
+        self.deltas.unpack_chunks(|start, chunk| {
+            for (j, &d) in chunk.iter().enumerate() {
+                let i = start + j;
+                if i % MINIBLOCK == 0 {
+                    v = self.restarts[i / MINIBLOCK];
+                } else {
+                    v = v.wrapping_add(zigzag_decode(d));
+                }
+                states[group_of[i] as usize].update(v);
+            }
+        });
     }
 }
 

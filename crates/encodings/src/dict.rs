@@ -15,6 +15,9 @@ use corra_columnar::stats::ZoneMap;
 use corra_columnar::strings::{StringDictBuilder, StringPool};
 use rustc_hash::FxHashMap;
 
+use corra_columnar::aggregate::{IntAggState, StrAggState};
+
+use crate::aggregate::{AggInt, AggStr};
 use crate::filter::{FilterInt, FilterStr};
 use crate::traits::{IntAccess, StrAccess, Validate};
 
@@ -210,6 +213,62 @@ impl FilterInt for DictInt {
     }
 }
 
+impl AggInt for DictInt {
+    /// Histograms the bit-packed codes, then folds once per *distinct*
+    /// value weighted by its count (`value · count`) — the per-row work is
+    /// one counter increment, never an `i64` reconstruction.
+    fn aggregate_into(&self, state: &mut IntAggState) {
+        if self.is_empty() {
+            return;
+        }
+        let mut counts = vec![0u64; self.dict.len()];
+        self.codes.unpack_chunks(|_, chunk| {
+            for &c in chunk {
+                counts[c as usize] += 1;
+            }
+        });
+        for (&v, &n) in self.dict.iter().zip(&counts) {
+            state.update_n(v, n);
+        }
+    }
+
+    fn aggregate_selected(&self, sel: &SelectionVector, state: &mut IntAggState) {
+        // Positions are sorted, so one check on the last bounds them all.
+        if let Some(&last) = sel.positions().last() {
+            assert!(
+                (last as usize) < self.len(),
+                "position {last} out of bounds (len {})",
+                self.len()
+            );
+        } else {
+            return;
+        }
+        let mut counts = vec![0u64; self.dict.len()];
+        let r = self.codes.reader();
+        for &p in sel.positions() {
+            counts[r.get(p as usize) as usize] += 1;
+        }
+        for (&v, &n) in self.dict.iter().zip(&counts) {
+            state.update_n(v, n);
+        }
+    }
+
+    fn aggregate_grouped(&self, group_of: &[u32], states: &mut [IntAggState]) {
+        assert_eq!(group_of.len(), self.len(), "group codes misaligned");
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                states[group_of[start + j] as usize].update(self.dict[c as usize]);
+            }
+        });
+    }
+
+    /// Exact bounds straight from the sorted dictionary (every entry of a
+    /// canonically encoded dictionary occurs in some row).
+    fn exact_bounds(&self) -> Option<ZoneMap> {
+        self.value_bounds()
+    }
+}
+
 impl Validate for DictInt {
     fn validate(&self) -> Result<()> {
         if self.dict.windows(2).any(|w| w[0] >= w[1]) {
@@ -381,6 +440,59 @@ impl FilterStr for DictStr {
                 if (c == target) != negate {
                     out.push((start + j) as u32);
                 }
+            }
+        });
+    }
+}
+
+impl AggStr for DictStr {
+    /// Histograms the codes, then compares each *distinct* string against
+    /// the running bounds exactly once, weighted by its count.
+    fn aggregate_into(&self, state: &mut StrAggState) {
+        if self.is_empty() {
+            return;
+        }
+        let mut counts = vec![0u64; self.pool.len().max(1)];
+        self.codes.unpack_chunks(|_, chunk| {
+            for &c in chunk {
+                counts[c as usize] += 1;
+            }
+        });
+        for (k, &n) in counts.iter().enumerate() {
+            if n > 0 {
+                state.update_n(self.pool.get(k), n);
+            }
+        }
+    }
+
+    fn aggregate_selected(&self, sel: &SelectionVector, state: &mut StrAggState) {
+        // Positions are sorted, so one check on the last bounds them all.
+        if let Some(&last) = sel.positions().last() {
+            assert!(
+                (last as usize) < self.len(),
+                "position {last} out of bounds (len {})",
+                self.len()
+            );
+        } else {
+            return;
+        }
+        let mut counts = vec![0u64; self.pool.len().max(1)];
+        let r = self.codes.reader();
+        for &p in sel.positions() {
+            counts[r.get(p as usize) as usize] += 1;
+        }
+        for (k, &n) in counts.iter().enumerate() {
+            if n > 0 {
+                state.update_n(self.pool.get(k), n);
+            }
+        }
+    }
+
+    fn aggregate_grouped(&self, group_of: &[u32], states: &mut [StrAggState]) {
+        assert_eq!(group_of.len(), self.len(), "group codes misaligned");
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                states[group_of[start + j] as usize].update(self.pool.get(c as usize));
             }
         });
     }

@@ -14,6 +14,9 @@ use corra_columnar::selection::SelectionVector;
 use corra_columnar::predicate::IntRange;
 use corra_columnar::stats::ZoneMap;
 
+use corra_columnar::aggregate::IntAggState;
+
+use crate::aggregate::AggInt;
 use crate::filter::FilterInt;
 use crate::traits::{IntAccess, Validate};
 
@@ -189,6 +192,75 @@ impl FilterInt for ForInt {
             min: self.base,
             max,
         })
+    }
+}
+
+impl AggInt for ForInt {
+    /// Folds in the packed offset domain: offsets accumulate into one
+    /// `u128`, the frame base is added back once (`n · base`), and min/max
+    /// reduce over raw offsets — no per-row `i64` reconstruction. Falls back
+    /// to a per-row wrapping fold only when `base + 2^bits - 1` could leave
+    /// the `i64` domain (where reconstruction itself wraps).
+    fn aggregate_into(&self, state: &mut IntAggState) {
+        let n = self.len();
+        if n == 0 {
+            return;
+        }
+        let base = self.base;
+        let no_wrap = self.bits() < 64
+            && base
+                .checked_add(((1u64 << self.bits()) - 1) as i64)
+                .is_some();
+        if no_wrap {
+            let mut sum_off = 0u128;
+            let mut min_off = u64::MAX;
+            let mut max_off = 0u64;
+            self.packed.unpack_chunks(|_, chunk| {
+                for &off in chunk {
+                    sum_off += off as u128;
+                    min_off = min_off.min(off);
+                    max_off = max_off.max(off);
+                }
+            });
+            state.merge(&IntAggState {
+                count: n as u64,
+                sum: n as i128 * base as i128 + sum_off as i128,
+                min: Some(base + min_off as i64),
+                max: Some(base + max_off as i64),
+            });
+        } else {
+            self.packed.unpack_chunks(|_, chunk| {
+                for &off in chunk {
+                    state.update(base.wrapping_add(off as i64));
+                }
+            });
+        }
+    }
+
+    fn aggregate_selected(&self, sel: &SelectionVector, state: &mut IntAggState) {
+        // Positions are sorted, so one check on the last bounds them all.
+        if let Some(&last) = sel.positions().last() {
+            assert!(
+                (last as usize) < self.len(),
+                "position {last} out of bounds (len {})",
+                self.len()
+            );
+        }
+        let base = self.base;
+        let r = self.packed.reader();
+        for &p in sel.positions() {
+            state.update(base.wrapping_add(r.get(p as usize) as i64));
+        }
+    }
+
+    fn aggregate_grouped(&self, group_of: &[u32], states: &mut [IntAggState]) {
+        assert_eq!(group_of.len(), self.len(), "group codes misaligned");
+        let base = self.base;
+        self.packed.unpack_chunks(|start, chunk| {
+            for (j, &off) in chunk.iter().enumerate() {
+                states[group_of[start + j] as usize].update(base.wrapping_add(off as i64));
+            }
+        });
     }
 }
 

@@ -13,6 +13,10 @@ use corra_columnar::predicate::IntRange;
 use corra_columnar::stats::ZoneMap;
 use rustc_hash::FxHashMap;
 
+use corra_columnar::aggregate::IntAggState;
+use corra_columnar::selection::SelectionVector;
+
+use crate::aggregate::AggInt;
 use crate::filter::FilterInt;
 use crate::traits::{IntAccess, Validate};
 
@@ -212,6 +216,79 @@ impl FilterInt for FrequencyInt {
             (Some(a), Some(b)) => Some(a.union(b)),
             (z, None) | (None, z) => z,
         }
+    }
+}
+
+impl AggInt for FrequencyInt {
+    /// Histograms the hot codes, subtracts the meaningless padding codes at
+    /// exception rows, folds each hot value once weighted by its count, and
+    /// folds exceptions verbatim — O(rows) counter increments plus
+    /// O(hot + exceptions) value folds.
+    fn aggregate_into(&self, state: &mut IntAggState) {
+        if self.is_empty() {
+            return;
+        }
+        let mut counts = vec![0u64; self.hot.len().max(1)];
+        self.codes.unpack_chunks(|_, chunk| {
+            for &c in chunk {
+                counts[c as usize] += 1;
+            }
+        });
+        for (k, &p) in self.exc_pos.iter().enumerate() {
+            counts[self.codes.get(p as usize) as usize] -= 1;
+            state.update(self.exc_val[k]);
+        }
+        for (&v, &n) in self.hot.iter().zip(&counts) {
+            state.update_n(v, n);
+        }
+    }
+
+    fn aggregate_selected(&self, sel: &SelectionVector, state: &mut IntAggState) {
+        // Positions are sorted, so one check on the last bounds them all.
+        if let Some(&last) = sel.positions().last() {
+            assert!(
+                (last as usize) < self.len(),
+                "position {last} out of bounds (len {})",
+                self.len()
+            );
+        } else {
+            return;
+        }
+        let r = self.codes.reader();
+        let mut e = 0usize;
+        for &p in sel.positions() {
+            while e < self.exc_pos.len() && self.exc_pos[e] < p {
+                e += 1;
+            }
+            if e < self.exc_pos.len() && self.exc_pos[e] == p {
+                state.update(self.exc_val[e]);
+            } else {
+                state.update(self.hot[r.get(p as usize) as usize]);
+            }
+        }
+    }
+
+    fn aggregate_grouped(&self, group_of: &[u32], states: &mut [IntAggState]) {
+        assert_eq!(group_of.len(), self.len(), "group codes misaligned");
+        let mut e = 0usize;
+        self.codes.unpack_chunks(|start, chunk| {
+            for (j, &c) in chunk.iter().enumerate() {
+                let i = start + j;
+                let v = if e < self.exc_pos.len() && self.exc_pos[e] == i as u32 {
+                    e += 1;
+                    self.exc_val[e - 1]
+                } else {
+                    self.hot[c as usize]
+                };
+                states[group_of[i] as usize].update(v);
+            }
+        });
+    }
+
+    /// Exact bounds over hot values ∪ exceptions — every hot value of a
+    /// canonical encode occurs in some non-exception row.
+    fn exact_bounds(&self) -> Option<ZoneMap> {
+        self.value_bounds()
     }
 }
 

@@ -19,11 +19,15 @@
 //! ablation studies.
 //!
 //! Every integer scheme additionally implements [`filter::FilterInt`], the
-//! compressed-domain predicate kernel behind `corra-core::scan`'s pushdown.
+//! compressed-domain predicate kernel behind `corra-core::scan`'s pushdown,
+//! and [`aggregate::AggInt`], the compressed-domain fold kernel behind
+//! `corra-core::aggregate` (COUNT/SUM/MIN/MAX/AVG without materializing
+//! values).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod aggregate;
 pub mod chooser;
 pub mod delta;
 pub mod dict;
@@ -47,6 +51,7 @@ corra_columnar::impl_framed!(
     rle::RleInt,
 );
 
+pub use aggregate::{AggInt, AggStr};
 pub use chooser::{choose_int_baseline, choose_int_full, choose_str_baseline, IntEncoding};
 pub use delta::DeltaInt;
 pub use dict::{DictInt, DictStr};

@@ -7,6 +7,10 @@ use corra_columnar::predicate::IntRange;
 use corra_columnar::stats::ZoneMap;
 use corra_columnar::strings::StringPool;
 
+use corra_columnar::aggregate::{IntAggState, StrAggState};
+use corra_columnar::selection::SelectionVector;
+
+use crate::aggregate::{AggInt, AggStr};
 use crate::filter::{FilterInt, FilterStr};
 use crate::traits::{IntAccess, StrAccess};
 
@@ -100,6 +104,54 @@ impl FilterInt for PlainInt {
     /// as the filter itself — no cheap zone map exists (as with Delta).
     fn value_bounds(&self) -> Option<ZoneMap> {
         None
+    }
+}
+
+impl AggInt for PlainInt {
+    /// Direct fold over raw values — the comparator the compressed kernels
+    /// are measured against.
+    fn aggregate_into(&self, state: &mut IntAggState) {
+        for &v in &self.values {
+            state.update(v);
+        }
+    }
+
+    fn aggregate_selected(&self, sel: &SelectionVector, state: &mut IntAggState) {
+        for &p in sel.positions() {
+            state.update(self.values[p as usize]);
+        }
+    }
+
+    fn aggregate_grouped(&self, group_of: &[u32], states: &mut [IntAggState]) {
+        assert_eq!(group_of.len(), self.values.len(), "group codes misaligned");
+        for (&v, &g) in self.values.iter().zip(group_of) {
+            states[g as usize].update(v);
+        }
+    }
+
+    fn exact_bounds(&self) -> Option<ZoneMap> {
+        ZoneMap::from_values(&self.values)
+    }
+}
+
+impl AggStr for PlainStr {
+    fn aggregate_into(&self, state: &mut StrAggState) {
+        for s in self.pool.iter() {
+            state.update(s);
+        }
+    }
+
+    fn aggregate_selected(&self, sel: &SelectionVector, state: &mut StrAggState) {
+        for &p in sel.positions() {
+            state.update(self.pool.get(p as usize));
+        }
+    }
+
+    fn aggregate_grouped(&self, group_of: &[u32], states: &mut [StrAggState]) {
+        assert_eq!(group_of.len(), self.pool.len(), "group codes misaligned");
+        for (i, &g) in group_of.iter().enumerate() {
+            states[g as usize].update(self.pool.get(i));
+        }
     }
 }
 

@@ -11,6 +11,10 @@ use corra_columnar::error::{Error, Result};
 use corra_columnar::predicate::IntRange;
 use corra_columnar::stats::ZoneMap;
 
+use corra_columnar::aggregate::IntAggState;
+use corra_columnar::selection::SelectionVector;
+
+use crate::aggregate::AggInt;
 use crate::filter::FilterInt;
 use crate::traits::{IntAccess, Validate};
 
@@ -143,6 +147,61 @@ impl FilterInt for RleInt {
     /// Exact bounds from one pass over the run values (O(runs), not O(rows)).
     fn value_bounds(&self) -> Option<ZoneMap> {
         ZoneMap::from_values(&self.run_values)
+    }
+}
+
+impl AggInt for RleInt {
+    /// Folds once per *run* (`value · run_len`) — O(runs), not O(rows).
+    fn aggregate_into(&self, state: &mut IntAggState) {
+        let mut start = 0u32;
+        for (&v, &end) in self.run_values.iter().zip(&self.run_ends) {
+            state.update_n(v, (end - start) as u64);
+            start = end;
+        }
+    }
+
+    /// Sorted-merge of the selection against the run index: each run folds
+    /// the number of selected positions it contains in one `update_n` —
+    /// O(runs + selected), never a per-row value reconstruction.
+    fn aggregate_selected(&self, sel: &SelectionVector, state: &mut IntAggState) {
+        // Positions are sorted, so one check on the last bounds them all.
+        if let Some(&last) = sel.positions().last() {
+            assert!(
+                (last as usize) < self.len(),
+                "position {last} out of bounds (len {})",
+                self.len()
+            );
+        } else {
+            return;
+        }
+        let pos = sel.positions();
+        let mut p = 0usize;
+        for (&v, &end) in self.run_values.iter().zip(&self.run_ends) {
+            let begin = p;
+            while p < pos.len() && pos[p] < end {
+                p += 1;
+            }
+            state.update_n(v, (p - begin) as u64);
+            if p == pos.len() {
+                break;
+            }
+        }
+    }
+
+    fn aggregate_grouped(&self, group_of: &[u32], states: &mut [IntAggState]) {
+        assert_eq!(group_of.len(), self.len(), "group codes misaligned");
+        let mut start = 0usize;
+        for (&v, &end) in self.run_values.iter().zip(&self.run_ends) {
+            for &g in &group_of[start..end as usize] {
+                states[g as usize].update(v);
+            }
+            start = end as usize;
+        }
+    }
+
+    /// Exact bounds over the run values — O(runs), every run is non-empty.
+    fn exact_bounds(&self) -> Option<corra_columnar::stats::ZoneMap> {
+        self.value_bounds()
     }
 }
 
