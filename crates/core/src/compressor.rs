@@ -12,7 +12,9 @@ use corra_columnar::block::DataBlock;
 use corra_columnar::column::Column;
 use corra_columnar::error::{Error, Result};
 use corra_columnar::strings::StringPool;
-use corra_encodings::{choose_int_baseline, DictInt, DictStr, IntAccess, IntEncoding, StrAccess};
+use corra_encodings::{
+    choose_int_baseline, choose_int_full, DictInt, DictStr, IntAccess, IntEncoding, StrAccess,
+};
 use rustc_hash::FxHashMap;
 
 use crate::hier::{HierInt, HierStr};
@@ -25,6 +27,12 @@ pub enum ColumnPlan {
     /// Best single-column scheme (FOR/Dict baseline for ints, Dict for
     /// strings). The default.
     Auto,
+    /// Best single-column scheme over the *full* vertical codec menu
+    /// (Plain/FOR/Dict/RLE/Delta/Frequency by estimated size; Dict for
+    /// strings). Picks up run-length, monotonic and skew structure that
+    /// the FOR/Dict baseline cannot — what the time-series workload and
+    /// the sim harness use for codec diversity.
+    AutoFull,
     /// Force dictionary encoding (required for hierarchical references so
     /// parent codes exist; the paper dict-encodes the reference "in
     /// advance").
@@ -319,7 +327,10 @@ impl CompressedBlock {
                 (ColumnPlan::Auto, Column::Int64(v)) => {
                     Some(ColumnCodec::Int(choose_int_baseline(v)))
                 }
-                (ColumnPlan::Auto, Column::Utf8(p)) => {
+                (ColumnPlan::AutoFull, Column::Int64(v)) => {
+                    Some(ColumnCodec::Int(choose_int_full(v)))
+                }
+                (ColumnPlan::Auto | ColumnPlan::AutoFull, Column::Utf8(p)) => {
                     Some(ColumnCodec::Str(DictStr::encode_pool(p)))
                 }
                 (ColumnPlan::Dict, Column::Int64(v)) => {

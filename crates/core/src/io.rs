@@ -1,0 +1,479 @@
+//! Pluggable read backends for the table store, plus deterministic fault
+//! injection.
+//!
+//! [`TableReader`](crate::store::TableReader) performs all data access
+//! through the [`IoBackend`] trait — positioned reads with **pread
+//! semantics**: a call may return *fewer* bytes than requested (as plain
+//! `read(2)` legitimately does), and [`read_full_at`] is the one loop that
+//! turns short reads into whole buffers or errors. Backends:
+//!
+//! * [`MemBackend`] — a byte buffer (tables built in memory, tests);
+//! * [`FileBackend`] — `std::fs::File` behind a mutex (what
+//!   [`TableReader::open`](crate::store::TableReader::open) uses); an
+//!   `O_DIRECT`/`io_uring` backend can slot in later without touching any
+//!   caller;
+//! * [`FaultyBackend`] — a decorator that injects **short reads, transient
+//!   errors, bit flips and a truncated tail** on a seeded, replayable
+//!   schedule. This is the hostile half of the `corra-sim` torture
+//!   harness: short reads must heal transparently (the [`read_full_at`]
+//!   loop), and every other fault must surface as `Err` — never a panic,
+//!   never silently wrong data (the store's checksums catch flipped
+//!   payload bytes).
+//!
+//! The module also provides [`checksum64`], the FNV-1a function behind the
+//! store's footer/segment/payload integrity checks.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use corra_columnar::error::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A positioned-read data source with pread semantics.
+///
+/// `read_at` may return fewer bytes than `buf.len()` (short read); callers
+/// that need the whole range use [`read_full_at`]. Implementations must be
+/// thread-safe: the parallel scan drivers issue reads from many workers.
+// `len` is a fallible file size in bytes, not a container length — an
+// `is_empty` twin would have no caller.
+#[allow(clippy::len_without_is_empty)]
+pub trait IoBackend: Send + Sync {
+    /// Reads up to `buf.len()` bytes starting at `offset`, returning how
+    /// many were read. `Ok(0)` means end-of-source (offset at or past
+    /// [`len`](Self::len)).
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failures.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize>;
+
+    /// Total size of the source in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failures.
+    fn len(&self) -> Result<u64>;
+}
+
+/// Shared backends delegate: lets a caller hand a reader one handle and
+/// keep another (e.g. to read [`FaultyBackend::stats`] after the reader
+/// has consumed its `Box<dyn IoBackend>`).
+impl<T: IoBackend + ?Sized> IoBackend for std::sync::Arc<T> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        (**self).read_at(offset, buf)
+    }
+
+    fn len(&self) -> Result<u64> {
+        (**self).len()
+    }
+}
+
+/// Fills `buf` from `backend` starting at `offset`, looping over short
+/// reads. A plain `read` may legitimately return partial data — this is
+/// the single place that loop lives, so every store read is short-read
+/// safe.
+///
+/// # Errors
+///
+/// Underlying I/O failures; premature end-of-source (the backend returned
+/// `0` before the buffer filled); a misbehaving backend that over-reports.
+pub fn read_full_at(backend: &dyn IoBackend, offset: u64, buf: &mut [u8]) -> Result<()> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let n = backend.read_at(offset + filled as u64, &mut buf[filled..])?;
+        if n == 0 {
+            return Err(Error::corrupt(format!(
+                "unexpected end of table source: wanted {} bytes at offset {offset}, got {filled}",
+                buf.len()
+            )));
+        }
+        if n > buf.len() - filled {
+            return Err(Error::invalid(format!(
+                "backend over-reported a read: {n} bytes into a {}-byte buffer",
+                buf.len() - filled
+            )));
+        }
+        filled += n;
+    }
+    Ok(())
+}
+
+/// An in-memory byte-buffer backend.
+#[derive(Debug, Clone)]
+pub struct MemBackend {
+    bytes: Vec<u8>,
+}
+
+impl MemBackend {
+    /// Wraps a byte buffer.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        Self { bytes }
+    }
+}
+
+impl IoBackend for MemBackend {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let Ok(start) = usize::try_from(offset) else {
+            return Ok(0);
+        };
+        if start >= self.bytes.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(self.bytes.len() - start);
+        buf[..n].copy_from_slice(&self.bytes[start..start + n]);
+        Ok(n)
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.bytes.len() as u64)
+    }
+}
+
+/// A `std::fs::File` backend (seek + read behind a mutex).
+#[derive(Debug)]
+pub struct FileBackend {
+    file: Mutex<std::fs::File>,
+}
+
+impl FileBackend {
+    /// Opens `path` read-only.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn open(path: &std::path::Path) -> Result<Self> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| Error::invalid(format!("opening table file: {e}")))?;
+        Ok(Self {
+            file: Mutex::new(file),
+        })
+    }
+}
+
+impl IoBackend for FileBackend {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let mut file = self.file.lock().expect("table file lock poisoned");
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| Error::invalid(format!("seeking table file: {e}")))?;
+        // A single read call: may be short, may be zero at EOF. The
+        // read_full_at loop above this backend handles both.
+        file.read(buf)
+            .map_err(|e| Error::invalid(format!("reading table file: {e}")))
+    }
+
+    fn len(&self) -> Result<u64> {
+        let mut file = self.file.lock().expect("table file lock poisoned");
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| Error::invalid(format!("sizing table file: {e}")))
+    }
+}
+
+/// FNV-1a 64-bit checksum.
+///
+/// Bijective per input byte (xor, then multiply by an odd prime), so any
+/// single-bit or single-byte corruption is guaranteed to change the value —
+/// exactly the fault class the torture harness injects. Not
+/// collision-resistant against adversarial *pairs* of inputs; the store
+/// uses it for bit-rot and torn-write detection, not authentication.
+#[must_use]
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Which faults a [`FaultyBackend`] injects, with what probability, on a
+/// seeded schedule.
+///
+/// All probabilities are per `read_at` call. The default plan injects
+/// nothing; build one with the `with_*` methods.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// RNG seed driving the fault schedule (replayable).
+    pub seed: u64,
+    /// Probability a read is clipped to a random shorter length (≥ 1 byte).
+    pub p_short_read: f64,
+    /// Probability a read fails with an injected transient error.
+    pub p_transient: f64,
+    /// Probability one random bit of the returned bytes is flipped.
+    pub p_bit_flip: f64,
+    /// Pretend the source ends at this offset (torn tail): reads at or past
+    /// it return 0 bytes.
+    pub truncate_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (decorator becomes a pass-through).
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            p_short_read: 0.0,
+            p_transient: 0.0,
+            p_bit_flip: 0.0,
+            truncate_at: None,
+        }
+    }
+
+    /// Sets the short-read probability.
+    #[must_use]
+    pub fn with_short_reads(mut self, p: f64) -> Self {
+        self.p_short_read = p;
+        self
+    }
+
+    /// Sets the transient-error probability.
+    #[must_use]
+    pub fn with_transient_errors(mut self, p: f64) -> Self {
+        self.p_transient = p;
+        self
+    }
+
+    /// Sets the bit-flip probability.
+    #[must_use]
+    pub fn with_bit_flips(mut self, p: f64) -> Self {
+        self.p_bit_flip = p;
+        self
+    }
+
+    /// Truncates the source at `offset` (a torn tail).
+    #[must_use]
+    pub fn with_truncation(mut self, offset: u64) -> Self {
+        self.truncate_at = Some(offset);
+        self
+    }
+
+    /// Whether every injectable fault in this plan is *benign*: short
+    /// reads are healed by the [`read_full_at`] loop, so a plan that only
+    /// injects them must never change any result or produce any error.
+    #[must_use]
+    pub fn is_benign(&self) -> bool {
+        self.p_transient == 0.0 && self.p_bit_flip == 0.0 && self.truncate_at.is_none()
+    }
+}
+
+/// Counters of faults a [`FaultyBackend`] actually injected.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Reads clipped short.
+    pub short_reads: u64,
+    /// Reads failed with an injected error.
+    pub transient_errors: u64,
+    /// Bits flipped in returned buffers.
+    pub bit_flips: u64,
+    /// Reads clipped or zeroed by the truncated tail.
+    pub truncated_reads: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.short_reads + self.transient_errors + self.bit_flips + self.truncated_reads
+    }
+}
+
+/// Decorator injecting storage faults into an inner [`IoBackend`] on a
+/// deterministic, seeded schedule.
+///
+/// The same `(inner bytes, FaultPlan)` pair injects the same faults at the
+/// same read positions on every run — which is what makes a failing
+/// torture-harness seed replayable. The decorator never mutates the inner
+/// backend; flips land in the caller's buffer only.
+pub struct FaultyBackend<B: IoBackend> {
+    inner: B,
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+    short_reads: AtomicU64,
+    transient_errors: AtomicU64,
+    bit_flips: AtomicU64,
+    truncated_reads: AtomicU64,
+}
+
+impl<B: IoBackend> FaultyBackend<B> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        let rng = Mutex::new(StdRng::seed_from_u64(plan.seed));
+        Self {
+            inner,
+            plan,
+            rng,
+            short_reads: AtomicU64::new(0),
+            transient_errors: AtomicU64::new(0),
+            bit_flips: AtomicU64::new(0),
+            truncated_reads: AtomicU64::new(0),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            short_reads: self.short_reads.load(Ordering::Relaxed),
+            transient_errors: self.transient_errors.load(Ordering::Relaxed),
+            bit_flips: self.bit_flips.load(Ordering::Relaxed),
+            truncated_reads: self.truncated_reads.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl<B: IoBackend> IoBackend for FaultyBackend<B> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        // Draw the whole schedule for this call under one lock so the
+        // sequence of decisions is a pure function of (seed, call order).
+        let (transient, short_to, flip) = {
+            let mut rng = self.rng.lock().expect("fault rng poisoned");
+            let transient = self.plan.p_transient > 0.0 && rng.gen_bool(self.plan.p_transient);
+            let short_to = (self.plan.p_short_read > 0.0
+                && buf.len() > 1
+                && rng.gen_bool(self.plan.p_short_read))
+            .then(|| rng.gen_range(1..buf.len()));
+            let flip = (self.plan.p_bit_flip > 0.0 && rng.gen_bool(self.plan.p_bit_flip))
+                .then(|| rng.gen::<u64>());
+            (transient, short_to, flip)
+        };
+        if transient {
+            self.transient_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::invalid(format!(
+                "injected transient I/O error at offset {offset}"
+            )));
+        }
+        let mut window = buf.len();
+        if let Some(end) = self.plan.truncate_at {
+            if offset >= end {
+                self.truncated_reads.fetch_add(1, Ordering::Relaxed);
+                return Ok(0);
+            }
+            let clipped = usize::try_from(end - offset)
+                .unwrap_or(usize::MAX)
+                .min(window);
+            if clipped < window {
+                self.truncated_reads.fetch_add(1, Ordering::Relaxed);
+                window = clipped;
+            }
+        }
+        if let Some(short) = short_to {
+            if short < window {
+                self.short_reads.fetch_add(1, Ordering::Relaxed);
+                window = short;
+            }
+        }
+        let n = self.inner.read_at(offset, &mut buf[..window])?;
+        if n > 0 {
+            if let Some(r) = flip {
+                let byte = (r as usize >> 3) % n;
+                let bit = (r & 7) as u8;
+                buf[byte] ^= 1 << bit;
+                self.bit_flips.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(n)
+    }
+
+    fn len(&self) -> Result<u64> {
+        let inner = self.inner.len()?;
+        Ok(match self.plan.truncate_at {
+            Some(end) => inner.min(end),
+            None => inner,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_pread_semantics() {
+        let b = MemBackend::new((0u8..100).collect());
+        let mut buf = [0u8; 10];
+        assert_eq!(b.read_at(0, &mut buf).unwrap(), 10);
+        assert_eq!(&buf[..3], &[0, 1, 2]);
+        // Clipped at the end, zero past it.
+        assert_eq!(b.read_at(95, &mut buf).unwrap(), 5);
+        assert_eq!(b.read_at(100, &mut buf).unwrap(), 0);
+        assert_eq!(b.read_at(u64::MAX, &mut buf).unwrap(), 0);
+        assert_eq!(b.len().unwrap(), 100);
+    }
+
+    #[test]
+    fn read_full_at_loops_over_short_reads() {
+        let inner = MemBackend::new((0u8..=255).collect());
+        let faulty = FaultyBackend::new(inner, FaultPlan::none(7).with_short_reads(0.9));
+        let mut buf = vec![0u8; 256];
+        read_full_at(&faulty, 0, &mut buf).unwrap();
+        assert_eq!(buf, (0u8..=255).collect::<Vec<_>>());
+        assert!(faulty.stats().short_reads > 0, "no short read injected");
+    }
+
+    #[test]
+    fn read_full_at_errors_on_premature_end() {
+        let b = MemBackend::new(vec![1, 2, 3]);
+        let mut buf = [0u8; 8];
+        let err = read_full_at(&b, 0, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("unexpected end"), "{err}");
+    }
+
+    #[test]
+    fn faulty_backend_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let inner = MemBackend::new(vec![0xAA; 4096]);
+            let plan = FaultPlan::none(seed)
+                .with_short_reads(0.3)
+                .with_bit_flips(0.2)
+                .with_transient_errors(0.1);
+            let faulty = FaultyBackend::new(inner, plan);
+            let mut log = Vec::new();
+            for i in 0..50 {
+                let mut buf = vec![0u8; 64];
+                match faulty.read_at(i * 64, &mut buf) {
+                    Ok(n) => log.push((n as u64, checksum64(&buf))),
+                    Err(_) => log.push((u64::MAX, 0)),
+                }
+            }
+            (log, faulty.stats())
+        };
+        let (log_a, stats_a) = run(42);
+        let (log_b, stats_b) = run(42);
+        let (log_c, _) = run(43);
+        assert_eq!(log_a, log_b);
+        assert_eq!(stats_a, stats_b);
+        assert_ne!(log_a, log_c, "different seeds produced identical faults");
+        assert!(stats_a.total() > 0);
+    }
+
+    #[test]
+    fn truncation_clips_length_and_reads() {
+        let inner = MemBackend::new(vec![7u8; 100]);
+        let faulty = FaultyBackend::new(inner, FaultPlan::none(1).with_truncation(40));
+        assert_eq!(faulty.len().unwrap(), 40);
+        let mut buf = [0u8; 64];
+        assert_eq!(faulty.read_at(0, &mut buf).unwrap(), 40);
+        assert_eq!(faulty.read_at(40, &mut buf).unwrap(), 0);
+        assert!(faulty.stats().truncated_reads >= 2);
+    }
+
+    #[test]
+    fn checksum_catches_every_single_bit_flip() {
+        let bytes: Vec<u8> = (0..64).map(|i| (i * 37 % 256) as u8).collect();
+        let clean = checksum64(&bytes);
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(checksum64(&flipped), clean, "byte {i} bit {bit}");
+            }
+        }
+    }
+}

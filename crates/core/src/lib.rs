@@ -30,7 +30,13 @@
 //!   deterministically across blocks (serial or morsel-parallel);
 //! * [`store`](mod@store) — the indexed table storage layer: multi-block
 //!   files whose footer addresses every codec payload, enabling projection
-//!   pushdown, I/O-free block pruning and streaming writes.
+//!   pushdown, I/O-free block pruning and streaming writes;
+//! * [`io`](mod@io) — the pluggable read-backend seam beneath the store,
+//!   including the seeded [`io::FaultyBackend`] fault injector the
+//!   `corra-sim` torture harness drives;
+//! * [`torture`](mod@torture) — exhaustive corruption sweeps (truncation +
+//!   bit flips) asserting every mutation surfaces as `Err` or leaves
+//!   results bit-identical, shared by the core tests and `corra-sim`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -40,6 +46,7 @@ pub mod compressor;
 pub mod detect;
 pub mod format;
 pub mod hier;
+pub mod io;
 pub mod multiref;
 pub mod nonhier;
 pub mod optimizer;
@@ -47,6 +54,7 @@ pub mod outlier;
 pub mod query;
 pub mod scan;
 pub mod store;
+pub mod torture;
 
 // Format-v2 framing for the Corra horizontal codecs and the shared outlier
 // region: the length-prefix frame wraps each existing payload layout.
@@ -68,6 +76,7 @@ pub use compressor::{
 };
 pub use format::{CodecHeader, CodecWiring, PayloadSpan};
 pub use hier::{HierInt, HierStr};
+pub use io::{checksum64, FaultPlan, FaultStats, FaultyBackend, IoBackend, MemBackend};
 pub use multiref::{Formula, FormulaStats, MultiRefInt};
 pub use nonhier::{plan_window, NonHierInt, WindowPlan};
 pub use optimizer::{apply_assignment, Assignment, ColumnGraph, EncodedColumn};
@@ -80,3 +89,4 @@ pub use scan::{
 pub use store::{
     write_table, BlockHandle, BlockMeta, ColumnMeta, TableFooter, TableReader, TableWriter,
 };
+pub use torture::{corruption_sweep, SweepOptions, SweepReport};

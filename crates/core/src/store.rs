@@ -30,9 +30,18 @@
 //!   segment as it arrives (e.g. straight out of
 //!   [`crate::compressor::compress_blocks`]) and buffers only footer
 //!   metadata, never the file.
+//!
+//! Footer v3 adds end-to-end integrity: an FNV-1a checksum per column
+//! payload span (verified on every lazy load), per block segment (verified
+//! by [`TableReader::read_block`]), and a footer self-checksum — so any
+//! flipped bit anywhere in the file surfaces as [`Error::Corrupt`] rather
+//! than silently wrong data. v2 files (no checksums) remain readable.
+//!
+//! All reads go through the pluggable [`IoBackend`] seam (see
+//! [`crate::io`]), which is also where the torture harness injects faults.
 
 use std::cell::OnceCell;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -49,6 +58,7 @@ use crate::aggregate::{
 };
 use crate::compressor::{decompress_column, BlockView, ColumnCodec, CompressedBlock};
 use crate::format::{read_codec_payload, CodecHeader, PayloadSpan};
+use crate::io::{checksum64, read_full_at, FileBackend, IoBackend, MemBackend};
 use crate::query::QueryOutput;
 use crate::scan::{
     column_bounds, scan_materialize, scan_pruned, tree_verdict, Predicate, Projection, ScanStats,
@@ -57,8 +67,10 @@ use corra_columnar::aggregate::{IntAggState, StrAggState};
 
 /// File magic framing a Corra table (leading and trailing).
 pub const TABLE_MAGIC: [u8; 8] = *b"CORRATBL";
-/// Footer format version.
-pub const FOOTER_VERSION: u16 = 2;
+/// Current footer format version (checksummed).
+pub const FOOTER_VERSION: u16 = 3;
+/// Legacy footer format version (no checksums), still readable.
+pub const FOOTER_VERSION_V2: u16 = 2;
 
 const TRAILER_LEN: u64 = 8 + 8; // footer_len + magic
 
@@ -80,6 +92,9 @@ pub struct ColumnMeta {
     /// fully-covered `MIN`/`MAX` blocks without reading payload bytes;
     /// covering zones are only sound for pruning.
     pub zone_exact: bool,
+    /// FNV-1a checksum of the payload span's bytes (footer v3; `None` when
+    /// read from a v2 file). Verified on every lazy payload load.
+    pub checksum: Option<u64>,
 }
 
 /// Footer metadata of one block.
@@ -93,6 +108,9 @@ pub struct BlockMeta {
     pub rows: u32,
     /// Per-column metadata, in schema order.
     pub columns: Vec<ColumnMeta>,
+    /// FNV-1a checksum of the whole block segment (footer v3; `None` when
+    /// read from a v2 file). Verified by [`TableReader::read_block`].
+    pub checksum: Option<u64>,
 }
 
 /// The parsed table footer: schema plus per-block metadata.
@@ -144,8 +162,13 @@ impl TableFooter {
         Ok(out)
     }
 
-    fn write_to(&self, buf: &mut Vec<u8>) -> Result<()> {
-        buf.put_u16_le(FOOTER_VERSION);
+    fn write_to(&self, buf: &mut Vec<u8>, version: u16) -> Result<()> {
+        if version != FOOTER_VERSION && version != FOOTER_VERSION_V2 {
+            return Err(Error::invalid(format!("unknown footer version {version}")));
+        }
+        let with_checksums = version == FOOTER_VERSION;
+        let start = buf.len();
+        buf.put_u16_le(version);
         self.schema.validate_serializable()?;
         self.schema.write_to(buf);
         let n_blocks = u32::try_from(self.blocks.len())
@@ -155,10 +178,22 @@ impl TableFooter {
             buf.put_u64_le(block.offset);
             buf.put_u64_le(block.len);
             buf.put_u32_le(block.rows);
+            if with_checksums {
+                let sum = block
+                    .checksum
+                    .ok_or_else(|| Error::invalid("footer v3 requires segment checksums"))?;
+                buf.put_u64_le(sum);
+            }
             for col in &block.columns {
                 col.header.write_to(buf)?;
                 buf.put_u64_le(col.span.offset);
                 buf.put_u32_le(col.span.len);
+                if with_checksums {
+                    let sum = col
+                        .checksum
+                        .ok_or_else(|| Error::invalid("footer v3 requires payload checksums"))?;
+                    buf.put_u64_le(sum);
+                }
                 match &col.zone {
                     // 1 = covering bounds, 2 = exact column extremes.
                     Some(zone) => {
@@ -169,19 +204,44 @@ impl TableFooter {
                 }
             }
         }
+        if with_checksums {
+            // Self-checksum over everything above, version word included,
+            // so a flipped footer bit is caught before any field is
+            // trusted.
+            let sum = checksum64(&buf[start..]);
+            buf.put_u64_le(sum);
+        }
         Ok(())
     }
 
-    fn read_from(mut buf: &[u8]) -> Result<Self> {
-        if buf.remaining() < 2 {
+    fn read_from(full: &[u8]) -> Result<Self> {
+        if full.len() < 2 {
             return Err(Error::corrupt("footer version truncated"));
         }
-        let version = buf.get_u16_le();
-        if version != FOOTER_VERSION {
-            return Err(Error::corrupt(format!(
-                "unsupported footer version {version}"
-            )));
-        }
+        let version = u16::from_le_bytes(full[..2].try_into().expect("two bytes"));
+        let with_checksums = match version {
+            FOOTER_VERSION_V2 => false,
+            FOOTER_VERSION => {
+                if full.len() < 2 + 8 {
+                    return Err(Error::corrupt("footer self-checksum truncated"));
+                }
+                let body = &full[..full.len() - 8];
+                let want = u64::from_le_bytes(full[full.len() - 8..].try_into().expect("eight"));
+                if checksum64(body) != want {
+                    return Err(Error::corrupt("footer self-checksum mismatch"));
+                }
+                true
+            }
+            v => {
+                return Err(Error::corrupt(format!("unsupported footer version {v}")));
+            }
+        };
+        let body_end = if with_checksums {
+            full.len() - 8
+        } else {
+            full.len()
+        };
+        let mut buf = &full[2..body_end];
         let schema = Schema::read_from(&mut buf)?;
         let n_cols = schema.len();
         if buf.remaining() < 4 {
@@ -196,6 +256,14 @@ impl TableFooter {
             let offset = buf.get_u64_le();
             let len = buf.get_u64_le();
             let rows = buf.get_u32_le();
+            let block_checksum = if with_checksums {
+                if buf.remaining() < 8 {
+                    return Err(Error::corrupt("footer segment checksum truncated"));
+                }
+                Some(buf.get_u64_le())
+            } else {
+                None
+            };
             let mut columns = Vec::with_capacity(n_cols);
             for _ in 0..n_cols {
                 let header = CodecHeader::read_from(&mut buf, n_cols)?;
@@ -205,6 +273,14 @@ impl TableFooter {
                 let span = PayloadSpan {
                     offset: buf.get_u64_le(),
                     len: buf.get_u32_le(),
+                };
+                let checksum = if with_checksums {
+                    if buf.remaining() < 8 + 1 {
+                        return Err(Error::corrupt("footer payload checksum truncated"));
+                    }
+                    Some(buf.get_u64_le())
+                } else {
+                    None
                 };
                 let (zone, zone_exact) = match buf.get_u8() {
                     0 => (None, false),
@@ -224,6 +300,7 @@ impl TableFooter {
                     span,
                     zone,
                     zone_exact,
+                    checksum,
                 });
             }
             // Horizontal wiring must target vertical columns, the same
@@ -242,6 +319,7 @@ impl TableFooter {
                 len,
                 rows,
                 columns,
+                checksum: block_checksum,
             });
         }
         if !buf.is_empty() {
@@ -341,11 +419,14 @@ impl<W: Write> TableWriter<W> {
                     Some(z) => (Some(z), true),
                     None => (column_bounds(block, i), false),
                 };
+                let span = spans[i];
+                let payload = &buf[span.offset as usize..span.offset as usize + span.len as usize];
                 ColumnMeta {
                     header: CodecHeader::of(block.codec_at(i)),
-                    span: spans[i],
+                    span,
                     zone,
                     zone_exact,
+                    checksum: Some(checksum64(payload)),
                 }
             })
             .collect();
@@ -357,6 +438,7 @@ impl<W: Write> TableWriter<W> {
             len: buf.len() as u64,
             rows: block.rows() as u32,
             columns,
+            checksum: Some(checksum64(&buf)),
         });
         self.offset += buf.len() as u64;
         Ok(())
@@ -375,13 +457,24 @@ impl<W: Write> TableWriter<W> {
     /// # Errors
     ///
     /// Sink I/O errors, or footer width violations.
-    pub fn finish(mut self) -> Result<W> {
+    pub fn finish(self) -> Result<W> {
+        self.finish_versioned(FOOTER_VERSION)
+    }
+
+    /// Like [`finish`](Self::finish) with an explicit footer version —
+    /// [`FOOTER_VERSION_V2`] emits a legacy checksum-free footer (used to
+    /// keep the v2 compatibility tests honest).
+    ///
+    /// # Errors
+    ///
+    /// As [`finish`](Self::finish), or an unknown version.
+    pub fn finish_versioned(mut self, version: u16) -> Result<W> {
         let footer = TableFooter {
             schema: self.schema.take().unwrap_or_default(),
             blocks: std::mem::take(&mut self.blocks),
         };
         let mut buf = Vec::new();
-        footer.write_to(&mut buf)?;
+        footer.write_to(&mut buf, version)?;
         let footer_len = buf.len() as u64;
         buf.put_u64_le(footer_len);
         buf.put_slice(&TABLE_MAGIC);
@@ -458,32 +551,13 @@ pub fn write_table(path: &std::path::Path, blocks: &[CompressedBlock]) -> Result
         .map_err(|e| io_err("sizing table", e))
 }
 
-enum Source {
-    Mem(Vec<u8>),
-    File(Mutex<std::fs::File>),
-}
-
-impl Source {
-    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
-        match self {
-            Source::Mem(bytes) => {
-                let start = usize::try_from(offset)
-                    .ok()
-                    .filter(|&s| s.checked_add(len).is_some_and(|end| end <= bytes.len()))
-                    .ok_or_else(|| Error::corrupt("read past end of table buffer"))?;
-                Ok(bytes[start..start + len].to_vec())
-            }
-            Source::File(file) => {
-                let mut file = file.lock().expect("table file lock poisoned");
-                file.seek(SeekFrom::Start(offset))
-                    .map_err(|e| io_err("seeking table file", e))?;
-                let mut buf = vec![0u8; len];
-                file.read_exact(&mut buf)
-                    .map_err(|e| io_err("reading table file", e))?;
-                Ok(buf)
-            }
-        }
-    }
+/// Reads exactly `len` bytes at `offset`, looping over short reads (see
+/// [`read_full_at`] — satisfying the pread contract is the backend's only
+/// obligation; wholeness is enforced here).
+fn read_exact_vec(backend: &dyn IoBackend, offset: u64, len: usize) -> Result<Vec<u8>> {
+    let mut buf = vec![0u8; len];
+    read_full_at(backend, offset, &mut buf)?;
+    Ok(buf)
 }
 
 /// Random-access reader over an indexed table file.
@@ -493,7 +567,7 @@ impl Source {
 /// open time is fixed overhead and not counted), which is what the
 /// projection and pruning guarantees are asserted against.
 pub struct TableReader {
-    source: Source,
+    source: Box<dyn IoBackend>,
     file_len: u64,
     footer: TableFooter,
     /// Footer schema names, cached as the `BlockView::names` slice.
@@ -508,11 +582,7 @@ impl TableReader {
     ///
     /// I/O errors, bad magic/trailer, or a corrupt footer.
     pub fn open(path: &std::path::Path) -> Result<Self> {
-        let mut file = std::fs::File::open(path).map_err(|e| io_err("opening table file", e))?;
-        let file_len = file
-            .seek(SeekFrom::End(0))
-            .map_err(|e| io_err("sizing table file", e))?;
-        Self::from_source(Source::File(Mutex::new(file)), file_len)
+        Self::from_backend(Box::new(FileBackend::open(path)?))
     }
 
     /// Opens a table held entirely in memory.
@@ -521,20 +591,31 @@ impl TableReader {
     ///
     /// Bad magic/trailer or a corrupt footer.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self> {
-        let len = bytes.len() as u64;
-        Self::from_source(Source::Mem(bytes), len)
+        Self::from_backend(Box::new(MemBackend::new(bytes)))
     }
 
-    fn from_source(source: Source, file_len: u64) -> Result<Self> {
+    /// Opens a table over any [`IoBackend`] — the fault-injection seam:
+    /// wrap a backend in [`crate::io::FaultyBackend`] to torture the whole
+    /// read path.
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O errors, bad magic/trailer, or a corrupt footer.
+    pub fn from_backend(source: Box<dyn IoBackend>) -> Result<Self> {
+        let file_len = source.len()?;
         let min_len = TABLE_MAGIC.len() as u64 * 2 + TRAILER_LEN - 8;
         if file_len < min_len {
             return Err(Error::corrupt("table file too short"));
         }
-        let head = source.read_at(0, TABLE_MAGIC.len())?;
+        let head = read_exact_vec(source.as_ref(), 0, TABLE_MAGIC.len())?;
         if head != TABLE_MAGIC {
             return Err(Error::corrupt("bad table magic"));
         }
-        let trailer = source.read_at(file_len - TRAILER_LEN, TRAILER_LEN as usize)?;
+        let trailer = read_exact_vec(
+            source.as_ref(),
+            file_len - TRAILER_LEN,
+            TRAILER_LEN as usize,
+        )?;
         if trailer[8..] != TABLE_MAGIC {
             return Err(Error::corrupt("bad trailing table magic"));
         }
@@ -545,7 +626,7 @@ impl TableReader {
         if data_end < TABLE_MAGIC.len() as u64 {
             return Err(Error::corrupt("footer overlaps table magic"));
         }
-        let footer_bytes = source.read_at(data_end, footer_len as usize)?;
+        let footer_bytes = read_exact_vec(source.as_ref(), data_end, footer_len as usize)?;
         let footer = TableFooter::read_from(&footer_bytes)?;
         // Every block segment must lie inside the data region.
         for (i, block) in footer.blocks.iter().enumerate() {
@@ -603,7 +684,7 @@ impl TableReader {
     }
 
     fn metered_read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
-        let buf = self.source.read_at(offset, len)?;
+        let buf = read_exact_vec(self.source.as_ref(), offset, len)?;
         self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
         Ok(buf)
     }
@@ -628,6 +709,13 @@ impl TableReader {
         let len = usize::try_from(meta.len)
             .map_err(|_| Error::corrupt("block segment exceeds addressable memory"))?;
         let bytes = self.metered_read(meta.offset, len)?;
+        if let Some(want) = meta.checksum {
+            if checksum64(&bytes) != want {
+                return Err(Error::corrupt(format!(
+                    "block {block} segment checksum mismatch"
+                )));
+            }
+        }
         CompressedBlock::from_bytes(&bytes)
     }
 
@@ -668,6 +756,13 @@ impl TableReader {
             len: meta.columns.len(),
         })?;
         let bytes = self.metered_read(meta.offset + cm.span.offset, cm.span.len as usize)?;
+        if let Some(want) = cm.checksum {
+            if checksum64(&bytes) != want {
+                return Err(Error::corrupt(format!(
+                    "column {col} payload checksum mismatch in block {block}"
+                )));
+            }
+        }
         let mut cursor = bytes.as_slice();
         let codec = read_codec_payload(&cm.header, &mut cursor)?;
         if !cursor.is_empty() {

@@ -1,0 +1,113 @@
+//! Shared fixtures for the `corra-core` integration tests: the mixed-codec
+//! block builders plus a re-export of the crate's [`corruption_sweep`], so
+//! every hostile-input suite (and the `corra-sim` harness, which calls the
+//! same `corra_core::torture` entry point) drives one implementation.
+
+// Each integration test binary compiles this module independently and uses
+// a different subset of it.
+#![allow(dead_code)]
+
+pub use corra_core::torture::{corruption_sweep, SweepOptions};
+
+use corra_columnar::block::DataBlock;
+use corra_columnar::column::{Column, DataType};
+use corra_columnar::schema::{Field, Schema};
+use corra_core::store::TableWriter;
+use corra_core::{ColumnPlan, CompressedBlock, CompressionConfig};
+
+/// A block exercising every codec family the block format serializes:
+/// dict-string, hier-int-under-string, FOR dates, nonhier, plain string,
+/// FOR/dict ints, multiref.
+pub fn mixed_block(n: usize, salt: i64) -> (DataBlock, CompressionConfig) {
+    let city: Vec<&str> = (0..n).map(|i| ["NYC", "Albany", "Naples"][i % 3]).collect();
+    let note: Vec<String> = (0..n).map(|i| format!("note-{}", i % 7)).collect();
+    let zip: Vec<i64> = (0..n)
+        .map(|i| 10_000 + (i % 3) as i64 * 50 + (i / 3 % 4) as i64)
+        .collect();
+    let ship: Vec<i64> = (0..n)
+        .map(|i| salt + 8_035 + (i as i64 * 17 % 2_000))
+        .collect();
+    let receipt: Vec<i64> = ship
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| s + 1 + (i as i64 % 30))
+        .collect();
+    let fee: Vec<i64> = (0..n).map(|i| 100 + (i as i64 % 10)).collect();
+    let extra: Vec<i64> = vec![25; n];
+    let total: Vec<i64> = (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                fee[i]
+            } else {
+                fee[i] + extra[i]
+            }
+        })
+        .collect();
+    let sparse: Vec<i64> = (0..n).map(|i| ((i % 4) as i64) * 1_000_000_007).collect();
+    let block = DataBlock::new(
+        Schema::new(vec![
+            Field::new("city", DataType::Utf8),
+            Field::new("note", DataType::Utf8),
+            Field::new("zip", DataType::Int64),
+            Field::new("l_shipdate", DataType::Date),
+            Field::new("l_receiptdate", DataType::Date),
+            Field::new("fee", DataType::Int64),
+            Field::new("extra", DataType::Int64),
+            Field::new("total", DataType::Int64),
+            Field::new("sparse", DataType::Int64),
+        ])
+        .unwrap(),
+        vec![
+            Column::Utf8(city.into_iter().collect()),
+            Column::Utf8(note.iter().map(String::as_str).collect()),
+            Column::Int64(zip),
+            Column::Int64(ship),
+            Column::Int64(receipt),
+            Column::Int64(fee),
+            Column::Int64(extra),
+            Column::Int64(total),
+            Column::Int64(sparse),
+        ],
+    )
+    .unwrap();
+    let cfg = CompressionConfig::baseline()
+        .with("note", ColumnPlan::Plain)
+        .with(
+            "zip",
+            ColumnPlan::Hier {
+                reference: "city".into(),
+            },
+        )
+        .with(
+            "l_receiptdate",
+            ColumnPlan::NonHier {
+                reference: "l_shipdate".into(),
+            },
+        )
+        .with(
+            "total",
+            ColumnPlan::MultiRef {
+                groups: vec![vec!["fee".into()], vec!["extra".into()]],
+                code_bits: 2,
+            },
+        );
+    (block, cfg)
+}
+
+/// A two-block mixed-codec table: raw blocks, compressed blocks, and the
+/// serialized (v3, checksummed) file bytes.
+pub fn small_table() -> (Vec<DataBlock>, Vec<CompressedBlock>, Vec<u8>) {
+    let mut raws = Vec::new();
+    let mut blocks = Vec::new();
+    for salt in [0, 50_000] {
+        let (raw, cfg) = mixed_block(96, salt);
+        blocks.push(CompressedBlock::compress(&raw, &cfg).unwrap());
+        raws.push(raw);
+    }
+    let mut writer = TableWriter::new(Vec::new()).unwrap();
+    for b in &blocks {
+        writer.write_block(b).unwrap();
+    }
+    let bytes = writer.finish().unwrap();
+    (raws, blocks, bytes)
+}

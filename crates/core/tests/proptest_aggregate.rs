@@ -16,6 +16,8 @@
 //! * on the **overflow edges**: `i64::MIN`/`i64::MAX` columns sum exactly
 //!   (`i128`), with serial == parallel merges for 1..=8 threads.
 
+mod common;
+
 use std::collections::BTreeMap;
 
 use corra_columnar::aggregate::{IntAggState, StrAggState};
@@ -654,6 +656,23 @@ fn store_aggregate_validates_like_in_memory() {
         .with_group_by("l_shipdate")
         .with_filter(Predicate::lt("l_shipdate", 0));
     assert!(reader.aggregate(&pruned).is_err());
+}
+
+/// The shared corruption sweep over the aggregate-oriented date table:
+/// every bit flip an aggregate could consume is either rejected by a
+/// checksum or leaves the answer identical to the clean baseline (the
+/// sweep's op suite includes SUM/MIN/filtered COUNT/grouped SUM).
+#[test]
+fn aggregate_paths_survive_corruption_sweep() {
+    let (_, bytes) = date_table(&[0, 100_000]);
+    let report = common::corruption_sweep(
+        &bytes,
+        &common::SweepOptions {
+            truncation: false, // covered exhaustively by tests/store.rs
+            ..common::SweepOptions::quick(bytes.len(), 256)
+        },
+    );
+    assert!(report.flips_rejected_by_ops > 0, "{report:?}");
 }
 
 /// COUNT over a *string* column with mixed footer verdicts across blocks:

@@ -3,6 +3,8 @@
 //! arbitrary data — and store-driven scans must match the in-memory scan
 //! kernels row for row.
 
+mod common;
+
 use corra_columnar::block::DataBlock;
 use corra_columnar::column::{Column, DataType};
 use corra_columnar::schema::{Field, Schema};
@@ -166,5 +168,31 @@ proptest! {
             let (got_par, _) = reader.scan_blocks_parallel(&pred, 4).unwrap();
             prop_assert_eq!(&got_par, &want);
         }
+    }
+
+    /// The shared corruption sweep holds for arbitrary property-generated
+    /// tables, not just the hand-shaped fixtures: every bit flip is caught
+    /// or provably harmless. Bounded flip budget keeps the case fast.
+    #[test]
+    fn corruption_sweep_on_arbitrary_tables(
+        cities in prop::collection::vec(any::<u8>(), 1..80),
+        seed in any::<i32>(),
+        plain in any::<bool>(),
+    ) {
+        let n = cities.len();
+        let refs: Vec<i32> = (0..n).map(|i| seed.wrapping_add(i as i32 * 13)).collect();
+        let diffs: Vec<i16> = (0..n).map(|i| (i as i16).wrapping_mul(5)).collect();
+        let fees: Vec<i16> = (0..n).map(|i| 10 + (i as i16 % 20)).collect();
+        let (raw, cfg) = build_block(&cities, &refs, &diffs, &fees, plain);
+        let block = CompressedBlock::compress(&raw, &cfg).unwrap();
+        let mut writer = TableWriter::new(Vec::new()).unwrap();
+        writer.write_block(&block).unwrap();
+        let bytes = writer.finish().unwrap();
+        let opts = common::SweepOptions {
+            truncation: false, // O(n²) over the file; covered by tests/store.rs
+            ..common::SweepOptions::quick(bytes.len(), 48)
+        };
+        let report = common::corruption_sweep(&bytes, &opts);
+        prop_assert!(report.flips_tested > 0);
     }
 }

@@ -10,6 +10,11 @@
 //! | NYS DMV registrations | [`dmv`] | city → zip and state → city hierarchies |
 //! | NYC Yellow Taxi | [`taxi`] | pickup → dropoff diff; Table 1 arithmetic mixture for `total_amount`; the paper's cleaning rules |
 //!
+//! A fifth, non-paper workload — [`timeseries`], a streaming log with
+//! monotonic timestamps, hot-key device skew and sticky status runs —
+//! exists to exercise the full vertical codec menu (Delta/RLE/Frequency)
+//! and feeds the `corra-sim` torture harness.
+//!
 //! All generators are deterministic per seed and expose both raw column
 //! vectors and [`corra_columnar::Table`] wrappers ready for block splitting.
 //! The environment variable convention used by the experiment binaries is
@@ -21,11 +26,13 @@
 pub mod dmv;
 pub mod ldbc;
 pub mod taxi;
+pub mod timeseries;
 pub mod tpch;
 
 pub use dmv::{DmvParams, DmvTable};
 pub use ldbc::{MessageParams, MessageTable};
 pub use taxi::{TaxiParams, TaxiTable};
+pub use timeseries::{TimeseriesParams, TimeseriesTable};
 pub use tpch::LineitemDates;
 
 /// Default experiment scale when `CORRA_ROWS` is unset: 4 data blocks.

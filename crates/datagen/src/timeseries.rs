@@ -1,0 +1,247 @@
+//! Streaming time-series / log workload: the torture harness's
+//! highest-entropy input.
+//!
+//! Unlike the four paper datasets (which reproduce *correlation* structure
+//! for the horizontal codecs), this workload is shaped to exercise the full
+//! *vertical* codec menu under [`ColumnPlan::AutoFull`]:
+//!
+//! | Column | Shape | Intended winner |
+//! |---|---|---|
+//! | `ts` | monotonic, small jittered steps | Delta |
+//! | `device` | Zipf hot-key skew over a sparse id space | Frequency |
+//! | `status` | long runs from a sticky state machine | RLE |
+//! | `latency_us` | dense bounded range, high distinct count | FOR |
+//! | `level` | low-cardinality severity strings | DictStr |
+//! | `service` | low-cardinality service names | DictStr |
+//!
+//! Deterministic per seed, like every generator in this crate.
+//!
+//! [`ColumnPlan::AutoFull`]: https://docs.rs/corra-core
+
+use corra_columnar::block::Table;
+use corra_columnar::column::{Column, DataType};
+use corra_columnar::schema::{Field, Schema};
+use corra_columnar::strings::StringPool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for the time-series generator.
+#[derive(Debug, Clone)]
+pub struct TimeseriesParams {
+    /// Number of rows (log events).
+    pub rows: usize,
+    /// Total number of distinct devices emitting events.
+    pub devices: usize,
+    /// How many of those devices are "hot" (absorb most of the traffic).
+    pub hot_devices: usize,
+    /// Probability that an event comes from a hot device.
+    pub hot_fraction: f64,
+    /// Expected run length of the sticky `status` column.
+    pub mean_status_run: usize,
+    /// First timestamp (epoch seconds).
+    pub start_ts: i64,
+}
+
+impl Default for TimeseriesParams {
+    fn default() -> Self {
+        Self {
+            rows: 100_000,
+            devices: 20_000,
+            hot_devices: 8,
+            hot_fraction: 0.90,
+            mean_status_run: 256,
+            // 2023-11-14T22:13:20Z — any fixed epoch works; determinism is
+            // what matters.
+            start_ts: 1_700_000_000,
+        }
+    }
+}
+
+impl TimeseriesParams {
+    /// Default shape scaled to a row count.
+    pub fn scaled(rows: usize) -> Self {
+        Self {
+            rows,
+            devices: (rows / 5).max(16),
+            ..Self::default()
+        }
+    }
+}
+
+/// Generated event log as raw column vectors.
+#[derive(Debug, Clone)]
+pub struct TimeseriesTable {
+    /// Event time, epoch seconds, monotonically non-decreasing.
+    pub ts: Vec<i64>,
+    /// Emitting device id (sparse space, Zipf-hot head).
+    pub device: Vec<i64>,
+    /// Device state code; changes rarely, producing long runs.
+    pub status: Vec<i64>,
+    /// Request latency in microseconds, bounded.
+    pub latency_us: Vec<i64>,
+    /// Log severity.
+    pub level: StringPool,
+    /// Service that emitted the event.
+    pub service: StringPool,
+}
+
+const LEVELS: [&str; 4] = ["debug", "info", "warn", "error"];
+const SERVICES: [&str; 6] = ["ingest", "compact", "query", "meta", "gc", "repl"];
+const STATUS_CODES: [i64; 5] = [0, 1, 2, 3, 9];
+
+impl TimeseriesTable {
+    /// Deterministically generates the event log for `(params, seed)`.
+    pub fn generate(params: &TimeseriesParams, seed: u64) -> Self {
+        assert!(params.rows > 0, "rows must be positive");
+        assert!(params.devices >= params.hot_devices.max(1));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = params.rows;
+        // Sparse device id space: hot ids live low, the cold tail is spread
+        // multiplicatively so FOR cannot pack it tightly and Frequency's
+        // hot-head + exception list wins.
+        let cold_id = |k: usize| 1_000_000 + (k as i64) * 9_973;
+        let mut ts = Vec::with_capacity(n);
+        let mut device = Vec::with_capacity(n);
+        let mut status = Vec::with_capacity(n);
+        let mut latency = Vec::with_capacity(n);
+        let mut level = StringPool::with_capacity(n, n * 5);
+        let mut service = StringPool::with_capacity(n, n * 6);
+        let mut now = params.start_ts;
+        let mut cur_status = STATUS_CODES[0];
+        let flip_p = 1.0 / params.mean_status_run.max(1) as f64;
+        for _ in 0..n {
+            // Monotonic clock with small jittered steps (mostly 0–3 s, a
+            // rare coarse hiccup): tiny deltas, huge absolute range.
+            now += if rng.gen_bool(0.01) {
+                rng.gen_range(60..=600i64)
+            } else {
+                rng.gen_range(0..=3i64)
+            };
+            ts.push(now);
+            device.push(if rng.gen_bool(params.hot_fraction) {
+                rng.gen_range(0..params.hot_devices) as i64
+            } else {
+                cold_id(rng.gen_range(0..params.devices))
+            });
+            if rng.gen_bool(flip_p) {
+                cur_status = STATUS_CODES[rng.gen_range(0..STATUS_CODES.len())];
+            }
+            status.push(cur_status);
+            latency.push(rng.gen_range(100..=16_483));
+            let lvl = match rng.gen_range(0..100) {
+                0..=4 => 3,   // error
+                5..=14 => 2,  // warn
+                15..=39 => 0, // debug
+                _ => 1,       // info
+            };
+            level.push(LEVELS[lvl]);
+            service.push(SERVICES[rng.gen_range(0..SERVICES.len())]);
+        }
+        Self {
+            ts,
+            device,
+            status,
+            latency_us: latency,
+            level,
+            service,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Wraps into a [`Table`].
+    pub fn into_table(self) -> Table {
+        Table::new(
+            schema(),
+            vec![
+                Column::Int64(self.ts),
+                Column::Int64(self.device),
+                Column::Int64(self.status),
+                Column::Int64(self.latency_us),
+                Column::Utf8(self.level),
+                Column::Utf8(self.service),
+            ],
+        )
+        .expect("generator produces aligned columns")
+    }
+}
+
+/// The event-log schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("ts", DataType::Timestamp),
+        Field::new("device", DataType::Int64),
+        Field::new("status", DataType::Int64),
+        Field::new("latency_us", DataType::Int64),
+        Field::new("level", DataType::Utf8),
+        Field::new("service", DataType::Utf8),
+    ])
+    .expect("distinct field names")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TimeseriesParams {
+        TimeseriesParams::scaled(10_000)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TimeseriesTable::generate(&small(), 7);
+        let b = TimeseriesTable::generate(&small(), 7);
+        assert_eq!(a.ts, b.ts);
+        assert_eq!(a.device, b.device);
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.latency_us, b.latency_us);
+        let c = TimeseriesTable::generate(&small(), 8);
+        assert_ne!(a.ts, c.ts);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_with_small_typical_steps() {
+        let t = TimeseriesTable::generate(&small(), 1);
+        let mut small_steps = 0usize;
+        for w in t.ts.windows(2) {
+            assert!(w[1] >= w[0], "clock went backwards");
+            if w[1] - w[0] <= 3 {
+                small_steps += 1;
+            }
+        }
+        assert!(small_steps as f64 > 0.95 * (t.rows() - 1) as f64);
+    }
+
+    #[test]
+    fn device_traffic_is_hot_key_skewed() {
+        let p = small();
+        let t = TimeseriesTable::generate(&p, 2);
+        let hot = t
+            .device
+            .iter()
+            .filter(|&&d| d < p.hot_devices as i64)
+            .count();
+        let frac = hot as f64 / t.rows() as f64;
+        assert!((0.85..0.95).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn status_forms_long_runs() {
+        let t = TimeseriesTable::generate(&small(), 3);
+        let runs = 1 + t.status.windows(2).filter(|w| w[0] != w[1]).count();
+        let mean_run = t.rows() as f64 / runs as f64;
+        assert!(mean_run > 50.0, "mean run {mean_run}");
+    }
+
+    #[test]
+    fn table_wrapping_preserves_shape() {
+        let t = TimeseriesTable::generate(&small(), 4);
+        let rows = t.rows();
+        let table = t.into_table();
+        assert_eq!(table.rows(), rows);
+        assert_eq!(table.schema(), &schema());
+    }
+}

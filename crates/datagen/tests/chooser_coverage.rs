@@ -1,0 +1,146 @@
+//! Chooser-coverage assertions: each workload must actually exercise the
+//! codecs it was designed to trigger. A generator drifting (or a chooser
+//! regression) that silently lands everything in FOR/Dict would erode both
+//! the paper experiments and the `corra-sim` torture harness — this suite
+//! pins the chosen codec tag per column.
+
+use corra_core::{ColumnPlan, CompressedBlock, CompressionConfig};
+use corra_datagen::{
+    taxi, DmvParams, DmvTable, LineitemDates, MessageParams, MessageTable, TaxiParams, TaxiTable,
+    TimeseriesParams, TimeseriesTable,
+};
+
+const BLOCK: usize = 65_536;
+
+/// Compresses the first block of a table and returns it.
+fn first_block(table: corra_columnar::block::Table, cfg: &CompressionConfig) -> CompressedBlock {
+    let blocks = table.into_blocks(BLOCK);
+    CompressedBlock::compress(&blocks[0], cfg).expect("compress")
+}
+
+#[track_caller]
+fn assert_scheme(block: &CompressedBlock, column: &str, want: &str) {
+    let got = block.codec(column).expect("column exists").scheme();
+    assert_eq!(
+        got, want,
+        "column {column}: chose {got}, designed for {want}"
+    );
+}
+
+#[test]
+fn tpch_triggers_nonhier_over_for_dates() {
+    let table = LineitemDates::generate(100_000, 1).into_table();
+    let cfg = CompressionConfig::baseline()
+        .with(
+            "l_commitdate",
+            ColumnPlan::NonHier {
+                reference: "l_shipdate".into(),
+            },
+        )
+        .with(
+            "l_receiptdate",
+            ColumnPlan::NonHier {
+                reference: "l_shipdate".into(),
+            },
+        );
+    let block = first_block(table, &cfg);
+    assert_scheme(&block, "l_shipdate", "for");
+    assert_scheme(&block, "l_commitdate", "corra-nonhier");
+    assert_scheme(&block, "l_receiptdate", "corra-nonhier");
+}
+
+#[test]
+fn dmv_triggers_hier_under_string_parent() {
+    let table = DmvTable::generate(DmvParams::scaled(100_000), 2).into_table();
+    let cfg = CompressionConfig::baseline().with(
+        "zip",
+        ColumnPlan::Hier {
+            reference: "city".into(),
+        },
+    );
+    let block = first_block(table, &cfg);
+    assert_scheme(&block, "state", "dict-str");
+    assert_scheme(&block, "city", "dict-str");
+    assert_scheme(&block, "zip", "corra-hier");
+}
+
+#[test]
+fn ldbc_triggers_hier_under_int_parent() {
+    let table = MessageTable::generate(MessageParams::scaled(100_000), 3).into_table();
+    let cfg = CompressionConfig::baseline().with(
+        "ip",
+        ColumnPlan::Hier {
+            reference: "countryid".into(),
+        },
+    );
+    let block = first_block(table, &cfg);
+    assert_scheme(&block, "ip", "corra-hier");
+    // The parent is a vertical int column; either baseline winner is fine,
+    // but it must stay vertical (a reference cannot itself be diff-encoded).
+    let parent = block.codec("countryid").unwrap().scheme();
+    assert!(
+        parent == "for" || parent == "dict",
+        "countryid chose {parent}"
+    );
+}
+
+#[test]
+fn taxi_triggers_nonhier_and_multiref() {
+    let mut t = TaxiTable::generate(
+        TaxiParams {
+            rows: 100_000,
+            ..TaxiParams::default()
+        },
+        4,
+    );
+    assert_eq!(taxi::clean(&mut t), 0, "generator is clean");
+    let table = t.into_table();
+    let cfg = CompressionConfig::baseline()
+        .with(
+            "dropoff",
+            ColumnPlan::NonHier {
+                reference: "pickup".into(),
+            },
+        )
+        .with(
+            "total_amount",
+            ColumnPlan::MultiRef {
+                groups: TaxiTable::reference_groups(),
+                code_bits: 2,
+            },
+        );
+    let block = first_block(table, &cfg);
+    assert_scheme(&block, "pickup", "for");
+    assert_scheme(&block, "dropoff", "corra-nonhier");
+    assert_scheme(&block, "total_amount", "corra-multiref");
+}
+
+#[test]
+fn timeseries_triggers_the_full_vertical_menu() {
+    // The sim harness's highest-entropy workload: under the full chooser,
+    // every designed-for vertical scheme must actually win its column.
+    let table = TimeseriesTable::generate(&TimeseriesParams::scaled(100_000), 5).into_table();
+    let mut cfg = CompressionConfig::baseline();
+    for col in ["ts", "device", "status", "latency_us"] {
+        cfg.set(col, ColumnPlan::AutoFull);
+    }
+    let block = first_block(table, &cfg);
+    assert_scheme(&block, "ts", "delta");
+    assert_scheme(&block, "device", "frequency");
+    assert_scheme(&block, "status", "rle");
+    assert_scheme(&block, "latency_us", "for");
+    assert_scheme(&block, "level", "dict-str");
+    assert_scheme(&block, "service", "dict-str");
+}
+
+#[test]
+fn baseline_auto_never_picks_extended_schemes() {
+    // Guardrail for the paper experiments: plain `Auto` is the *baseline*
+    // chooser (FOR vs Dict only); the extended menu stays opt-in.
+    let table = TimeseriesTable::generate(&TimeseriesParams::scaled(50_000), 6).into_table();
+    let block = first_block(table, &CompressionConfig::baseline());
+    for col in ["ts", "device", "status", "latency_us"] {
+        let got = block.codec(col).unwrap().scheme();
+        assert!(got == "for" || got == "dict", "column {col} chose {got}");
+    }
+}

@@ -1,0 +1,125 @@
+//! CLI driver for the torture harness.
+//!
+//! ```text
+//! corra-sim [--seeds N] [--start S] [--seed S] [--quick]
+//! CORRA_SIM_SEED=S corra-sim        # replay exactly one seed
+//! ```
+//!
+//! Exit code 0 when every scenario passes; 1 otherwise. Failing seeds are
+//! also written to `sim-failures.txt` so CI can archive them.
+
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+use corra_sim::{run_seed, SimOptions, SEED_ENV};
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    pinned: Vec<u64>,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 50,
+        start: 0,
+        pinned: Vec::new(),
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--seeds" => args.seeds = num("--seeds")?,
+            "--start" => args.start = num("--start")?,
+            "--seed" => args.pinned.push(num("--seed")?),
+            "--quick" => args.quick = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: corra-sim [--seeds N] [--start S] [--seed S]... [--quick]".into(),
+                )
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if let Ok(s) = std::env::var(SEED_ENV) {
+        args.pinned
+            .push(s.parse().map_err(|e| format!("{SEED_ENV}: {e}"))?);
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = SimOptions { quick: args.quick };
+    let seeds: Vec<u64> = if args.pinned.is_empty() {
+        (args.start..args.start + args.seeds).collect()
+    } else {
+        args.pinned.clone()
+    };
+    let mut failures: Vec<(u64, String)> = Vec::new();
+    for &seed in &seeds {
+        let result = catch_unwind(AssertUnwindSafe(|| run_seed(seed, &opts)));
+        match result {
+            Ok(Ok(outcome)) => {
+                println!(
+                    "seed {:>6} ok  {:<10} rows {:>6} blocks {:>3} ops {:>3} \
+                     faults {:>4} sweep-flips {:>3} fp {:016x}",
+                    outcome.seed,
+                    outcome.workload,
+                    outcome.rows,
+                    outcome.n_blocks,
+                    outcome.ops,
+                    outcome.faults_injected,
+                    outcome.sweep_flips,
+                    outcome.fingerprint,
+                );
+            }
+            Ok(Err(failure)) => {
+                eprintln!("FAIL {failure}");
+                failures.push((seed, failure.message));
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                eprintln!(
+                    "FAIL seed {seed} panicked: {msg} (replay: {SEED_ENV}={seed} \
+                     cargo run -p corra-sim)"
+                );
+                failures.push((seed, format!("panic: {msg}")));
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("all {} seeds passed", seeds.len());
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("{} of {} seeds FAILED:", failures.len(), seeds.len());
+    for (seed, _) in &failures {
+        eprintln!("  {SEED_ENV}={seed} cargo run -p corra-sim");
+    }
+    // Artifact for CI: one failing seed per line.
+    if let Ok(mut f) = std::fs::File::create("sim-failures.txt") {
+        for (seed, message) in &failures {
+            let _ = writeln!(f, "{seed}\t{message}");
+        }
+        eprintln!("failing seeds written to sim-failures.txt");
+    }
+    ExitCode::FAILURE
+}

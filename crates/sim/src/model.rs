@@ -1,0 +1,426 @@
+//! The model table: a plain row-oriented oracle the engine is checked
+//! against.
+//!
+//! Everything here is written in the most boring way possible — rows as
+//! `Vec<Cell>`, predicate evaluation row by row, aggregation as a naive
+//! fold into a `BTreeMap` — precisely so it shares no code (and therefore
+//! no bugs) with the compressed-domain kernels it validates. The only
+//! deliberate coupling is the *finalization semantics* (what an empty SUM
+//! returns, how AVG divides), which mirror the engine's documented
+//! contract.
+
+use std::collections::BTreeMap;
+
+use corra_columnar::block::DataBlock;
+use corra_columnar::column::Column;
+use corra_columnar::selection::SelectionVector;
+use corra_columnar::strings::StringPool;
+use corra_core::{AggExpr, AggFunc, AggResult, AggValue, CmpOp, GroupKey, Predicate};
+
+/// One model cell. All engine values are either `i64` or UTF-8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cell {
+    /// Integer (also dates / timestamps / money).
+    Int(i64),
+    /// String.
+    Str(String),
+}
+
+/// A plain, uncompressed, row-oriented copy of the table.
+#[derive(Debug, Clone)]
+pub struct ModelTable {
+    names: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+    /// `(start_row, len)` per block, in block order.
+    block_spans: Vec<(usize, usize)>,
+}
+
+/// Naive integer fold with the engine's finalization semantics.
+#[derive(Debug, Default, Clone)]
+struct IntFold {
+    count: u64,
+    sum: i128,
+    min: Option<i64>,
+    max: Option<i64>,
+}
+
+impl IntFold {
+    fn update(&mut self, v: i64) {
+        self.count += 1;
+        self.sum += i128::from(v);
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    fn finalize(&self, func: AggFunc) -> AggValue {
+        match func {
+            AggFunc::Count => AggValue::Count(self.count),
+            AggFunc::Sum => AggValue::Sum((self.count > 0).then_some(self.sum)),
+            AggFunc::Min => AggValue::Int(self.min),
+            AggFunc::Max => AggValue::Int(self.max),
+            AggFunc::Avg => {
+                AggValue::Avg((self.count > 0).then(|| self.sum as f64 / self.count as f64))
+            }
+        }
+    }
+}
+
+/// Naive string fold (COUNT/MIN/MAX only; the engine rejects SUM/AVG on
+/// string targets and the scenario generator never produces them).
+#[derive(Debug, Default, Clone)]
+struct StrFold {
+    count: u64,
+    min: Option<String>,
+    max: Option<String>,
+}
+
+impl StrFold {
+    fn update(&mut self, v: &str) {
+        self.count += 1;
+        match &self.min {
+            Some(m) if m.as_str() <= v => {}
+            _ => self.min = Some(v.to_owned()),
+        }
+        match &self.max {
+            Some(m) if m.as_str() >= v => {}
+            _ => self.max = Some(v.to_owned()),
+        }
+    }
+
+    fn finalize(&self, func: AggFunc) -> AggValue {
+        match func {
+            AggFunc::Count => AggValue::Count(self.count),
+            AggFunc::Min => AggValue::Str(self.min.clone()),
+            AggFunc::Max => AggValue::Str(self.max.clone()),
+            AggFunc::Sum | AggFunc::Avg => unreachable!("never generated for string targets"),
+        }
+    }
+}
+
+impl ModelTable {
+    /// Flattens raw (pre-compression) blocks into one row store.
+    pub fn from_blocks(blocks: &[DataBlock]) -> Self {
+        assert!(!blocks.is_empty(), "model needs at least one block");
+        let names: Vec<String> = blocks[0]
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.name().to_owned())
+            .collect();
+        let mut rows = Vec::new();
+        let mut block_spans = Vec::new();
+        for block in blocks {
+            let start = rows.len();
+            for i in 0..block.rows() {
+                let row: Vec<Cell> = block
+                    .columns()
+                    .iter()
+                    .map(|col| match col {
+                        Column::Int64(v) => Cell::Int(v[i]),
+                        Column::Utf8(p) => Cell::Str(p.get(i).to_owned()),
+                    })
+                    .collect();
+                rows.push(row);
+            }
+            block_spans.push((start, block.rows()));
+        }
+        Self {
+            names,
+            rows,
+            block_spans,
+        }
+    }
+
+    /// Column names, schema order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Total rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.block_spans.len()
+    }
+
+    /// One cell, global row index.
+    pub fn cell(&self, row: usize, column: &str) -> &Cell {
+        &self.rows[row][self.col(column)]
+    }
+
+    fn col(&self, name: &str) -> usize {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("model has no column {name}"))
+    }
+
+    /// Rebuilds one block's column as a [`Column`], for equality against
+    /// the engine's projected read.
+    pub fn column(&self, block: usize, name: &str) -> Column {
+        let c = self.col(name);
+        let (start, len) = self.block_spans[block];
+        match &self.rows[start][c] {
+            Cell::Int(_) => Column::Int64(
+                self.rows[start..start + len]
+                    .iter()
+                    .map(|r| match &r[c] {
+                        Cell::Int(v) => *v,
+                        Cell::Str(_) => unreachable!("column kinds are uniform"),
+                    })
+                    .collect(),
+            ),
+            Cell::Str(_) => {
+                let mut pool = StringPool::with_capacity(len, len * 8);
+                for r in &self.rows[start..start + len] {
+                    match &r[c] {
+                        Cell::Str(s) => pool.push(s),
+                        Cell::Int(_) => unreachable!("column kinds are uniform"),
+                    };
+                }
+                Column::Utf8(pool)
+            }
+        }
+    }
+
+    fn matches(&self, row: &[Cell], pred: &Predicate) -> bool {
+        match pred {
+            Predicate::Compare { column, op, value } => {
+                let v = match &row[self.col(column)] {
+                    Cell::Int(v) => *v,
+                    Cell::Str(_) => panic!("int predicate over string column {column}"),
+                };
+                match op {
+                    CmpOp::Eq => v == *value,
+                    CmpOp::Ne => v != *value,
+                    CmpOp::Lt => v < *value,
+                    CmpOp::Le => v <= *value,
+                    CmpOp::Gt => v > *value,
+                    CmpOp::Ge => v >= *value,
+                }
+            }
+            Predicate::Between { column, lo, hi } => match &row[self.col(column)] {
+                Cell::Int(v) => (lo..=hi).contains(&v),
+                Cell::Str(_) => panic!("int predicate over string column {column}"),
+            },
+            Predicate::StrEq {
+                column,
+                value,
+                negate,
+            } => match &row[self.col(column)] {
+                Cell::Str(s) => (s == value) != *negate,
+                Cell::Int(_) => panic!("string predicate over int column {column}"),
+            },
+            Predicate::And(children) => children.iter().all(|p| self.matches(row, p)),
+            Predicate::Or(children) => children.iter().any(|p| self.matches(row, p)),
+            Predicate::Not(child) => !self.matches(row, child),
+        }
+    }
+
+    /// Per-block selection vectors of matching rows (block-local indices).
+    pub fn scan(&self, pred: &Predicate) -> Vec<SelectionVector> {
+        self.block_spans
+            .iter()
+            .map(|&(start, len)| {
+                SelectionVector::new(
+                    (0..len)
+                        .filter(|&i| self.matches(&self.rows[start + i], pred))
+                        .map(|i| i as u32)
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Naive row-by-row aggregation with the engine's result shape.
+    pub fn aggregate(&self, expr: &AggExpr) -> AggResult {
+        let keep: Vec<bool> = match expr.filter() {
+            None => vec![true; self.rows.len()],
+            Some(p) => self.rows.iter().map(|r| self.matches(r, p)).collect(),
+        };
+        let target = expr.column().map(|c| self.col(c));
+        let string_target = matches!(
+            target.map(|c| &self.rows.first().expect("non-empty")[c]),
+            Some(Cell::Str(_))
+        );
+        match expr.group_by() {
+            None => {
+                if string_target {
+                    let mut s = StrFold::default();
+                    for (r, &k) in self.rows.iter().zip(&keep) {
+                        if k {
+                            match &r[target.expect("string target")] {
+                                Cell::Str(v) => s.update(v),
+                                Cell::Int(_) => unreachable!(),
+                            }
+                        }
+                    }
+                    AggResult::Scalar(s.finalize(expr.func()))
+                } else {
+                    let mut s = IntFold::default();
+                    for (r, &k) in self.rows.iter().zip(&keep) {
+                        if !k {
+                            continue;
+                        }
+                        match target.map(|c| &r[c]) {
+                            Some(Cell::Int(v)) => s.update(*v),
+                            Some(Cell::Str(_)) => unreachable!(),
+                            None => s.count += 1,
+                        }
+                    }
+                    AggResult::Scalar(s.finalize(expr.func()))
+                }
+            }
+            Some(group) => {
+                let g = self.col(group);
+                let key_of = |r: &[Cell]| match &r[g] {
+                    Cell::Int(v) => GroupKey::Int(*v),
+                    Cell::Str(s) => GroupKey::Str(s.clone()),
+                };
+                if string_target {
+                    let mut groups: BTreeMap<GroupKey, StrFold> = BTreeMap::new();
+                    for (r, &k) in self.rows.iter().zip(&keep) {
+                        if k {
+                            match &r[target.expect("string target")] {
+                                Cell::Str(v) => groups.entry(key_of(r)).or_default().update(v),
+                                Cell::Int(_) => unreachable!(),
+                            }
+                        }
+                    }
+                    AggResult::Grouped(
+                        groups
+                            .into_iter()
+                            .map(|(k, s)| (k, s.finalize(expr.func())))
+                            .collect(),
+                    )
+                } else {
+                    let mut groups: BTreeMap<GroupKey, IntFold> = BTreeMap::new();
+                    for (r, &k) in self.rows.iter().zip(&keep) {
+                        if !k {
+                            continue;
+                        }
+                        let s = groups.entry(key_of(r)).or_default();
+                        match target.map(|c| &r[c]) {
+                            Some(Cell::Int(v)) => s.update(*v),
+                            Some(Cell::Str(_)) => unreachable!(),
+                            None => s.count += 1,
+                        }
+                    }
+                    AggResult::Grouped(
+                        groups
+                            .into_iter()
+                            .map(|(k, s)| (k, s.finalize(expr.func())))
+                            .collect(),
+                    )
+                }
+            }
+        }
+    }
+
+    /// Whether the named column holds strings.
+    pub fn is_string(&self, name: &str) -> bool {
+        matches!(
+            self.rows.first().map(|r| &r[self.col(name)]),
+            Some(Cell::Str(_))
+        )
+    }
+
+    /// A value sample for predicate generation: the named column's value at
+    /// `row` (global index).
+    pub fn sample_int(&self, row: usize, name: &str) -> i64 {
+        match self.cell(row, name) {
+            Cell::Int(v) => *v,
+            Cell::Str(_) => panic!("sample_int over string column {name}"),
+        }
+    }
+
+    /// String sample for predicate generation.
+    pub fn sample_str(&self, row: usize, name: &str) -> &str {
+        match self.cell(row, name) {
+            Cell::Str(s) => s,
+            Cell::Int(_) => panic!("sample_str over int column {name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corra_columnar::column::DataType;
+    use corra_columnar::schema::{Field, Schema};
+
+    fn two_blocks() -> Vec<DataBlock> {
+        let schema = Schema::new(vec![
+            Field::new("v", DataType::Int64),
+            Field::new("tag", DataType::Utf8),
+        ])
+        .unwrap();
+        [0i64, 10]
+            .iter()
+            .map(|&salt| {
+                DataBlock::new(
+                    schema.clone(),
+                    vec![
+                        Column::Int64((0..4).map(|i| salt + i).collect()),
+                        Column::Utf8((0..4).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect()),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scan_matches_by_hand() {
+        let m = ModelTable::from_blocks(&two_blocks());
+        let sels = m.scan(&Predicate::ge("v", 3));
+        assert_eq!(sels[0].positions(), &[3]);
+        assert_eq!(sels[1].positions(), &[0, 1, 2, 3]);
+        let sels = m.scan(&Predicate::and(vec![
+            Predicate::str_eq("tag", "a"),
+            Predicate::lt("v", 11),
+        ]));
+        assert_eq!(sels[0].positions(), &[0, 2]);
+        assert_eq!(sels[1].positions(), &[0]);
+    }
+
+    #[test]
+    fn aggregate_matches_by_hand() {
+        let m = ModelTable::from_blocks(&two_blocks());
+        assert_eq!(
+            m.aggregate(&AggExpr::sum("v")),
+            AggResult::Scalar(AggValue::Sum(Some(1 + 2 + 3 + 10 + 11 + 12 + 13)))
+        );
+        assert_eq!(
+            m.aggregate(&AggExpr::count().with_filter(Predicate::str_eq("tag", "b"))),
+            AggResult::Scalar(AggValue::Count(4))
+        );
+        let grouped = m.aggregate(&AggExpr::max("v").with_group_by("tag"));
+        assert_eq!(
+            grouped,
+            AggResult::Grouped(vec![
+                (GroupKey::Str("a".into()), AggValue::Int(Some(12))),
+                (GroupKey::Str("b".into()), AggValue::Int(Some(13))),
+            ])
+        );
+        // Empty-filter SUM is NULL, not zero — the engine's contract.
+        assert_eq!(
+            m.aggregate(&AggExpr::sum("v").with_filter(Predicate::lt("v", -1))),
+            AggResult::Scalar(AggValue::Sum(None))
+        );
+    }
+
+    #[test]
+    fn column_rebuild_round_trips() {
+        let blocks = two_blocks();
+        let m = ModelTable::from_blocks(&blocks);
+        for (b, raw) in blocks.iter().enumerate() {
+            for name in ["v", "tag"] {
+                assert_eq!(&m.column(b, name), raw.column(name).unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,692 @@
+//! Seeded scenario driver: one seed fully determines a workload, a block
+//! layout, a compression config, an operation schedule, and a fault
+//! schedule — so every failure replays exactly from its seed.
+//!
+//! A scenario runs in three passes:
+//!
+//! 1. **Clean differential pass** — every operation runs through the store
+//!    reader, the in-memory engine (serial *and* parallel), and the plain
+//!    [`ModelTable`] oracle; all four must agree exactly.
+//! 2. **Fault passes** — the same table is re-read through a
+//!    [`FaultyBackend`]. Benign plans (short reads only) must be fully
+//!    transparent; hostile plans (bit flips, transient errors, torn tails)
+//!    must surface as `Err` or return the exact model answer — never panic,
+//!    never silently wrong data.
+//! 3. **Corruption sweep** — the shared [`corra_core::torture`] sweep runs
+//!    a seeded slice of single-bit flips over the file image.
+
+use std::fmt;
+
+use corra_columnar::block::{DataBlock, Table};
+use corra_columnar::column::{Column, DataType};
+use corra_columnar::schema::{Field, Schema};
+use corra_columnar::selection::SelectionVector;
+use corra_core::store::{TableReader, TableWriter};
+use corra_core::{
+    aggregate_blocks, aggregate_blocks_parallel, checksum64, corruption_sweep, scan_blocks,
+    AggExpr, AggFunc, AggResult, ColumnPlan, CompressedBlock, CompressionConfig, FaultPlan,
+    FaultyBackend, MemBackend, Predicate, SweepOptions,
+};
+use corra_datagen::{
+    taxi, DmvParams, DmvTable, LineitemDates, MessageParams, MessageTable, TaxiParams, TaxiTable,
+    TimeseriesParams, TimeseriesTable,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::ModelTable;
+
+/// Environment variable that pins the harness to a single replay seed.
+pub const SEED_ENV: &str = "CORRA_SIM_SEED";
+
+/// Harness knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimOptions {
+    /// Smaller tables, fewer operations, thinner sweep — for CI smoke.
+    pub quick: bool,
+}
+
+/// A scenario failure: what went wrong, and the seed that replays it.
+#[derive(Debug, Clone)]
+pub struct SimFailure {
+    /// The scenario seed.
+    pub seed: u64,
+    /// Human-readable mismatch description.
+    pub message: String,
+}
+
+impl fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed {} failed: {} (replay: {}={} cargo run -p corra-sim)",
+            self.seed, self.message, SEED_ENV, self.seed
+        )
+    }
+}
+
+impl std::error::Error for SimFailure {}
+
+/// Summary of a passed scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario seed.
+    pub seed: u64,
+    /// Workload label.
+    pub workload: &'static str,
+    /// Total rows generated.
+    pub rows: usize,
+    /// Blocks written to the store image.
+    pub n_blocks: usize,
+    /// Operations in the schedule.
+    pub ops: usize,
+    /// Chained checksum over every clean-pass result: two runs of the same
+    /// seed must produce the same fingerprint bit for bit.
+    pub fingerprint: u64,
+    /// Faults injected across the hostile episodes.
+    pub faults_injected: u64,
+    /// Bit flips exercised by the corruption sweep.
+    pub sweep_flips: usize,
+}
+
+/// One scheduled operation.
+#[derive(Debug, Clone)]
+enum Op {
+    ReadBlock(usize),
+    ReadColumn(usize, String),
+    Scan(Predicate, usize),
+    Aggregate(AggExpr, usize),
+}
+
+/// The oracle's expected result for one operation.
+#[derive(Debug, Clone, PartialEq)]
+enum Expected {
+    Block(CompressedBlock),
+    Column(Column),
+    Scan(Vec<SelectionVector>),
+    Agg(AggResult),
+}
+
+const WORKLOADS: [&str; 6] = ["tpch", "dmv", "ldbc", "taxi", "timeseries", "synthetic"];
+
+/// A fully-built scenario: store image, oracle, and operation schedule.
+pub struct Scenario {
+    /// The generating seed.
+    pub seed: u64,
+    /// Workload label.
+    pub workload: &'static str,
+    /// Rows per block used when splitting.
+    pub block_rows: usize,
+    /// Compressed blocks (the in-memory engine's input).
+    pub blocks: Vec<CompressedBlock>,
+    /// Serialized store image (footer v3, checksummed).
+    pub bytes: Vec<u8>,
+    /// The row-oriented oracle.
+    pub model: ModelTable,
+    ops: Vec<Op>,
+    expected: Vec<Expected>,
+    quick: bool,
+}
+
+impl Scenario {
+    /// Deterministically builds the scenario for `seed`.
+    ///
+    /// The workload is `seed % 6` (so a small seed corpus can cover all
+    /// six); everything else — table shape, block size, operation and
+    /// fault schedules — comes from an `StdRng` seeded with `seed`.
+    pub fn build(seed: u64, opts: &SimOptions) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let workload = WORKLOADS[(seed % WORKLOADS.len() as u64) as usize];
+        let rows = if opts.quick {
+            rng.gen_range(1_200..3_000)
+        } else {
+            rng.gen_range(5_000..14_000)
+        };
+        let (table, cfg, groupable) = build_workload(workload, rows, &mut rng);
+        let block_rows = *[97, 256, 511, 1_024, 2_048]
+            .iter()
+            .filter(|&&b| b < rows)
+            .nth(rng.gen_range(0..4))
+            .expect("row floor exceeds every candidate block size");
+        let raw_blocks: Vec<DataBlock> = table.into_blocks(block_rows);
+        let blocks: Vec<CompressedBlock> = raw_blocks
+            .iter()
+            .map(|b| CompressedBlock::compress(b, &cfg).expect("workload config compresses"))
+            .collect();
+        let mut writer = TableWriter::new(Vec::new()).expect("vec sink");
+        for b in &blocks {
+            writer.write_block(b).expect("write block");
+        }
+        let bytes = writer.finish().expect("finish table");
+        let model = ModelTable::from_blocks(&raw_blocks);
+        let n_ops = if opts.quick { 24 } else { 64 };
+        let ops = schedule_ops(&mut rng, &model, &groupable, n_ops);
+        let expected = ops.iter().map(|op| expect(&model, &blocks, op)).collect();
+        Self {
+            seed,
+            workload,
+            block_rows,
+            blocks,
+            bytes,
+            model,
+            ops,
+            expected,
+            quick: opts.quick,
+        }
+    }
+
+    /// Number of scheduled operations.
+    pub fn ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn fail(&self, message: String) -> SimFailure {
+        SimFailure {
+            seed: self.seed,
+            message,
+        }
+    }
+
+    /// Clean differential pass: store reader + in-memory serial + parallel
+    /// vs the model, for every operation. Returns the result fingerprint.
+    pub fn verify_clean(&self) -> Result<u64, SimFailure> {
+        let reader = TableReader::from_bytes(self.bytes.clone())
+            .map_err(|e| self.fail(format!("clean open failed: {e}")))?;
+        let mut fp = checksum64(b"corra-sim");
+        for (i, (op, want)) in self.ops.iter().zip(&self.expected).enumerate() {
+            let got = run_op(&reader, op).map_err(|e| self.fail(format!("op {i} {op:?}: {e}")))?;
+            if &got != want {
+                return Err(self.fail(format!(
+                    "op {i} {op:?}: engine disagrees with model\n  got  {got:?}\n  want {want:?}"
+                )));
+            }
+            // The in-memory engine must agree with the store path too.
+            match op {
+                Op::Scan(pred, _) => {
+                    let (sels, _) = scan_blocks(&self.blocks, pred)
+                        .map_err(|e| self.fail(format!("op {i} in-memory scan: {e}")))?;
+                    if Expected::Scan(sels) != *want {
+                        return Err(self.fail(format!("op {i} {op:?}: in-memory scan diverged")));
+                    }
+                }
+                Op::Aggregate(expr, threads) => {
+                    let (agg, _) = aggregate_blocks(&self.blocks, expr)
+                        .map_err(|e| self.fail(format!("op {i} in-memory aggregate: {e}")))?;
+                    let (par, _) = aggregate_blocks_parallel(&self.blocks, expr, *threads)
+                        .map_err(|e| self.fail(format!("op {i} parallel aggregate: {e}")))?;
+                    if Expected::Agg(agg) != *want || Expected::Agg(par) != *want {
+                        return Err(self.fail(format!("op {i} {op:?}: in-memory agg diverged")));
+                    }
+                }
+                Op::ReadBlock(_) | Op::ReadColumn(..) => {}
+            }
+            fp = checksum64(format!("{fp:016x}|{got:?}").as_bytes());
+        }
+        Ok(fp)
+    }
+
+    /// Benign fault pass: a backend that constantly returns short reads
+    /// must be fully transparent.
+    pub fn verify_benign_faults(&self) -> Result<u64, SimFailure> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0xBE216E));
+        let plan = FaultPlan::none(rng.gen()).with_short_reads(rng.gen_range(0.4..0.95));
+        debug_assert!(plan.is_benign());
+        let backend = FaultyBackend::new(MemBackend::new(self.bytes.clone()), plan);
+        let reader = TableReader::from_backend(Box::new(backend))
+            .map_err(|e| self.fail(format!("benign-fault open failed: {e}")))?;
+        let mut healed = 0u64;
+        for (i, (op, want)) in self.ops.iter().zip(&self.expected).enumerate() {
+            let got = run_op(&reader, op)
+                .map_err(|e| self.fail(format!("benign op {i} {op:?} errored: {e}")))?;
+            if &got != want {
+                return Err(self.fail(format!(
+                    "benign op {i} {op:?}: short reads corrupted a result"
+                )));
+            }
+            healed += 1;
+        }
+        Ok(healed)
+    }
+
+    /// Hostile fault pass: bit flips + transient errors. Every operation
+    /// must error or return the exact model answer; the whole episode must
+    /// be deterministic per seed. Returns total faults injected.
+    pub fn verify_hostile_faults(&self) -> Result<u64, SimFailure> {
+        let episodes = if self.quick { 2 } else { 4 };
+        let mut injected = 0u64;
+        for episode in 0..episodes {
+            let fault_seed = self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(episode);
+            let run = |bytes: &[u8]| -> Result<(Vec<String>, u64), SimFailure> {
+                let plan = FaultPlan::none(fault_seed)
+                    .with_bit_flips(0.04 + 0.03 * episode as f64)
+                    .with_transient_errors(0.02 * episode as f64);
+                let backend =
+                    std::sync::Arc::new(FaultyBackend::new(MemBackend::new(bytes.to_vec()), plan));
+                let stats_handle = std::sync::Arc::clone(&backend);
+                let mut log = Vec::with_capacity(self.ops.len() + 1);
+                match TableReader::from_backend(Box::new(backend)) {
+                    Err(e) => log.push(format!("open err: {e}")),
+                    Ok(reader) => {
+                        for (i, (op, want)) in self.ops.iter().zip(&self.expected).enumerate() {
+                            // Serial drivers only: parallel scans interleave
+                            // backend reads nondeterministically, which
+                            // would scramble the seeded fault schedule and
+                            // break outcome-for-outcome replay.
+                            match run_op_serial(&reader, op) {
+                                Err(e) => log.push(format!("op {i} err: {e}")),
+                                Ok(got) => {
+                                    if &got != want {
+                                        return Err(self.fail(format!(
+                                            "hostile episode {episode} op {i} {op:?}: \
+                                             silently wrong data served"
+                                        )));
+                                    }
+                                    log.push(format!("op {i} ok"));
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok((log, stats_handle.stats().total()))
+            };
+            let (first, faults) = run(&self.bytes)?;
+            let (second, _) = run(&self.bytes)?;
+            if first != second {
+                return Err(self.fail(format!(
+                    "hostile episode {episode}: fault schedule not deterministic"
+                )));
+            }
+            injected += faults;
+        }
+        // Torn tails must always fail at open: the trailer is unreadable.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7042);
+        for _ in 0..3 {
+            let cut = rng.gen_range(1..self.bytes.len().min(512)) as u64;
+            let plan = FaultPlan::none(rng.gen()).with_truncation(self.bytes.len() as u64 - cut);
+            let backend = FaultyBackend::new(MemBackend::new(self.bytes.clone()), plan);
+            if TableReader::from_backend(Box::new(backend)).is_ok() {
+                return Err(self.fail(format!("torn tail (cut {cut}) opened successfully")));
+            }
+        }
+        Ok(injected)
+    }
+
+    /// Seeded slice of the shared single-bit-flip corruption sweep.
+    pub fn verify_sweep(&self) -> usize {
+        let budget = if self.quick { 16 } else { 64 };
+        let opts = SweepOptions {
+            truncation: false, // torn tails covered per-episode above
+            ..SweepOptions::quick(self.bytes.len(), budget)
+        };
+        corruption_sweep(&self.bytes, &opts).flips_tested
+    }
+}
+
+/// Builds the scenario for a seed and runs all passes.
+pub fn run_seed(seed: u64, opts: &SimOptions) -> Result<ScenarioOutcome, SimFailure> {
+    let scenario = Scenario::build(seed, opts);
+    let fingerprint = scenario.verify_clean()?;
+    scenario.verify_benign_faults()?;
+    let faults_injected = scenario.verify_hostile_faults()?;
+    let sweep_flips = scenario.verify_sweep();
+    Ok(ScenarioOutcome {
+        seed,
+        workload: scenario.workload,
+        rows: scenario.model.rows(),
+        n_blocks: scenario.blocks.len(),
+        ops: scenario.ops(),
+        fingerprint,
+        faults_injected,
+        sweep_flips,
+    })
+}
+
+fn run_op(reader: &TableReader, op: &Op) -> corra_columnar::error::Result<Expected> {
+    Ok(match op {
+        Op::ReadBlock(b) => Expected::Block(reader.read_block(*b)?),
+        Op::ReadColumn(b, name) => Expected::Column(reader.read_column(*b, name)?),
+        Op::Scan(pred, threads) => {
+            let (serial, _) = reader.scan_blocks(pred)?;
+            let (parallel, _) = reader.scan_blocks_parallel(pred, *threads)?;
+            if serial != parallel {
+                return Err(corra_columnar::error::Error::invalid(
+                    "serial and parallel store scans diverged",
+                ));
+            }
+            Expected::Scan(serial)
+        }
+        Op::Aggregate(expr, _) => Expected::Agg(reader.aggregate(expr)?.0),
+    })
+}
+
+/// Serial-only variant of [`run_op`]: identical results, but backend reads
+/// happen in one deterministic order (required by the hostile-episode
+/// replay check).
+fn run_op_serial(reader: &TableReader, op: &Op) -> corra_columnar::error::Result<Expected> {
+    Ok(match op {
+        Op::ReadBlock(b) => Expected::Block(reader.read_block(*b)?),
+        Op::ReadColumn(b, name) => Expected::Column(reader.read_column(*b, name)?),
+        Op::Scan(pred, _) => Expected::Scan(reader.scan_blocks(pred)?.0),
+        Op::Aggregate(expr, _) => Expected::Agg(reader.aggregate(expr)?.0),
+    })
+}
+
+fn expect(model: &ModelTable, blocks: &[CompressedBlock], op: &Op) -> Expected {
+    match op {
+        Op::ReadBlock(b) => Expected::Block(blocks[*b].clone()),
+        Op::ReadColumn(b, name) => Expected::Column(model.column(*b, name)),
+        Op::Scan(pred, _) => Expected::Scan(model.scan(pred)),
+        Op::Aggregate(expr, _) => Expected::Agg(model.aggregate(expr)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operation scheduling.
+// ---------------------------------------------------------------------------
+
+fn schedule_ops(
+    rng: &mut StdRng,
+    model: &ModelTable,
+    groupable: &[String],
+    n_ops: usize,
+) -> Vec<Op> {
+    let int_cols: Vec<String> = model
+        .names()
+        .iter()
+        .filter(|n| !model.is_string(n))
+        .cloned()
+        .collect();
+    let str_cols: Vec<String> = model
+        .names()
+        .iter()
+        .filter(|n| model.is_string(n))
+        .cloned()
+        .collect();
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        ops.push(match rng.gen_range(0..10) {
+            0 => Op::ReadBlock(rng.gen_range(0..model.n_blocks())),
+            1..=2 => {
+                let names = model.names();
+                Op::ReadColumn(
+                    rng.gen_range(0..model.n_blocks()),
+                    names[rng.gen_range(0..names.len())].clone(),
+                )
+            }
+            3..=5 => Op::Scan(
+                random_predicate(rng, model, &int_cols, &str_cols, 2),
+                rng.gen_range(1..=4),
+            ),
+            _ => Op::Aggregate(
+                random_aggregate(rng, model, groupable, &int_cols, &str_cols),
+                rng.gen_range(1..=4),
+            ),
+        });
+    }
+    ops
+}
+
+/// A random predicate tree, depth-bounded, with constants sampled from the
+/// data so selectivities land everywhere between empty and full.
+fn random_predicate(
+    rng: &mut StdRng,
+    model: &ModelTable,
+    int_cols: &[String],
+    str_cols: &[String],
+    depth: usize,
+) -> Predicate {
+    if depth > 0 && rng.gen_bool(0.4) {
+        let n = rng.gen_range(2..=3);
+        let children: Vec<Predicate> = (0..n)
+            .map(|_| random_predicate(rng, model, int_cols, str_cols, depth - 1))
+            .collect();
+        let combined = if rng.gen_bool(0.5) {
+            Predicate::and(children)
+        } else {
+            Predicate::or(children)
+        };
+        return if rng.gen_bool(0.25) {
+            Predicate::not(combined)
+        } else {
+            combined
+        };
+    }
+    // Leaf: string equality when string columns exist, else integer.
+    if !str_cols.is_empty() && rng.gen_bool(0.3) {
+        let col = &str_cols[rng.gen_range(0..str_cols.len())];
+        let value = model
+            .sample_str(rng.gen_range(0..model.rows()), col)
+            .to_owned();
+        return if rng.gen_bool(0.25) {
+            Predicate::str_ne(col, &value)
+        } else {
+            Predicate::str_eq(col, &value)
+        };
+    }
+    let col = &int_cols[rng.gen_range(0..int_cols.len())];
+    let pivot = model.sample_int(rng.gen_range(0..model.rows()), col);
+    let jitter = rng.gen_range(-50..=50i64);
+    let v = pivot.saturating_add(jitter);
+    match rng.gen_range(0..7) {
+        0 => Predicate::eq(col, pivot),
+        1 => Predicate::ne(col, v),
+        2 => Predicate::lt(col, v),
+        3 => Predicate::le(col, v),
+        4 => Predicate::gt(col, v),
+        5 => Predicate::ge(col, v),
+        _ => {
+            let width = rng.gen_range(0..5_000i64);
+            Predicate::between(col, v, v.saturating_add(width))
+        }
+    }
+}
+
+fn random_aggregate(
+    rng: &mut StdRng,
+    model: &ModelTable,
+    groupable: &[String],
+    int_cols: &[String],
+    str_cols: &[String],
+) -> AggExpr {
+    const FUNCS: [AggFunc; 5] = [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Min,
+        AggFunc::Max,
+        AggFunc::Avg,
+    ];
+    let func = FUNCS[rng.gen_range(0..FUNCS.len())];
+    // Target: COUNT(*) sometimes; string targets only for Count/Min/Max.
+    let string_ok = matches!(func, AggFunc::Count | AggFunc::Min | AggFunc::Max);
+    let mut expr = if matches!(func, AggFunc::Count) && rng.gen_bool(0.3) {
+        AggExpr::count()
+    } else if string_ok && !str_cols.is_empty() && rng.gen_bool(0.25) {
+        AggExpr::of(func, &str_cols[rng.gen_range(0..str_cols.len())])
+    } else {
+        AggExpr::of(func, &int_cols[rng.gen_range(0..int_cols.len())])
+    };
+    if rng.gen_bool(0.5) {
+        expr = expr.with_filter(random_predicate(rng, model, int_cols, str_cols, 1));
+    }
+    if !groupable.is_empty() && rng.gen_bool(0.4) {
+        expr = expr.with_group_by(&groupable[rng.gen_range(0..groupable.len())]);
+    }
+    expr
+}
+
+// ---------------------------------------------------------------------------
+// Workloads.
+// ---------------------------------------------------------------------------
+
+/// Builds `(table, config, groupable columns)` for a workload label.
+fn build_workload(
+    workload: &str,
+    rows: usize,
+    rng: &mut StdRng,
+) -> (Table, CompressionConfig, Vec<String>) {
+    let seed: u64 = rng.gen();
+    match workload {
+        "tpch" => {
+            let table = LineitemDates::generate(rows, seed).into_table();
+            let cfg = CompressionConfig::baseline()
+                .with(
+                    "l_commitdate",
+                    ColumnPlan::NonHier {
+                        reference: "l_shipdate".into(),
+                    },
+                )
+                .with(
+                    "l_receiptdate",
+                    ColumnPlan::NonHier {
+                        reference: "l_shipdate".into(),
+                    },
+                );
+            (table, cfg, vec![])
+        }
+        "dmv" => {
+            let table = DmvTable::generate(DmvParams::scaled(rows), seed).into_table();
+            let cfg = CompressionConfig::baseline().with(
+                "zip",
+                ColumnPlan::Hier {
+                    reference: "city".into(),
+                },
+            );
+            (table, cfg, vec!["state".into(), "city".into()])
+        }
+        "ldbc" => {
+            let table = MessageTable::generate(MessageParams::scaled(rows), seed).into_table();
+            // Dict-planning the parent keeps it a valid hier reference and
+            // makes it a legal GROUP BY key.
+            let cfg = CompressionConfig::baseline()
+                .with("countryid", ColumnPlan::Dict)
+                .with(
+                    "ip",
+                    ColumnPlan::Hier {
+                        reference: "countryid".into(),
+                    },
+                );
+            (table, cfg, vec!["countryid".into()])
+        }
+        "taxi" => {
+            let mut t = TaxiTable::generate(
+                TaxiParams {
+                    rows,
+                    ..TaxiParams::default()
+                },
+                seed,
+            );
+            taxi::clean(&mut t);
+            let table = t.into_table();
+            let cfg = CompressionConfig::baseline()
+                .with(
+                    "dropoff",
+                    ColumnPlan::NonHier {
+                        reference: "pickup".into(),
+                    },
+                )
+                .with(
+                    "total_amount",
+                    ColumnPlan::MultiRef {
+                        groups: TaxiTable::reference_groups(),
+                        code_bits: 2,
+                    },
+                );
+            (table, cfg, vec![])
+        }
+        "timeseries" => {
+            let table =
+                TimeseriesTable::generate(&TimeseriesParams::scaled(rows), seed).into_table();
+            let mut cfg = CompressionConfig::baseline();
+            for col in ["ts", "device", "status", "latency_us"] {
+                cfg.set(col, ColumnPlan::AutoFull);
+            }
+            (table, cfg, vec!["level".into(), "service".into()])
+        }
+        "synthetic" => synthetic_workload(rows, seed),
+        other => unreachable!("unknown workload {other}"),
+    }
+}
+
+/// The codec-family-dense synthetic workload: every horizontal scheme plus
+/// dict/plain strings and a dict-int group key in one schema.
+fn synthetic_workload(rows: usize, seed: u64) -> (Table, CompressionConfig, Vec<String>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows;
+    let cities = ["NYC", "Albany", "Naples", "Cortland", "Ithaca"];
+    let n_cities = rng.gen_range(2..=cities.len());
+    let zips_per_city = rng.gen_range(2..=6usize);
+    let base_date: i64 = rng.gen_range(5_000..20_000);
+    let spread: i64 = rng.gen_range(200..3_000);
+    let city_idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n_cities)).collect();
+    let city: Vec<&str> = city_idx.iter().map(|&c| cities[c]).collect();
+    let note: Vec<String> = (0..n).map(|i| format!("n-{}", i % 11)).collect();
+    let zip: Vec<i64> = city_idx
+        .iter()
+        .map(|&c| 10_000 + c as i64 * 100 + rng.gen_range(0..zips_per_city) as i64)
+        .collect();
+    let ship: Vec<i64> = (0..n)
+        .map(|_| base_date + rng.gen_range(0..spread))
+        .collect();
+    let receipt: Vec<i64> = ship.iter().map(|&s| s + rng.gen_range(1..30i64)).collect();
+    let fee: Vec<i64> = (0..n).map(|_| rng.gen_range(100..1_000i64)).collect();
+    let extra: Vec<i64> = vec![rng.gen_range(5..50i64); n];
+    let total: Vec<i64> = fee
+        .iter()
+        .zip(&extra)
+        .enumerate()
+        .map(|(i, (&f, &e))| if i % 2 == 0 { f } else { f + e })
+        .collect();
+    let bucket: Vec<i64> = (0..n).map(|_| rng.gen_range(0..7i64) * 1_000).collect();
+    let table = Table::new(
+        Schema::new(vec![
+            Field::new("city", DataType::Utf8),
+            Field::new("note", DataType::Utf8),
+            Field::new("zip", DataType::Int64),
+            Field::new("ship", DataType::Date),
+            Field::new("receipt", DataType::Date),
+            Field::new("fee", DataType::Int64),
+            Field::new("extra", DataType::Int64),
+            Field::new("total", DataType::Int64),
+            Field::new("bucket", DataType::Int64),
+        ])
+        .expect("distinct names"),
+        vec![
+            Column::Utf8(city.into_iter().collect()),
+            Column::Utf8(note.iter().map(String::as_str).collect()),
+            Column::Int64(zip),
+            Column::Int64(ship),
+            Column::Int64(receipt),
+            Column::Int64(fee),
+            Column::Int64(extra),
+            Column::Int64(total),
+            Column::Int64(bucket),
+        ],
+    )
+    .expect("aligned columns");
+    let cfg = CompressionConfig::baseline()
+        .with("note", ColumnPlan::Plain)
+        .with(
+            "zip",
+            ColumnPlan::Hier {
+                reference: "city".into(),
+            },
+        )
+        .with(
+            "receipt",
+            ColumnPlan::NonHier {
+                reference: "ship".into(),
+            },
+        )
+        .with(
+            "total",
+            ColumnPlan::MultiRef {
+                groups: vec![vec!["fee".into()], vec!["extra".into()]],
+                code_bits: 2,
+            },
+        )
+        .with("bucket", ColumnPlan::Dict);
+    (table, cfg, vec!["city".into(), "bucket".into()])
+}
