@@ -1,0 +1,215 @@
+//! **Bench regression tripwire** — compares freshly-generated
+//! `BENCH_*.json` documents against the committed baselines and fails when
+//! any throughput series regresses beyond the allowed fraction.
+//!
+//! CI's `perf-smoke` job snapshots the committed `BENCH_{scan,decode,store,
+//! agg}.json` files before re-running the benches, then invokes:
+//!
+//! ```sh
+//! cargo run --release -p corra-bench --bin bench_diff -- \
+//!     --baseline-dir baseline --current-dir . --max-regression 0.30 \
+//!     scan decode store agg
+//! ```
+//!
+//! Comparison is structural, not hand-listed: both documents are flattened
+//! to `path -> number` maps (array elements keyed by their `name`/`bits`
+//! field so reordering cannot misalign series), and every metric whose key
+//! ends in `_per_sec` present on both sides is diffed. A current value
+//! below `baseline * (1 - max_regression)` trips the gate; improvements
+//! and new/removed series are reported but never fail. Exit status is the
+//! CI contract: 0 clean, 1 regression, 2 usage/IO error.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use serde::Value;
+
+/// One throughput metric present in both documents.
+struct DiffRow {
+    bench: String,
+    path: String,
+    baseline: f64,
+    current: f64,
+}
+
+impl DiffRow {
+    /// current/baseline — below 1.0 means slower than the baseline.
+    fn ratio(&self) -> f64 {
+        self.current / self.baseline.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Flattens every numeric leaf into `path -> value`. Array elements are
+/// addressed by their `name` (or `bits`) field when present, falling back
+/// to the positional index, so that reordered or appended series still
+/// line up across documents.
+fn flatten(prefix: &str, v: &Value, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Value::Object(fields) => {
+            for (k, val) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&path, val, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = item
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .or_else(|| {
+                        item.get("bits")
+                            .and_then(Value::as_i64)
+                            .map(|b| format!("bits={b}"))
+                    })
+                    .unwrap_or_else(|| i.to_string());
+                flatten(&format!("{prefix}[{label}]"), item, out);
+            }
+        }
+        _ => {
+            if let Some(n) = v.as_f64() {
+                out.insert(prefix.to_owned(), n);
+            }
+        }
+    }
+}
+
+fn load(dir: &str, bench: &str) -> Result<BTreeMap<String, f64>, String> {
+    let path = format!("{dir}/BENCH_{bench}.json");
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    flatten("", &doc, &mut out);
+    Ok(out)
+}
+
+/// True when this flattened path is a throughput metric worth gating.
+fn is_throughput(path: &str) -> bool {
+    path.ends_with("_per_sec")
+}
+
+fn run() -> Result<bool, String> {
+    let mut baseline_dir = None;
+    let mut current_dir = ".".to_owned();
+    let mut max_regression = 0.30f64;
+    let mut benches = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline-dir" => {
+                baseline_dir = Some(args.next().ok_or("--baseline-dir needs a value")?);
+            }
+            "--current-dir" => {
+                current_dir = args.next().ok_or("--current-dir needs a value")?;
+            }
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .ok_or("--max-regression needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-regression: {e}"))?;
+            }
+            name if !name.starts_with('-') => benches.push(name.to_owned()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    let baseline_dir = baseline_dir.ok_or(
+        "usage: bench_diff --baseline-dir DIR \
+         [--current-dir DIR] [--max-regression 0.30] BENCH...",
+    )?;
+    if benches.is_empty() {
+        benches = ["scan", "decode", "store", "agg"]
+            .map(str::to_owned)
+            .to_vec();
+    }
+    if !(0.0..1.0).contains(&max_regression) {
+        return Err(format!("--max-regression {max_regression} not in [0, 1)"));
+    }
+
+    let mut rows = Vec::new();
+    let mut unmatched = 0usize;
+    for bench in &benches {
+        let base = load(&baseline_dir, bench)?;
+        let cur = load(&current_dir, bench)?;
+        for (path, &baseline) in base.iter().filter(|(p, _)| is_throughput(p)) {
+            // A zero baseline carries no throughput signal — e.g. the
+            // pruned-scan series reads 0 bytes by design, so its
+            // bytes/sec is structurally 0. Nothing to regress against.
+            if baseline <= 0.0 {
+                println!("note: {bench}:{path} has zero baseline (skipped)");
+                unmatched += 1;
+                continue;
+            }
+            match cur.get(path) {
+                Some(&current) => rows.push(DiffRow {
+                    bench: bench.clone(),
+                    path: path.clone(),
+                    baseline,
+                    current,
+                }),
+                None => {
+                    println!("note: {bench}:{path} absent from current run (skipped)");
+                    unmatched += 1;
+                }
+            }
+        }
+        for path in cur.keys().filter(|p| is_throughput(p)) {
+            if !base.contains_key(path) {
+                println!("note: {bench}:{path} is new (no baseline, skipped)");
+                unmatched += 1;
+            }
+        }
+    }
+    if rows.is_empty() {
+        return Err("no overlapping throughput metrics found — wrong directories?".into());
+    }
+
+    let floor = 1.0 - max_regression;
+    let mut failed = false;
+    println!(
+        "\n{:<8} {:<48} {:>14} {:>14} {:>8}",
+        "bench", "metric", "baseline", "current", "ratio"
+    );
+    for r in &rows {
+        let ratio = r.ratio();
+        let verdict = if ratio < floor {
+            failed = true;
+            "REGRESSED"
+        } else if ratio > 1.0 / floor {
+            "improved"
+        } else {
+            ""
+        };
+        println!(
+            "{:<8} {:<48} {:>13.3}M {:>13.3}M {:>7.2}x {verdict}",
+            r.bench,
+            r.path,
+            r.baseline / 1e6,
+            r.current / 1e6,
+            ratio,
+        );
+    }
+    println!(
+        "\n{} metrics compared ({} unmatched), floor {:.2}x of baseline: {}",
+        rows.len(),
+        unmatched,
+        floor,
+        if failed { "REGRESSION" } else { "ok" }
+    );
+    Ok(failed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -34,6 +34,12 @@
 //! * [`io`](mod@io) — the pluggable read-backend seam beneath the store,
 //!   including the seeded [`io::FaultyBackend`] fault injector the
 //!   `corra-sim` torture harness drives;
+//! * [`cache`](mod@cache) — the sharded, byte-budgeted block/column cache
+//!   sitting on the [`io`](mod@io) seam: compressed segment frames plus hot
+//!   decoded codecs, LRU-evicted per shard, checksum-verified on fill;
+//! * [`serve`](mod@serve) — the concurrent serving front door:
+//!   [`serve::ServeSession`] runs mixed point-read/scan/aggregate traffic
+//!   from many threads against one shared reader + cache;
 //! * [`torture`](mod@torture) — exhaustive corruption sweeps (truncation +
 //!   bit flips) asserting every mutation surfaces as `Err` or leaves
 //!   results bit-identical, shared by the core tests and `corra-sim`.
@@ -42,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod aggregate;
+pub mod cache;
 pub mod compressor;
 pub mod detect;
 pub mod format;
@@ -53,6 +60,7 @@ pub mod optimizer;
 pub mod outlier;
 pub mod query;
 pub mod scan;
+pub mod serve;
 pub mod store;
 pub mod torture;
 
@@ -70,6 +78,7 @@ pub use aggregate::{
     aggregate, aggregate_blocks, aggregate_blocks_parallel, exact_column_bounds, AggExpr, AggFunc,
     AggResult, AggValue, GroupKey,
 };
+pub use cache::{CacheConfig, CacheKey, CacheStats, CacheValue, EntryKind, ShardedCache};
 pub use compressor::{
     compress_blocks, decompress_column, BlockView, ColumnCodec, ColumnPlan, CompressedBlock,
     CompressionConfig,
@@ -86,6 +95,7 @@ pub use scan::{
     query_parallel, scan, scan_blocks, scan_blocks_parallel, scan_pruned, scan_query,
     scan_query_both, CmpOp, Predicate, ScanStats,
 };
+pub use serve::{ServeOutcome, ServeRequest, ServeResult, ServeSession};
 pub use store::{
     write_table, BlockHandle, BlockMeta, ColumnMeta, TableFooter, TableReader, TableWriter,
 };

@@ -221,6 +221,13 @@ pub struct ScanStats {
     /// Payload/segment bytes fetched from the underlying table file during
     /// a store-driven scan. Always 0 for in-memory scans.
     pub bytes_read: u64,
+    /// Payload loads answered by an attached [`crate::cache::ShardedCache`]
+    /// (no backend I/O, no deserialization). Always 0 for in-memory scans
+    /// and for readers without a cache.
+    pub cache_hits: u64,
+    /// Payload loads that missed the attached cache and fell through to the
+    /// backend. Always 0 for in-memory scans and cacheless readers.
+    pub cache_misses: u64,
 }
 
 /// A covering min/max zone map for the column at `idx`, derived from its

@@ -1,0 +1,267 @@
+//! Concurrent serving front door: mixed point-read / scan / aggregate
+//! traffic from N threads against one shared [`TableReader`] (+ cache).
+//!
+//! A [`ServeSession`] wraps an `Arc<TableReader>` — typically one carrying
+//! a [`ShardedCache`](crate::cache::ShardedCache) via
+//! [`TableReader::with_cache`] — and executes a batch of
+//! [`ServeRequest`]s. With `threads > 1`, workers pull request indices off
+//! an atomic counter (the same morsel pattern as the parallel scan
+//! drivers) and write into indexed slots, so the returned results are
+//! **byte-identical to a serial run for any thread count**; only the
+//! latency distribution changes. Per-request wall latencies are recorded
+//! for p50/p99 reporting, and the scan/aggregate byte + cache counters are
+//! folded into one [`ScanStats`].
+//!
+//! ```no_run
+//! # use std::sync::Arc;
+//! # use corra_core::{ServeRequest, ServeSession, Predicate};
+//! # use corra_core::cache::{CacheConfig, ShardedCache};
+//! # use corra_core::store::TableReader;
+//! # fn demo() -> corra_columnar::error::Result<()> {
+//! let cache = Arc::new(ShardedCache::new(CacheConfig::with_budget(64 << 20)));
+//! let reader = Arc::new(TableReader::open("t.corra".as_ref())?.with_cache(cache));
+//! let session = ServeSession::new(reader);
+//! let requests = vec![
+//!     ServeRequest::point(0, "fee"),
+//!     ServeRequest::Scan(Predicate::between("fee", 100, 200)),
+//! ];
+//! let outcome = session.run(&requests, 8)?;
+//! println!("p99 = {:?}", outcome.latency_percentile(0.99));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use corra_columnar::column::Column;
+use corra_columnar::error::{Error, Result};
+use corra_columnar::selection::SelectionVector;
+
+use crate::aggregate::{AggExpr, AggResult};
+use crate::scan::{Predicate, ScanStats};
+use crate::store::TableReader;
+
+/// One unit of serving traffic.
+#[derive(Debug, Clone)]
+pub enum ServeRequest {
+    /// Projection-pushdown point read: one column of one block.
+    Point {
+        /// Block index.
+        block: usize,
+        /// Column name.
+        column: String,
+    },
+    /// Predicate scan over every block (footer pruning included).
+    Scan(Predicate),
+    /// Aggregate over every block (footer zone short-circuits included).
+    Aggregate(AggExpr),
+}
+
+impl ServeRequest {
+    /// A point read of `column` in `block`.
+    #[must_use]
+    pub fn point(block: usize, column: &str) -> Self {
+        Self::Point {
+            block,
+            column: column.to_owned(),
+        }
+    }
+}
+
+/// The answer to one [`ServeRequest`], in request order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeResult {
+    /// Decompressed column values.
+    Column(Column),
+    /// Per-block selection vectors.
+    Scan(Vec<SelectionVector>),
+    /// Aggregate result.
+    Aggregate(AggResult),
+}
+
+/// Everything a [`ServeSession::run`] batch produced.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Per-request results, in request order — identical for any thread
+    /// count.
+    pub results: Vec<ServeResult>,
+    /// Per-request wall latencies, in request order.
+    pub latencies: Vec<Duration>,
+    /// Byte / cache / pruning counters folded across every request.
+    pub stats: ScanStats,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+}
+
+impl ServeOutcome {
+    /// The `p`-th latency percentile (`0.5` = p50, `0.99` = p99) by the
+    /// nearest-rank method. Zero when the batch was empty.
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        percentile(&self.latencies, p)
+    }
+
+    /// Requests served per second of batch wall time.
+    #[must_use]
+    pub fn requests_per_sec(&self) -> f64 {
+        self.results.len() as f64 / self.wall.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The `p`-th percentile of `samples` by the nearest-rank method (the
+/// sample order does not need to be sorted). Zero when empty.
+#[must_use]
+pub fn percentile(samples: &[Duration], p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+/// A serving endpoint over one shared reader. See the [module docs](self).
+#[derive(Clone)]
+pub struct ServeSession {
+    reader: Arc<TableReader>,
+}
+
+impl ServeSession {
+    /// Wraps a shared reader (attach a cache to it first via
+    /// [`TableReader::with_cache`] to make repeated traffic cheap).
+    #[must_use]
+    pub fn new(reader: Arc<TableReader>) -> Self {
+        Self { reader }
+    }
+
+    /// The shared reader.
+    #[must_use]
+    pub fn reader(&self) -> &Arc<TableReader> {
+        &self.reader
+    }
+
+    /// Executes one request, returning its result and cost counters.
+    fn execute(&self, request: &ServeRequest) -> Result<(ServeResult, ScanStats)> {
+        match request {
+            ServeRequest::Point { block, column } => {
+                let handle = self.reader.block_handle(*block)?;
+                let values = handle.decompress(column)?;
+                let stats = ScanStats {
+                    bytes_read: handle.loaded_bytes(),
+                    cache_hits: handle.cache_hits(),
+                    cache_misses: handle.cache_misses(),
+                    ..ScanStats::default()
+                };
+                Ok((ServeResult::Column(values), stats))
+            }
+            ServeRequest::Scan(pred) => {
+                let (sels, stats) = self.reader.scan_blocks(pred)?;
+                Ok((ServeResult::Scan(sels), stats))
+            }
+            ServeRequest::Aggregate(expr) => {
+                let (agg, stats) = self.reader.aggregate(expr)?;
+                Ok((ServeResult::Aggregate(agg), stats))
+            }
+        }
+    }
+
+    /// Runs the whole batch from `threads` workers, returning results in
+    /// request order (byte-identical to `threads == 1`).
+    ///
+    /// # Errors
+    ///
+    /// The first failing request's error (in request order); worker panics
+    /// surface as errors.
+    pub fn run(&self, requests: &[ServeRequest], threads: usize) -> Result<ServeOutcome> {
+        type Served = Option<Result<(ServeResult, ScanStats, Duration)>>;
+        let n = requests.len();
+        let threads = threads.max(1).min(n.max(1));
+        let start = Instant::now();
+        let mut slots: Vec<Served> = if threads <= 1 {
+            requests
+                .iter()
+                .map(|req| {
+                    let t = Instant::now();
+                    Some(self.execute(req).map(|(r, s)| (r, s, t.elapsed())))
+                })
+                .collect()
+        } else {
+            let slots: Vec<Mutex<Served>> = (0..n).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            let panicked = std::thread::scope(|s| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(|| loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let t = Instant::now();
+                            let served =
+                                self.execute(&requests[i]).map(|(r, s)| (r, s, t.elapsed()));
+                            *slots[i].lock().expect("serve slot poisoned") = Some(served);
+                        })
+                    })
+                    .collect();
+                workers.into_iter().any(|w| w.join().is_err())
+            });
+            if panicked {
+                return Err(Error::invalid("serve worker panicked"));
+            }
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("serve slot poisoned"))
+                .collect()
+        };
+        let wall = start.elapsed();
+        let mut results = Vec::with_capacity(n);
+        let mut latencies = Vec::with_capacity(n);
+        let mut stats = ScanStats::default();
+        for slot in slots.iter_mut() {
+            let (result, req_stats, latency) =
+                slot.take().expect("every request visited by a worker")?;
+            results.push(result);
+            latencies.push(latency);
+            merge(&mut stats, &req_stats);
+        }
+        Ok(ServeOutcome {
+            results,
+            latencies,
+            stats,
+            wall,
+        })
+    }
+}
+
+fn merge(into: &mut ScanStats, from: &ScanStats) {
+    into.blocks += from.blocks;
+    into.blocks_pruned += from.blocks_pruned;
+    into.rows_total += from.rows_total;
+    into.rows_matched += from.rows_matched;
+    into.blocks_skipped_io += from.blocks_skipped_io;
+    into.bytes_read += from.bytes_read;
+    into.cache_hits += from.cache_hits;
+    into.cache_misses += from.cache_misses;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&ms, 0.5), Duration::from_millis(51));
+        assert_eq!(percentile(&ms, 0.99), Duration::from_millis(99));
+        assert_eq!(percentile(&ms, 1.0), Duration::from_millis(100));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(
+            percentile(&[Duration::from_millis(7)], 0.99),
+            Duration::from_millis(7)
+        );
+    }
+}

@@ -43,7 +43,7 @@
 use std::cell::OnceCell;
 use std::io::{Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use bytes::{Buf, BufMut};
 use corra_columnar::column::{Column, DataType};
@@ -56,6 +56,7 @@ use corra_columnar::stats::ZoneMap;
 use crate::aggregate::{
     aggregate_partial, exact_column_bounds, AggExpr, AggFunc, AggMerger, AggResult, PartialAgg,
 };
+use crate::cache::{next_table_id, CacheKey, CacheValue, ShardedCache};
 use crate::compressor::{decompress_column, BlockView, ColumnCodec, CompressedBlock};
 use crate::format::{read_codec_payload, CodecHeader, PayloadSpan};
 use crate::io::{checksum64, read_full_at, FileBackend, IoBackend, MemBackend};
@@ -573,6 +574,18 @@ pub struct TableReader {
     /// Footer schema names, cached as the `BlockView::names` slice.
     names: Vec<String>,
     bytes_read: AtomicU64,
+    /// Attached serving cache plus this reader's cache-keying table id
+    /// (see [`TableReader::with_cache`]).
+    cache: Option<(Arc<ShardedCache>, u64)>,
+}
+
+/// What one footer-addressed payload load cost: bytes fetched from the
+/// backend, and whether an attached cache answered it.
+#[derive(Debug, Clone, Copy, Default)]
+struct LoadCost {
+    bytes: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl TableReader {
@@ -649,7 +662,36 @@ impl TableReader {
             footer,
             names,
             bytes_read: AtomicU64::new(0),
+            cache: None,
         })
+    }
+
+    /// Attaches a shared serving cache: block-segment frames and decoded
+    /// column codecs are filled on first touch (checksum-verified before
+    /// insertion) and served from memory afterwards, so repeated traffic
+    /// stops hitting the [`IoBackend`]. The reader takes a fresh
+    /// process-unique table id for cache keying, so one cache can serve
+    /// many readers without aliasing.
+    ///
+    /// Every read path — [`read_block`](Self::read_block),
+    /// [`read_column`](Self::read_column), scans, aggregates — goes
+    /// through the cache unchanged; per-query hit/miss counts surface in
+    /// [`ScanStats::cache_hits`] / [`ScanStats::cache_misses`].
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<ShardedCache>) -> Self {
+        self.cache = Some((cache, next_table_id()));
+        self
+    }
+
+    /// The attached serving cache, when one was installed via
+    /// [`with_cache`](Self::with_cache).
+    pub fn cache(&self) -> Option<&Arc<ShardedCache>> {
+        self.cache.as_ref().map(|(c, _)| c)
+    }
+
+    /// This reader's cache-keying table id (`None` without a cache).
+    pub fn table_id(&self) -> Option<u64> {
+        self.cache.as_ref().map(|&(_, id)| id)
     }
 
     /// The parsed footer.
@@ -701,11 +743,22 @@ impl TableReader {
 
     /// Reads and fully deserializes block `block` (every column payload).
     ///
+    /// With an attached cache, the segment's compressed frame is served
+    /// from memory after the first read; the frame is checksum-verified
+    /// *before* it enters the cache, so a corrupt fill errors out and is
+    /// never cached.
+    ///
     /// # Errors
     ///
     /// Out-of-range index, I/O errors, or segment corruption.
     pub fn read_block(&self, block: usize) -> Result<CompressedBlock> {
         let meta = self.block_meta(block)?;
+        if let Some((cache, table)) = &self.cache {
+            let key = CacheKey::segment(*table, block as u32);
+            if let Some(CacheValue::Segment(bytes)) = cache.get(&key) {
+                return CompressedBlock::from_bytes(&bytes);
+            }
+        }
         let len = usize::try_from(meta.len)
             .map_err(|_| Error::corrupt("block segment exceeds addressable memory"))?;
         let bytes = self.metered_read(meta.offset, len)?;
@@ -716,7 +769,14 @@ impl TableReader {
                 )));
             }
         }
-        CompressedBlock::from_bytes(&bytes)
+        let parsed = CompressedBlock::from_bytes(&bytes)?;
+        // Admit only after the checksum *and* a full parse succeeded: a
+        // frame that cannot deserialize is useless to every future hit.
+        if let Some((cache, table)) = &self.cache {
+            let key = CacheKey::segment(*table, block as u32);
+            cache.insert(key, CacheValue::Segment(Arc::new(bytes)), meta.len);
+        }
+        Ok(parsed)
     }
 
     /// A lazy handle over block `block`: columns load on first touch.
@@ -732,6 +792,8 @@ impl TableReader {
             rows: meta.rows as usize,
             cells: (0..meta.columns.len()).map(|_| OnceCell::new()).collect(),
             loaded_bytes: std::cell::Cell::new(0),
+            cache_hits: std::cell::Cell::new(0),
+            cache_misses: std::cell::Cell::new(0),
         })
     }
 
@@ -748,13 +810,28 @@ impl TableReader {
         decompress_column(&handle, idx)
     }
 
-    /// Loads the codec of `(block, col)` from its footer-addressed payload.
-    fn load_codec(&self, block: usize, col: usize) -> Result<ColumnCodec> {
+    /// Loads the codec of `(block, col)` from its footer-addressed payload,
+    /// or from the attached cache. Returns the codec and whether the cache
+    /// answered (`true` = zero backend bytes fetched).
+    ///
+    /// The decoded codec enters the cache only after the payload checksum
+    /// *and* every structural validation passed — a bit-flipped fill
+    /// surfaces as `Err` and never as a poisoned entry.
+    fn load_codec(&self, block: usize, col: usize) -> Result<(Arc<ColumnCodec>, bool)> {
         let meta = self.block_meta(block)?;
         let cm = meta.columns.get(col).ok_or(Error::IndexOutOfBounds {
             index: col,
             len: meta.columns.len(),
         })?;
+        let key = self
+            .cache
+            .as_ref()
+            .map(|&(_, table)| CacheKey::codec(table, block as u32, col as u32));
+        if let (Some((cache, _)), Some(key)) = (&self.cache, key) {
+            if let Some(CacheValue::Codec(codec)) = cache.get(&key) {
+                return Ok((codec, true));
+            }
+        }
         let bytes = self.metered_read(meta.offset + cm.span.offset, cm.span.len as usize)?;
         if let Some(want) = cm.checksum {
             if checksum64(&bytes) != want {
@@ -784,7 +861,18 @@ impl TableReader {
         if let ColumnCodec::MultiRef { enc, groups } = &codec {
             enc.validate_groups(groups.len())?;
         }
-        Ok(codec)
+        let codec = Arc::new(codec);
+        if let (Some((cache, _)), Some(key)) = (&self.cache, key) {
+            // Charged at the serialized payload size: deterministic, known
+            // without a deep-size walk, and proportional to the decoded
+            // footprint for every codec family.
+            cache.insert(
+                key,
+                CacheValue::Codec(Arc::clone(&codec)),
+                u64::from(cm.span.len),
+            );
+        }
+        Ok((codec, false))
     }
 
     /// Index of `name` in the footer schema.
@@ -828,27 +916,27 @@ impl TableReader {
     }
 
     /// Scans one block, consulting footer zone maps before touching any
-    /// bytes. Returns `(selection, pruned, skipped_io, bytes_read)`.
+    /// bytes. Returns `(selection, pruned, skipped_io, load_cost)`.
     fn scan_block_inner(
         &self,
         block: usize,
         pred: &Predicate,
-    ) -> Result<(SelectionVector, bool, bool, u64)> {
+    ) -> Result<(SelectionVector, bool, bool, LoadCost)> {
         let meta = self.block_meta(block)?;
         self.validate_pred_footer(meta, pred)?;
         let rows = meta.rows as usize;
         if rows == 0 {
-            return Ok((SelectionVector::empty(), true, true, 0));
+            return Ok((SelectionVector::empty(), true, true, LoadCost::default()));
         }
         let zone_of =
             |name: &str| -> Option<ZoneMap> { meta.columns[self.col_index(name).ok()?].zone };
         match tree_verdict(pred, &zone_of) {
-            RangeVerdict::None => Ok((SelectionVector::empty(), true, true, 0)),
-            RangeVerdict::All => Ok((SelectionVector::all(rows), true, true, 0)),
+            RangeVerdict::None => Ok((SelectionVector::empty(), true, true, LoadCost::default())),
+            RangeVerdict::All => Ok((SelectionVector::all(rows), true, true, LoadCost::default())),
             RangeVerdict::Partial => {
                 let handle = self.block_handle(block)?;
                 let (sel, pruned) = scan_pruned(&handle, pred)?;
-                Ok((sel, pruned, false, handle.loaded_bytes()))
+                Ok((sel, pruned, false, handle.load_cost()))
             }
         }
     }
@@ -873,8 +961,8 @@ impl TableReader {
         let mut stats = ScanStats::default();
         let mut selections = Vec::with_capacity(self.n_blocks());
         for i in 0..self.n_blocks() {
-            let (sel, pruned, skipped, bytes) = self.scan_block_inner(i, pred)?;
-            self.merge_stats(&mut stats, i, &sel, pruned, skipped, bytes);
+            let (sel, pruned, skipped, cost) = self.scan_block_inner(i, pred)?;
+            self.merge_stats(&mut stats, i, &sel, pruned, skipped, cost);
             selections.push(sel);
         }
         Ok((selections, stats))
@@ -898,7 +986,7 @@ impl TableReader {
         if threads <= 1 || n <= 1 {
             return self.scan_blocks(pred);
         }
-        type Slot = Mutex<Option<Result<(SelectionVector, bool, bool, u64)>>>;
+        type Slot = Mutex<Option<Result<(SelectionVector, bool, bool, LoadCost)>>>;
         let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let panicked = std::thread::scope(|s| {
@@ -922,11 +1010,11 @@ impl TableReader {
         let mut stats = ScanStats::default();
         let mut selections = Vec::with_capacity(n);
         for (i, slot) in slots.into_iter().enumerate() {
-            let (sel, pruned, skipped, bytes) = slot
+            let (sel, pruned, skipped, cost) = slot
                 .into_inner()
                 .expect("scan slot poisoned")
                 .expect("every block visited")?;
-            self.merge_stats(&mut stats, i, &sel, pruned, skipped, bytes);
+            self.merge_stats(&mut stats, i, &sel, pruned, skipped, cost);
             selections.push(sel);
         }
         Ok((selections, stats))
@@ -939,14 +1027,16 @@ impl TableReader {
         sel: &SelectionVector,
         pruned: bool,
         skipped: bool,
-        bytes: u64,
+        cost: LoadCost,
     ) {
         stats.blocks += 1;
         stats.blocks_pruned += usize::from(pruned);
         stats.blocks_skipped_io += usize::from(skipped);
         stats.rows_total += self.footer.blocks[block].rows as usize;
         stats.rows_matched += sel.len();
-        stats.bytes_read += bytes;
+        stats.bytes_read += cost.bytes;
+        stats.cache_hits += cost.cache_hits;
+        stats.cache_misses += cost.cache_misses;
     }
 
     /// Mirrors the in-memory up-front expression validation with footer
@@ -986,12 +1076,12 @@ impl TableReader {
 
     /// Evaluates `expr` against one block, consulting footer zone maps
     /// before touching any bytes. Returns
-    /// `(partial, pruned, skipped_io, bytes_read, rows_matched)`.
+    /// `(partial, pruned, skipped_io, load_cost, rows_matched)`.
     fn aggregate_block_inner(
         &self,
         block: usize,
         expr: &AggExpr,
-    ) -> Result<(PartialAgg, bool, bool, u64, usize)> {
+    ) -> Result<(PartialAgg, bool, bool, LoadCost, usize)> {
         let meta = self.block_meta(block)?;
         self.validate_expr_footer(meta, expr)?;
         let rows = meta.rows as usize;
@@ -1001,7 +1091,13 @@ impl TableReader {
         });
         let grouped = expr.group_by().is_some();
         if rows == 0 && !grouped {
-            return Ok((PartialAgg::empty(string_target, false), true, true, 0, 0));
+            return Ok((
+                PartialAgg::empty(string_target, false),
+                true,
+                true,
+                LoadCost::default(),
+                0,
+            ));
         }
         // Footer verdict of the filter; no filter covers every row.
         let verdict = match expr.filter() {
@@ -1016,7 +1112,13 @@ impl TableReader {
         if matches!(verdict, RangeVerdict::None) {
             if !grouped {
                 // Provably empty selection: nothing to fold, zero bytes.
-                return Ok((PartialAgg::empty(string_target, false), true, true, 0, 0));
+                return Ok((
+                    PartialAgg::empty(string_target, false),
+                    true,
+                    true,
+                    LoadCost::default(),
+                    0,
+                ));
             }
             // The group column's dictionary layout is payload-level (the
             // footer tag cannot distinguish Dict from other vertical int
@@ -1030,7 +1132,7 @@ impl TableReader {
                 PartialAgg::empty(string_target, true),
                 true,
                 false,
-                handle.loaded_bytes(),
+                handle.load_cost(),
                 0,
             ));
         }
@@ -1051,7 +1153,7 @@ impl TableReader {
                             ..IntAggState::default()
                         })
                     };
-                    return Ok((partial, true, true, 0, rows));
+                    return Ok((partial, true, true, LoadCost::default(), rows));
                 }
                 // MIN/MAX over a fully-covered block with *exact* footer
                 // bounds: answered from the zone map alone. The partial's
@@ -1070,7 +1172,7 @@ impl TableReader {
                             }),
                             true,
                             true,
-                            0,
+                            LoadCost::default(),
                             rows,
                         ));
                     }
@@ -1082,7 +1184,7 @@ impl TableReader {
         // and fold actually touch.
         let handle = self.block_handle(block)?;
         let (partial, pruned, matched) = aggregate_partial(&handle, expr)?;
-        Ok((partial, pruned, false, handle.loaded_bytes(), matched))
+        Ok((partial, pruned, false, handle.load_cost(), matched))
     }
 
     /// Evaluates an aggregate expression across every block, answering
@@ -1102,13 +1204,15 @@ impl TableReader {
         let mut merger = AggMerger::new();
         let mut stats = ScanStats::default();
         for i in 0..self.n_blocks() {
-            let (partial, pruned, skipped, bytes, matched) = self.aggregate_block_inner(i, expr)?;
+            let (partial, pruned, skipped, cost, matched) = self.aggregate_block_inner(i, expr)?;
             stats.blocks += 1;
             stats.blocks_pruned += usize::from(pruned);
             stats.blocks_skipped_io += usize::from(skipped);
             stats.rows_total += self.footer.blocks[i].rows as usize;
             stats.rows_matched += matched;
-            stats.bytes_read += bytes;
+            stats.bytes_read += cost.bytes;
+            stats.cache_hits += cost.cache_hits;
+            stats.cache_misses += cost.cache_misses;
             merger.merge(partial)?;
         }
         Ok((merger.finish(expr), stats))
@@ -1158,10 +1262,14 @@ pub struct BlockHandle<'a> {
     reader: &'a TableReader,
     block: usize,
     rows: usize,
-    cells: Vec<OnceCell<ColumnCodec>>,
+    cells: Vec<OnceCell<Arc<ColumnCodec>>>,
     /// Payload bytes this handle has fetched (per-handle, so per-scan byte
     /// accounting stays exact even when scans share the reader).
     loaded_bytes: std::cell::Cell<u64>,
+    /// Column loads the reader's cache answered for this handle.
+    cache_hits: std::cell::Cell<u64>,
+    /// Column loads that fell through to the backend (cache attached only).
+    cache_misses: std::cell::Cell<u64>,
 }
 
 impl BlockHandle<'_> {
@@ -1173,6 +1281,26 @@ impl BlockHandle<'_> {
     /// Payload bytes this handle has fetched so far.
     pub fn loaded_bytes(&self) -> u64 {
         self.loaded_bytes.get()
+    }
+
+    /// Column loads the attached cache answered for this handle (0 when
+    /// the reader has no cache).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    /// Column loads that missed the attached cache (0 without a cache).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.get()
+    }
+
+    /// This handle's cost counters, snapshot.
+    fn load_cost(&self) -> LoadCost {
+        LoadCost {
+            bytes: self.loaded_bytes.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+        }
     }
 
     /// Fully decompresses column `name`, loading only its payload and its
@@ -1202,15 +1330,22 @@ impl BlockView for BlockHandle<'_> {
             len: self.cells.len(),
         })?;
         if cell.get().is_none() {
-            let codec = self.reader.load_codec(self.block, i)?;
-            let span = self.reader.footer.blocks[self.block].columns[i].span;
-            self.loaded_bytes
-                .set(self.loaded_bytes.get() + span.len as u64);
+            let (codec, from_cache) = self.reader.load_codec(self.block, i)?;
+            if from_cache {
+                self.cache_hits.set(self.cache_hits.get() + 1);
+            } else {
+                let span = self.reader.footer.blocks[self.block].columns[i].span;
+                self.loaded_bytes
+                    .set(self.loaded_bytes.get() + span.len as u64);
+                if self.reader.cache.is_some() {
+                    self.cache_misses.set(self.cache_misses.get() + 1);
+                }
+            }
             // A concurrent set is impossible (&self is single-threaded via
             // !Sync OnceCell), so the only race is with ourselves above.
             let _ = cell.set(codec);
         }
-        Ok(cell.get().expect("cell populated above"))
+        Ok(cell.get().expect("cell populated above").as_ref())
     }
 }
 

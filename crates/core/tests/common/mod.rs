@@ -6,6 +6,7 @@
 // Each integration test binary compiles this module independently and uses
 // a different subset of it.
 #![allow(dead_code)]
+#![allow(unused_imports)]
 
 pub use corra_core::torture::{corruption_sweep, SweepOptions};
 

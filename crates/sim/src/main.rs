@@ -77,13 +77,14 @@ fn main() -> ExitCode {
             Ok(Ok(outcome)) => {
                 println!(
                     "seed {:>6} ok  {:<10} rows {:>6} blocks {:>3} ops {:>3} \
-                     faults {:>4} sweep-flips {:>3} fp {:016x}",
+                     faults {:>4} hits {:>4} sweep-flips {:>3} fp {:016x}",
                     outcome.seed,
                     outcome.workload,
                     outcome.rows,
                     outcome.n_blocks,
                     outcome.ops,
                     outcome.faults_injected,
+                    outcome.cache_hits,
                     outcome.sweep_flips,
                     outcome.fingerprint,
                 );

@@ -7,20 +7,28 @@
 //! 1. **Clean differential pass** — every operation runs through the store
 //!    reader, the in-memory engine (serial *and* parallel), and the plain
 //!    [`ModelTable`] oracle; all four must agree exactly.
-//! 2. **Fault passes** — the same table is re-read through a
+//! 2. **Cache pass** — the schedule runs twice more through a reader
+//!    wrapped in a [`ShardedCache`] (cold fills, then warm hits): both
+//!    passes must be byte-identical to the uncached oracle, and the warm
+//!    pass must read zero backend bytes.
+//! 3. **Fault passes** — the same table is re-read through a
 //!    [`FaultyBackend`]. Benign plans (short reads only) must be fully
 //!    transparent; hostile plans (bit flips, transient errors, torn tails)
 //!    must surface as `Err` or return the exact model answer — never panic,
-//!    never silently wrong data.
-//! 3. **Corruption sweep** — the shared [`corra_core::torture`] sweep runs
+//!    never silently wrong data. Hostile episodes also run cache-wrapped:
+//!    a bit-flipped fill must surface as `Err`, never become a poisoned
+//!    cache entry served silently on a later repeat.
+//! 4. **Corruption sweep** — the shared [`corra_core::torture`] sweep runs
 //!    a seeded slice of single-bit flips over the file image.
 
 use std::fmt;
+use std::sync::Arc;
 
 use corra_columnar::block::{DataBlock, Table};
 use corra_columnar::column::{Column, DataType};
 use corra_columnar::schema::{Field, Schema};
 use corra_columnar::selection::SelectionVector;
+use corra_core::cache::{CacheConfig, ShardedCache};
 use corra_core::store::{TableReader, TableWriter};
 use corra_core::{
     aggregate_blocks, aggregate_blocks_parallel, checksum64, corruption_sweep, scan_blocks,
@@ -85,6 +93,8 @@ pub struct ScenarioOutcome {
     pub fingerprint: u64,
     /// Faults injected across the hostile episodes.
     pub faults_injected: u64,
+    /// Cache hits landed by the warm half of the cache pass.
+    pub cache_hits: u64,
     /// Bit flips exercised by the corruption sweep.
     pub sweep_flips: usize,
 }
@@ -225,6 +235,55 @@ impl Scenario {
         Ok(fp)
     }
 
+    /// Cache pass: the whole schedule through a cache-wrapped reader,
+    /// twice per budget. An ample budget must make the warm repeat
+    /// I/O-free; a tiny budget forces eviction churn mid-schedule. Both
+    /// must stay byte-identical to the uncached oracle throughout.
+    /// Returns the warm ample-budget pass's cache hits.
+    pub fn verify_cached(&self) -> Result<u64, SimFailure> {
+        let mut warm_hits = 0u64;
+        // Tiny budget: a fraction of the file, single-digit shards, so
+        // entries keep shoving each other out between (and inside) ops.
+        let tiny = (self.bytes.len() as u64 / 4).max(512);
+        for (label, budget) in [("ample", 64 << 20), ("tiny", tiny)] {
+            let cache = Arc::new(ShardedCache::new(CacheConfig {
+                byte_budget: budget,
+                shards: 4,
+            }));
+            let reader = TableReader::from_bytes(self.bytes.clone())
+                .map_err(|e| self.fail(format!("cached open failed: {e}")))?
+                .with_cache(Arc::clone(&cache));
+            for pass in ["cold", "warm"] {
+                let before = reader.bytes_read();
+                let mut hits = 0u64;
+                for (i, (op, want)) in self.ops.iter().zip(&self.expected).enumerate() {
+                    let (got, stats) = run_op_counted(&reader, op)
+                        .map_err(|e| self.fail(format!("{label} {pass} op {i} {op:?}: {e}")))?;
+                    if &got != want {
+                        return Err(self.fail(format!(
+                            "{label} {pass} op {i} {op:?}: cached result diverged from oracle"
+                        )));
+                    }
+                    hits += stats;
+                }
+                if label == "ample" && pass == "warm" {
+                    let read = reader.bytes_read() - before;
+                    if read != 0 {
+                        return Err(self.fail(format!(
+                            "warm ample-budget pass read {read} backend bytes, expected 0"
+                        )));
+                    }
+                    warm_hits = hits;
+                }
+            }
+            let stats = cache.stats();
+            if stats.bytes_cached > cache.capacity() {
+                return Err(self.fail(format!("{label} cache overran its budget: {stats:?}")));
+            }
+        }
+        Ok(warm_hits)
+    }
+
     /// Benign fault pass: a backend that constantly returns short reads
     /// must be fully transparent.
     pub fn verify_benign_faults(&self) -> Result<u64, SimFailure> {
@@ -301,6 +360,43 @@ impl Scenario {
             }
             injected += faults;
         }
+        // Hostile faults with a cache in the path: a bit-flipped fill must
+        // surface as `Err` and never be admitted — so when the schedule is
+        // replayed through the *same* cached reader, every success must
+        // still match the oracle (a poisoned entry would be served here)
+        // and every entry that did land in the cache must have passed
+        // verification first.
+        for episode in 0..episodes {
+            let fault_seed = self
+                .seed
+                .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                .wrapping_add(episode);
+            let plan = FaultPlan::none(fault_seed)
+                .with_bit_flips(0.05 + 0.04 * episode as f64)
+                .with_transient_errors(0.02 * episode as f64);
+            let backend = FaultyBackend::new(MemBackend::new(self.bytes.clone()), plan);
+            let cache = Arc::new(ShardedCache::new(CacheConfig::with_budget(64 << 20)));
+            let Ok(reader) = TableReader::from_backend(Box::new(backend)) else {
+                continue; // open itself was flipped — nothing cached, done
+            };
+            let reader = reader.with_cache(Arc::clone(&cache));
+            for round in 0..2 {
+                for (i, (op, want)) in self.ops.iter().zip(&self.expected).enumerate() {
+                    match run_op_serial(&reader, op) {
+                        Err(_) => {}
+                        Ok(got) => {
+                            if &got != want {
+                                return Err(self.fail(format!(
+                                    "hostile cached episode {episode} round {round} op {i} \
+                                     {op:?}: poisoned or wrong data served"
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
         // Torn tails must always fail at open: the trailer is unreadable.
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7042);
         for _ in 0..3 {
@@ -329,6 +425,7 @@ impl Scenario {
 pub fn run_seed(seed: u64, opts: &SimOptions) -> Result<ScenarioOutcome, SimFailure> {
     let scenario = Scenario::build(seed, opts);
     let fingerprint = scenario.verify_clean()?;
+    let cache_hits = scenario.verify_cached()?;
     scenario.verify_benign_faults()?;
     let faults_injected = scenario.verify_hostile_faults()?;
     let sweep_flips = scenario.verify_sweep();
@@ -340,6 +437,7 @@ pub fn run_seed(seed: u64, opts: &SimOptions) -> Result<ScenarioOutcome, SimFail
         ops: scenario.ops(),
         fingerprint,
         faults_injected,
+        cache_hits,
         sweep_flips,
     })
 }
@@ -371,6 +469,23 @@ fn run_op_serial(reader: &TableReader, op: &Op) -> corra_columnar::error::Result
         Op::ReadColumn(b, name) => Expected::Column(reader.read_column(*b, name)?),
         Op::Scan(pred, _) => Expected::Scan(reader.scan_blocks(pred)?.0),
         Op::Aggregate(expr, _) => Expected::Agg(reader.aggregate(expr)?.0),
+    })
+}
+
+/// [`run_op_serial`] plus the op's cache-hit count (scans and aggregates
+/// report hits through `ScanStats`; point ops return 0).
+fn run_op_counted(reader: &TableReader, op: &Op) -> corra_columnar::error::Result<(Expected, u64)> {
+    Ok(match op {
+        Op::ReadBlock(b) => (Expected::Block(reader.read_block(*b)?), 0),
+        Op::ReadColumn(b, name) => (Expected::Column(reader.read_column(*b, name)?), 0),
+        Op::Scan(pred, _) => {
+            let (sels, stats) = reader.scan_blocks(pred)?;
+            (Expected::Scan(sels), stats.cache_hits)
+        }
+        Op::Aggregate(expr, _) => {
+            let (agg, stats) = reader.aggregate(expr)?;
+            (Expected::Agg(agg), stats.cache_hits)
+        }
     })
 }
 

@@ -29,6 +29,86 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up `key` in an object; `None` for other variants or a
+    /// missing key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` — numbers only (ints widen losslessly up to
+    /// 2^53, like real `serde_json`).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, when it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, when it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's `(key, value)` pairs, insertion-ordered.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
 /// Conversion to a JSON [`Value`] — the shim's stand-in for serde's
 /// `Serialize` visitor contract.
 pub trait Serialize {
@@ -173,5 +253,31 @@ mod tests {
             ])
         );
         assert_eq!(None::<i64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::Object(vec![
+            ("n".into(), Value::Int(3)),
+            ("f".into(), Value::Float(0.5)),
+            ("s".into(), Value::Str("x".into())),
+            ("a".into(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(3));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(0.5));
+        assert_eq!(v.get("f").and_then(Value::as_i64), None);
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(
+            v.get("a").and_then(Value::as_array),
+            Some(&[Value::Bool(true)][..])
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Int(-1).as_u64(), None);
+        assert_eq!(Value::UInt(u64::MAX).as_i64(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(v.as_object().map(<[_]>::len), Some(4));
+        assert_eq!(Value::Null.get("x"), None);
     }
 }
