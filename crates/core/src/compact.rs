@@ -1,0 +1,281 @@
+//! Segment compaction: merges runs of small segments into one and
+//! **re-runs the codec chooser on the merged distribution**.
+//!
+//! Small appended segments each see only their own slice of the data, so
+//! the per-segment codec choice can be locally right but globally wrong —
+//! a value domain that looks FOR-friendly in every 64 K-row segment may
+//! be dictionary-friendly once a few segments' distinct sets pool
+//! together. [`compact`] decompresses the run, concatenates its columns,
+//! re-splits into full-size blocks and compresses them again under the
+//! configured (typically full-menu) chooser, so the merged segment's
+//! codecs reflect the merged data.
+//!
+//! Crash consistency rides on the manifest chain: the merged segment is
+//! written and fsynced first, then one manifest naming the new state is
+//! atomically published, and only after that durable point are the input
+//! segments and every older manifest removed
+//! (`IngestTable::commit_replacement`). A crash at any step leaves
+//! either the old state or the new state — never a half-compacted view,
+//! because no surviving manifest ever mixes them.
+
+use corra_columnar::block::Table;
+use corra_columnar::column::{Column, DataType};
+use corra_columnar::error::{Error, Result};
+use corra_columnar::strings::StringPool;
+
+use crate::compressor::CompressionConfig;
+use crate::ingest::{encode_segment, IngestConfig, IngestTable};
+use crate::store::SegmentedTable;
+
+/// Tuning for [`compact`].
+#[derive(Debug, Clone)]
+pub struct CompactionConfig {
+    /// Minimum length of a contiguous run of small segments worth
+    /// merging (≥ 2).
+    pub min_segments: usize,
+    /// A segment participates when its file is at most this many bytes.
+    pub merge_threshold_bytes: u64,
+    /// Rows per block when re-splitting the merged data.
+    pub block_rows: usize,
+    /// Codec chooser for the merged blocks. Defaults to the full
+    /// vertical menu so the chooser can move codecs (FOR → Dict, …) as
+    /// the merged distribution warrants.
+    pub compression: CompressionConfig,
+    /// Threads for the merged blocks' compression.
+    pub threads: usize,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        Self {
+            min_segments: 2,
+            merge_threshold_bytes: 8 << 20,
+            block_rows: 65_536,
+            compression: CompressionConfig::all_auto_full(),
+            threads: 1,
+        }
+    }
+}
+
+/// What one [`compact`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionResult {
+    /// Whether a merge happened (`false` = no qualifying run; the table
+    /// is untouched).
+    pub compacted: bool,
+    /// Live segments before the call.
+    pub segments_before: usize,
+    /// Live segments after the call.
+    pub segments_after: usize,
+    /// Rows in the merged segment (0 when `compacted` is false).
+    pub rows: u64,
+    /// Total file bytes of the merged run's inputs.
+    pub bytes_before: u64,
+    /// File bytes of the replacement segment.
+    pub bytes_after: u64,
+}
+
+impl CompactionResult {
+    fn skipped(segments: usize) -> Self {
+        Self {
+            compacted: false,
+            segments_before: segments,
+            segments_after: segments,
+            rows: 0,
+            bytes_before: 0,
+            bytes_after: 0,
+        }
+    }
+}
+
+/// Merges the longest qualifying run of small segments in `table` into
+/// one re-encoded segment. Returns with `compacted: false` (table
+/// untouched) when no contiguous run of at least `min_segments` small
+/// segments exists.
+///
+/// # Errors
+///
+/// A poisoned table; decode failures in the inputs; I/O failures during
+/// the commit (which poison the table — reopen to recover; the old state
+/// stays durable until the new manifest lands).
+pub fn compact(table: &mut IngestTable, config: &CompactionConfig) -> Result<CompactionResult> {
+    let n = table.n_segments();
+    let Some((start, count)) = find_run(table, config) else {
+        return Ok(CompactionResult::skipped(n));
+    };
+    let run = &table.manifest().segments[start..start + count];
+    let bytes_before: u64 = run.iter().map(|s| s.file_len).sum();
+    let reader = SegmentedTable::open(table.vfs(), table.manifest())?;
+    let merged = merge_rows(&reader, start, count)?;
+    let rows = merged.rows() as u64;
+    let blocks = merged.into_blocks(config.block_rows);
+    let encode_config = IngestConfig {
+        block_rows: config.block_rows,
+        threads: config.threads,
+        compression: config.compression.clone(),
+        ..IngestConfig::default()
+    };
+    let prepared = encode_segment(&blocks, &encode_config)?;
+    let entry = table.commit_replacement(start, count, prepared)?;
+    Ok(CompactionResult {
+        compacted: true,
+        segments_before: n,
+        segments_after: table.n_segments(),
+        rows,
+        bytes_before,
+        bytes_after: entry.file_len,
+    })
+}
+
+/// The longest contiguous run of segments whose files are each at most
+/// `merge_threshold_bytes`, if it reaches `min_segments`.
+fn find_run(table: &IngestTable, config: &CompactionConfig) -> Option<(usize, usize)> {
+    let min = config.min_segments.max(2);
+    let mut best: Option<(usize, usize)> = None;
+    let mut run_start = None;
+    let segments = &table.manifest().segments;
+    for (i, seg) in segments.iter().enumerate() {
+        if seg.file_len <= config.merge_threshold_bytes {
+            let start = *run_start.get_or_insert(i);
+            let len = i - start + 1;
+            if len >= min && best.is_none_or(|(_, blen)| len > blen) {
+                best = Some((start, len));
+            }
+        } else {
+            run_start = None;
+        }
+    }
+    best
+}
+
+/// Decompresses every block of segments `[start, start + count)` and
+/// concatenates their columns into one in-memory [`Table`].
+fn merge_rows(reader: &SegmentedTable, start: usize, count: usize) -> Result<Table> {
+    let readers = &reader.segments()[start..start + count];
+    let schema = readers
+        .first()
+        .ok_or_else(|| Error::invalid("empty compaction run"))?
+        .schema()
+        .clone();
+    let n_cols = schema.len();
+    let mut ints: Vec<Vec<i64>> = vec![Vec::new(); n_cols];
+    let mut strs: Vec<Vec<String>> = vec![Vec::new(); n_cols];
+    for seg in readers {
+        for b in 0..seg.footer().blocks.len() {
+            let block = seg.read_block(b)?;
+            for c in 0..n_cols {
+                let col = block.decompress_at(c)?;
+                match col {
+                    Column::Int64(v) => ints[c].extend_from_slice(&v),
+                    Column::Utf8(p) => strs[c].extend(p.iter().map(str::to_owned)),
+                }
+            }
+        }
+    }
+    let columns: Vec<Column> = schema
+        .fields()
+        .iter()
+        .enumerate()
+        .map(|(c, field)| match field.data_type() {
+            DataType::Utf8 => {
+                Column::Utf8(StringPool::from_iter(strs[c].iter().map(String::as_str)))
+            }
+            // Date / Timestamp are physically i64.
+            _ => Column::Int64(std::mem::take(&mut ints[c])),
+        })
+        .collect();
+    Table::new(schema, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::IngestConfig;
+    use crate::vfs::{SimVfs, Vfs};
+    use corra_columnar::schema::{Field, Schema};
+    use std::sync::Arc;
+
+    fn int_table(range: std::ops::Range<i64>) -> Table {
+        Table::new(
+            Schema::new(vec![Field::new("v", DataType::Int64)]).unwrap(),
+            vec![Column::from(range.collect::<Vec<i64>>())],
+        )
+        .unwrap()
+    }
+
+    fn small_config() -> IngestConfig {
+        IngestConfig {
+            block_rows: 128,
+            ..IngestConfig::default()
+        }
+    }
+
+    #[test]
+    fn compaction_merges_small_segments_and_preserves_rows() {
+        let vfs: Arc<dyn Vfs> = Arc::new(SimVfs::new(11));
+        let mut t = IngestTable::create(Arc::clone(&vfs), small_config()).unwrap();
+        for chunk in [0..200, 200..450, 450..600, 600..1000] {
+            t.append(int_table(chunk)).unwrap();
+        }
+        assert_eq!(t.n_segments(), 4);
+        let before: Vec<i64> = read_all(&t);
+        let result = compact(
+            &mut t,
+            &CompactionConfig {
+                block_rows: 512,
+                ..CompactionConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(result.compacted);
+        assert_eq!(result.segments_before, 4);
+        assert_eq!(result.segments_after, 1);
+        assert_eq!(result.rows, 1000);
+        assert_eq!(read_all(&t), before);
+        // Retired segments and superseded manifests are gone.
+        let names = t.vfs().list().unwrap();
+        assert_eq!(
+            names.len(),
+            2,
+            "expected one manifest + one segment, got {names:?}"
+        );
+    }
+
+    #[test]
+    fn compaction_skips_when_no_qualifying_run() {
+        let vfs: Arc<dyn Vfs> = Arc::new(SimVfs::new(12));
+        let mut t = IngestTable::create(Arc::clone(&vfs), small_config()).unwrap();
+        t.append(int_table(0..100)).unwrap();
+        let result = compact(&mut t, &CompactionConfig::default()).unwrap();
+        assert!(!result.compacted);
+        assert_eq!(t.n_segments(), 1);
+    }
+
+    #[test]
+    fn threshold_excludes_large_segments_from_the_run() {
+        let vfs: Arc<dyn Vfs> = Arc::new(SimVfs::new(13));
+        let mut t = IngestTable::create(Arc::clone(&vfs), small_config()).unwrap();
+        t.append(int_table(0..50)).unwrap();
+        t.append(int_table(50..100)).unwrap();
+        t.append(int_table(100..150)).unwrap();
+        let big = t.manifest().segments[1].file_len;
+        // Pretend the middle segment is "large": set the threshold just
+        // below it so only pairs excluding it can merge — but the small
+        // ones around it are the same size, so nothing qualifies.
+        let config = CompactionConfig {
+            merge_threshold_bytes: big - 1,
+            ..CompactionConfig::default()
+        };
+        let result = compact(&mut t, &config).unwrap();
+        assert!(!result.compacted);
+    }
+
+    fn read_all(t: &IngestTable) -> Vec<i64> {
+        let reader = t.reader().unwrap();
+        let mut all = Vec::new();
+        for b in 0..reader.n_blocks() {
+            all.extend_from_slice(reader.read_column(b, "v").unwrap().as_i64().unwrap());
+        }
+        all
+    }
+}

@@ -60,16 +60,29 @@ pub enum ColumnPlan {
 }
 
 /// A whole-block compression configuration: column name → plan.
-/// Unlisted columns default to [`ColumnPlan::Auto`].
+/// Unlisted columns fall back to the default plan ([`ColumnPlan::Auto`]
+/// unless overridden).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CompressionConfig {
     plans: FxHashMap<String, ColumnPlan>,
+    default_plan: Option<ColumnPlan>,
 }
 
 impl CompressionConfig {
     /// An all-`Auto` configuration (the single-column baseline).
     pub fn baseline() -> Self {
         Self::default()
+    }
+
+    /// An all-[`ColumnPlan::AutoFull`] configuration: every unlisted
+    /// column gets the full vertical chooser menu. The compactor uses
+    /// this so re-encoding merged segments can move codecs (FOR → Dict,
+    /// …) as the pooled distribution warrants.
+    pub fn all_auto_full() -> Self {
+        Self {
+            plans: FxHashMap::default(),
+            default_plan: Some(ColumnPlan::AutoFull),
+        }
     }
 
     /// An all-`Plain` configuration for the named columns (the uncompressed
@@ -96,7 +109,10 @@ impl CompressionConfig {
 
     /// The plan for `column`.
     pub fn plan_for(&self, column: &str) -> &ColumnPlan {
-        self.plans.get(column).unwrap_or(&ColumnPlan::Auto)
+        self.plans
+            .get(column)
+            .or(self.default_plan.as_ref())
+            .unwrap_or(&ColumnPlan::Auto)
     }
 }
 

@@ -31,11 +31,21 @@ use corra_columnar::error::{Error, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// A positioned-read data source with pread semantics.
+/// A positioned-read data source with pread semantics, optionally
+/// writable.
 ///
 /// `read_at` may return fewer bytes than `buf.len()` (short read); callers
 /// that need the whole range use [`read_full_at`]. Implementations must be
 /// thread-safe: the parallel scan drivers issue reads from many workers.
+///
+/// The write half mirrors the read half with **pwrite semantics**:
+/// [`write_at`](Self::write_at) may write fewer bytes than offered (as
+/// `write(2)` legitimately does) and [`write_full_at`] is the one loop
+/// that turns short writes into whole buffers or errors. Durability is
+/// explicit: nothing written counts as *acknowledged* until
+/// [`fsync`](Self::fsync) returns `Ok` — the ingest layer's crash
+/// contract is built on exactly that line. Read-only backends keep the
+/// default implementations, which error.
 // `len` is a fallible file size in bytes, not a container length — an
 // `is_empty` twin would have no caller.
 #[allow(clippy::len_without_is_empty)]
@@ -55,6 +65,30 @@ pub trait IoBackend: Send + Sync {
     ///
     /// Underlying I/O failures.
     fn len(&self) -> Result<u64>;
+
+    /// Writes up to `buf.len()` bytes at `offset` (pwrite semantics — the
+    /// write may be short), returning how many bytes were written. Writes
+    /// land in the backend's *volatile* state until
+    /// [`fsync`](Self::fsync) succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failures; read-only backends (the default).
+    fn write_at(&self, _offset: u64, _buf: &[u8]) -> Result<usize> {
+        Err(Error::invalid("backend is read-only"))
+    }
+
+    /// Forces every byte written so far to durable storage. Only after
+    /// `Ok` may the caller acknowledge the data; a failed fsync means the
+    /// writes may or may not survive a crash, and the caller must treat
+    /// them as lost.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failures; read-only backends (the default).
+    fn fsync(&self) -> Result<()> {
+        Err(Error::invalid("backend is read-only"))
+    }
 }
 
 /// Shared backends delegate: lets a caller hand a reader one handle and
@@ -67,6 +101,34 @@ impl<T: IoBackend + ?Sized> IoBackend for std::sync::Arc<T> {
 
     fn len(&self) -> Result<u64> {
         (**self).len()
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> Result<usize> {
+        (**self).write_at(offset, buf)
+    }
+
+    fn fsync(&self) -> Result<()> {
+        (**self).fsync()
+    }
+}
+
+/// Boxed backends delegate, so decorators can wrap a `Box<dyn IoBackend>`
+/// (e.g. the handles a [`Vfs`](crate::vfs::Vfs) hands out).
+impl<T: IoBackend + ?Sized> IoBackend for Box<T> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        (**self).read_at(offset, buf)
+    }
+
+    fn len(&self) -> Result<u64> {
+        (**self).len()
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> Result<usize> {
+        (**self).write_at(offset, buf)
+    }
+
+    fn fsync(&self) -> Result<()> {
+        (**self).fsync()
     }
 }
 
@@ -96,6 +158,36 @@ pub fn read_full_at(backend: &dyn IoBackend, offset: u64, buf: &mut [u8]) -> Res
             )));
         }
         filled += n;
+    }
+    Ok(())
+}
+
+/// Writes all of `buf` to `backend` starting at `offset`, looping over
+/// short writes. A plain `write` may legitimately accept partial data —
+/// this is the single place that loop lives, so every ingest write is
+/// short-write safe.
+///
+/// # Errors
+///
+/// Underlying I/O failures; a backend that reports zero progress or
+/// over-reports a write.
+pub fn write_full_at(backend: &dyn IoBackend, offset: u64, buf: &[u8]) -> Result<()> {
+    let mut written = 0usize;
+    while written < buf.len() {
+        let n = backend.write_at(offset + written as u64, &buf[written..])?;
+        if n == 0 {
+            return Err(Error::invalid(format!(
+                "backend made no progress writing {} bytes at offset {offset}",
+                buf.len()
+            )));
+        }
+        if n > buf.len() - written {
+            return Err(Error::invalid(format!(
+                "backend over-reported a write: {n} bytes from a {}-byte buffer",
+                buf.len() - written
+            )));
+        }
+        written += n;
     }
     Ok(())
 }
@@ -150,6 +242,25 @@ impl FileBackend {
             file: Mutex::new(file),
         })
     }
+
+    /// Creates (or truncates) `path` read-write, for the ingest write
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn create(path: &std::path::Path) -> Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| Error::invalid(format!("creating table file: {e}")))?;
+        Ok(Self {
+            file: Mutex::new(file),
+        })
+    }
 }
 
 impl IoBackend for FileBackend {
@@ -167,6 +278,20 @@ impl IoBackend for FileBackend {
         let mut file = self.file.lock().expect("table file lock poisoned");
         file.seek(SeekFrom::End(0))
             .map_err(|e| Error::invalid(format!("sizing table file: {e}")))
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> Result<usize> {
+        let mut file = self.file.lock().expect("table file lock poisoned");
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| Error::invalid(format!("seeking table file: {e}")))?;
+        std::io::Write::write(&mut *file, buf)
+            .map_err(|e| Error::invalid(format!("writing table file: {e}")))
+    }
+
+    fn fsync(&self) -> Result<()> {
+        let file = self.file.lock().expect("table file lock poisoned");
+        file.sync_all()
+            .map_err(|e| Error::invalid(format!("fsyncing table file: {e}")))
     }
 }
 
@@ -207,6 +332,15 @@ pub struct FaultPlan {
     /// Pretend the source ends at this offset (torn tail): reads at or past
     /// it return 0 bytes.
     pub truncate_at: Option<u64>,
+    /// Probability a write is clipped to a random shorter length (≥ 1
+    /// byte). Benign: healed by the [`write_full_at`] loop.
+    pub p_short_write: f64,
+    /// Probability a write fails with an injected error.
+    pub p_write_error: f64,
+    /// Probability an fsync fails with an injected error. The caller must
+    /// treat the batch as unacknowledged — the test suite proves the
+    /// ingest layer does.
+    pub p_fsync_error: f64,
 }
 
 impl FaultPlan {
@@ -219,6 +353,9 @@ impl FaultPlan {
             p_transient: 0.0,
             p_bit_flip: 0.0,
             truncate_at: None,
+            p_short_write: 0.0,
+            p_write_error: 0.0,
+            p_fsync_error: 0.0,
         }
     }
 
@@ -250,12 +387,38 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the short-write probability.
+    #[must_use]
+    pub fn with_short_writes(mut self, p: f64) -> Self {
+        self.p_short_write = p;
+        self
+    }
+
+    /// Sets the write-error probability.
+    #[must_use]
+    pub fn with_write_errors(mut self, p: f64) -> Self {
+        self.p_write_error = p;
+        self
+    }
+
+    /// Sets the fsync-error probability.
+    #[must_use]
+    pub fn with_fsync_errors(mut self, p: f64) -> Self {
+        self.p_fsync_error = p;
+        self
+    }
+
     /// Whether every injectable fault in this plan is *benign*: short
-    /// reads are healed by the [`read_full_at`] loop, so a plan that only
-    /// injects them must never change any result or produce any error.
+    /// reads and short writes are healed by the [`read_full_at`] /
+    /// [`write_full_at`] loops, so a plan that only injects them must
+    /// never change any result or produce any error.
     #[must_use]
     pub fn is_benign(&self) -> bool {
-        self.p_transient == 0.0 && self.p_bit_flip == 0.0 && self.truncate_at.is_none()
+        self.p_transient == 0.0
+            && self.p_bit_flip == 0.0
+            && self.truncate_at.is_none()
+            && self.p_write_error == 0.0
+            && self.p_fsync_error == 0.0
     }
 }
 
@@ -270,13 +433,84 @@ pub struct FaultStats {
     pub bit_flips: u64,
     /// Reads clipped or zeroed by the truncated tail.
     pub truncated_reads: u64,
+    /// Writes clipped short.
+    pub short_writes: u64,
+    /// Writes failed with an injected error.
+    pub write_errors: u64,
+    /// Fsyncs failed with an injected error.
+    pub failed_fsyncs: u64,
 }
 
 impl FaultStats {
     /// Total faults injected.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.short_reads + self.transient_errors + self.bit_flips + self.truncated_reads
+        self.short_reads
+            + self.transient_errors
+            + self.bit_flips
+            + self.truncated_reads
+            + self.short_writes
+            + self.write_errors
+            + self.failed_fsyncs
+    }
+}
+
+/// The shared scheduling state behind one or more [`FaultyBackend`]s: the
+/// plan, the seeded RNG, and the injected-fault counters.
+///
+/// One injector can be shared (via `Arc`) across every file a faulty
+/// directory hands out, so the whole directory draws from **one**
+/// deterministic schedule and reports **one** set of counters — which is
+/// what makes a failing multi-file torture seed replayable.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+    short_reads: AtomicU64,
+    transient_errors: AtomicU64,
+    bit_flips: AtomicU64,
+    truncated_reads: AtomicU64,
+    short_writes: AtomicU64,
+    write_errors: AtomicU64,
+    failed_fsyncs: AtomicU64,
+}
+
+impl FaultInjector {
+    /// A fresh injector for `plan`, seeded from `plan.seed`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = Mutex::new(StdRng::seed_from_u64(plan.seed));
+        Self {
+            plan,
+            rng,
+            short_reads: AtomicU64::new(0),
+            transient_errors: AtomicU64::new(0),
+            bit_flips: AtomicU64::new(0),
+            truncated_reads: AtomicU64::new(0),
+            short_writes: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            failed_fsyncs: AtomicU64::new(0),
+        }
+    }
+
+    /// The fault plan.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Faults injected so far, across every backend sharing this injector.
+    #[must_use]
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            short_reads: self.short_reads.load(Ordering::Relaxed),
+            transient_errors: self.transient_errors.load(Ordering::Relaxed),
+            bit_flips: self.bit_flips.load(Ordering::Relaxed),
+            truncated_reads: self.truncated_reads.load(Ordering::Relaxed),
+            short_writes: self.short_writes.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            failed_fsyncs: self.failed_fsyncs.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -286,86 +520,84 @@ impl FaultStats {
 /// The same `(inner bytes, FaultPlan)` pair injects the same faults at the
 /// same read positions on every run — which is what makes a failing
 /// torture-harness seed replayable. The decorator never mutates the inner
-/// backend; flips land in the caller's buffer only.
+/// backend; flips land in the caller's buffer only. Write-path faults
+/// (short writes, write errors, failed fsyncs) follow the same schedule;
+/// an injected fsync error returns `Err` *without* syncing the inner
+/// backend, so unsynced data genuinely stays volatile.
 pub struct FaultyBackend<B: IoBackend> {
     inner: B,
-    plan: FaultPlan,
-    rng: Mutex<StdRng>,
-    short_reads: AtomicU64,
-    transient_errors: AtomicU64,
-    bit_flips: AtomicU64,
-    truncated_reads: AtomicU64,
+    injector: std::sync::Arc<FaultInjector>,
 }
 
 impl<B: IoBackend> FaultyBackend<B> {
-    /// Wraps `inner` with the given fault plan.
+    /// Wraps `inner` with the given fault plan (a private injector).
     pub fn new(inner: B, plan: FaultPlan) -> Self {
-        let rng = Mutex::new(StdRng::seed_from_u64(plan.seed));
-        Self {
-            inner,
-            plan,
-            rng,
-            short_reads: AtomicU64::new(0),
-            transient_errors: AtomicU64::new(0),
-            bit_flips: AtomicU64::new(0),
-            truncated_reads: AtomicU64::new(0),
-        }
+        Self::with_injector(inner, std::sync::Arc::new(FaultInjector::new(plan)))
+    }
+
+    /// Wraps `inner` drawing faults from a shared `injector` — used by the
+    /// faulty-directory decorator so every file in the directory shares
+    /// one schedule and one set of counters.
+    pub fn with_injector(inner: B, injector: std::sync::Arc<FaultInjector>) -> Self {
+        Self { inner, injector }
+    }
+
+    /// The shared injector (clone it to share the schedule with more
+    /// backends, or to keep reading counters after this one is consumed).
+    pub fn injector(&self) -> &std::sync::Arc<FaultInjector> {
+        &self.injector
     }
 
     /// Faults injected so far.
     pub fn stats(&self) -> FaultStats {
-        FaultStats {
-            short_reads: self.short_reads.load(Ordering::Relaxed),
-            transient_errors: self.transient_errors.load(Ordering::Relaxed),
-            bit_flips: self.bit_flips.load(Ordering::Relaxed),
-            truncated_reads: self.truncated_reads.load(Ordering::Relaxed),
-        }
+        self.injector.stats()
     }
 
     /// The fault plan.
     pub fn plan(&self) -> &FaultPlan {
-        &self.plan
+        &self.injector.plan
     }
 }
 
 impl<B: IoBackend> IoBackend for FaultyBackend<B> {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let inj = &*self.injector;
+        let plan = &inj.plan;
         // Draw the whole schedule for this call under one lock so the
         // sequence of decisions is a pure function of (seed, call order).
         let (transient, short_to, flip) = {
-            let mut rng = self.rng.lock().expect("fault rng poisoned");
-            let transient = self.plan.p_transient > 0.0 && rng.gen_bool(self.plan.p_transient);
-            let short_to = (self.plan.p_short_read > 0.0
-                && buf.len() > 1
-                && rng.gen_bool(self.plan.p_short_read))
-            .then(|| rng.gen_range(1..buf.len()));
-            let flip = (self.plan.p_bit_flip > 0.0 && rng.gen_bool(self.plan.p_bit_flip))
-                .then(|| rng.gen::<u64>());
+            let mut rng = inj.rng.lock().expect("fault rng poisoned");
+            let transient = plan.p_transient > 0.0 && rng.gen_bool(plan.p_transient);
+            let short_to =
+                (plan.p_short_read > 0.0 && buf.len() > 1 && rng.gen_bool(plan.p_short_read))
+                    .then(|| rng.gen_range(1..buf.len()));
+            let flip =
+                (plan.p_bit_flip > 0.0 && rng.gen_bool(plan.p_bit_flip)).then(|| rng.gen::<u64>());
             (transient, short_to, flip)
         };
         if transient {
-            self.transient_errors.fetch_add(1, Ordering::Relaxed);
+            inj.transient_errors.fetch_add(1, Ordering::Relaxed);
             return Err(Error::invalid(format!(
                 "injected transient I/O error at offset {offset}"
             )));
         }
         let mut window = buf.len();
-        if let Some(end) = self.plan.truncate_at {
+        if let Some(end) = plan.truncate_at {
             if offset >= end {
-                self.truncated_reads.fetch_add(1, Ordering::Relaxed);
+                inj.truncated_reads.fetch_add(1, Ordering::Relaxed);
                 return Ok(0);
             }
             let clipped = usize::try_from(end - offset)
                 .unwrap_or(usize::MAX)
                 .min(window);
             if clipped < window {
-                self.truncated_reads.fetch_add(1, Ordering::Relaxed);
+                inj.truncated_reads.fetch_add(1, Ordering::Relaxed);
                 window = clipped;
             }
         }
         if let Some(short) = short_to {
             if short < window {
-                self.short_reads.fetch_add(1, Ordering::Relaxed);
+                inj.short_reads.fetch_add(1, Ordering::Relaxed);
                 window = short;
             }
         }
@@ -375,7 +607,7 @@ impl<B: IoBackend> IoBackend for FaultyBackend<B> {
                 let byte = (r as usize >> 3) % n;
                 let bit = (r & 7) as u8;
                 buf[byte] ^= 1 << bit;
-                self.bit_flips.fetch_add(1, Ordering::Relaxed);
+                inj.bit_flips.fetch_add(1, Ordering::Relaxed);
             }
         }
         Ok(n)
@@ -383,10 +615,52 @@ impl<B: IoBackend> IoBackend for FaultyBackend<B> {
 
     fn len(&self) -> Result<u64> {
         let inner = self.inner.len()?;
-        Ok(match self.plan.truncate_at {
+        Ok(match self.injector.plan.truncate_at {
             Some(end) => inner.min(end),
             None => inner,
         })
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> Result<usize> {
+        let inj = &*self.injector;
+        let plan = &inj.plan;
+        let (fail, short_to) = {
+            let mut rng = inj.rng.lock().expect("fault rng poisoned");
+            let fail = plan.p_write_error > 0.0 && rng.gen_bool(plan.p_write_error);
+            let short_to =
+                (plan.p_short_write > 0.0 && buf.len() > 1 && rng.gen_bool(plan.p_short_write))
+                    .then(|| rng.gen_range(1..buf.len()));
+            (fail, short_to)
+        };
+        if fail {
+            inj.write_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::invalid(format!(
+                "injected write error at offset {offset}"
+            )));
+        }
+        let window = match short_to {
+            Some(short) if short < buf.len() => {
+                inj.short_writes.fetch_add(1, Ordering::Relaxed);
+                short
+            }
+            _ => buf.len(),
+        };
+        self.inner.write_at(offset, &buf[..window])
+    }
+
+    fn fsync(&self) -> Result<()> {
+        let inj = &*self.injector;
+        let fail = {
+            let mut rng = inj.rng.lock().expect("fault rng poisoned");
+            inj.plan.p_fsync_error > 0.0 && rng.gen_bool(inj.plan.p_fsync_error)
+        };
+        if fail {
+            inj.failed_fsyncs.fetch_add(1, Ordering::Relaxed);
+            // Deliberately skip the inner fsync: data written so far stays
+            // volatile, exactly like a real fsync failure.
+            return Err(Error::invalid("injected fsync failure"));
+        }
+        self.inner.fsync()
     }
 }
 
@@ -462,6 +736,112 @@ mod tests {
         assert_eq!(faulty.read_at(0, &mut buf).unwrap(), 40);
         assert_eq!(faulty.read_at(40, &mut buf).unwrap(), 0);
         assert!(faulty.stats().truncated_reads >= 2);
+    }
+
+    /// A minimal writable in-memory backend for exercising the write path.
+    struct SharedBuf {
+        bytes: Mutex<Vec<u8>>,
+        fsyncs: AtomicU64,
+    }
+
+    impl SharedBuf {
+        fn new() -> Self {
+            Self {
+                bytes: Mutex::new(Vec::new()),
+                fsyncs: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl IoBackend for SharedBuf {
+        fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+            let bytes = self.bytes.lock().unwrap();
+            let start = usize::try_from(offset).unwrap_or(usize::MAX);
+            if start >= bytes.len() {
+                return Ok(0);
+            }
+            let n = buf.len().min(bytes.len() - start);
+            buf[..n].copy_from_slice(&bytes[start..start + n]);
+            Ok(n)
+        }
+
+        fn len(&self) -> Result<u64> {
+            Ok(self.bytes.lock().unwrap().len() as u64)
+        }
+
+        fn write_at(&self, offset: u64, buf: &[u8]) -> Result<usize> {
+            let mut bytes = self.bytes.lock().unwrap();
+            let start = usize::try_from(offset).expect("offset fits");
+            if bytes.len() < start + buf.len() {
+                bytes.resize(start + buf.len(), 0);
+            }
+            bytes[start..start + buf.len()].copy_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn fsync(&self) -> Result<()> {
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn read_only_backends_reject_writes() {
+        let b = MemBackend::new(vec![1, 2, 3]);
+        assert!(b.write_at(0, &[9]).is_err());
+        assert!(b.fsync().is_err());
+    }
+
+    #[test]
+    fn write_full_at_loops_over_short_writes() {
+        let faulty =
+            FaultyBackend::new(SharedBuf::new(), FaultPlan::none(3).with_short_writes(0.9));
+        let payload: Vec<u8> = (0u8..=255).collect();
+        write_full_at(&faulty, 0, &payload).unwrap();
+        assert!(faulty.stats().short_writes > 0, "no short write injected");
+        let mut back = vec![0u8; 256];
+        read_full_at(&faulty, 0, &mut back).unwrap();
+        assert_eq!(back, payload, "short writes must heal to the full buffer");
+    }
+
+    #[test]
+    fn injected_fsync_failure_is_an_error_and_never_reaches_the_inner_sync() {
+        let faulty =
+            FaultyBackend::new(SharedBuf::new(), FaultPlan::none(5).with_fsync_errors(1.0));
+        write_full_at(&faulty, 0, b"must not be acknowledged").unwrap();
+        let err = faulty.fsync().unwrap_err();
+        assert!(err.to_string().contains("injected fsync failure"), "{err}");
+        assert_eq!(faulty.stats().failed_fsyncs, 1);
+        // The inner backend was never synced: nothing may be acknowledged.
+        assert_eq!(faulty.inner.fsyncs.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn injected_write_error_surfaces_and_is_counted() {
+        let faulty =
+            FaultyBackend::new(SharedBuf::new(), FaultPlan::none(9).with_write_errors(1.0));
+        let err = faulty.write_at(0, &[1, 2, 3]).unwrap_err();
+        assert!(err.to_string().contains("injected write error"), "{err}");
+        assert_eq!(faulty.stats().write_errors, 1);
+        assert_eq!(faulty.inner.len().unwrap(), 0, "no bytes may land");
+    }
+
+    #[test]
+    fn shared_injector_pools_one_schedule_across_backends() {
+        let injector = std::sync::Arc::new(FaultInjector::new(
+            FaultPlan::none(11).with_short_writes(1.0),
+        ));
+        let a = FaultyBackend::with_injector(SharedBuf::new(), injector.clone());
+        let b = FaultyBackend::with_injector(SharedBuf::new(), injector.clone());
+        write_full_at(&a, 0, &[7u8; 64]).unwrap();
+        write_full_at(&b, 0, &[9u8; 64]).unwrap();
+        let stats = injector.stats();
+        assert_eq!(stats, a.stats());
+        assert_eq!(stats, b.stats());
+        assert!(
+            stats.short_writes >= 2,
+            "both backends must draw from the shared schedule: {stats:?}"
+        );
     }
 
     #[test]

@@ -42,18 +42,34 @@
 //!   from many threads against one shared reader + cache;
 //! * [`torture`](mod@torture) — exhaustive corruption sweeps (truncation +
 //!   bit flips) asserting every mutation surfaces as `Err` or leaves
-//!   results bit-identical, shared by the core tests and `corra-sim`.
+//!   results bit-identical, shared by the core tests and `corra-sim`;
+//! * [`vfs`](mod@vfs) — the directory-level seam beneath ingest: real
+//!   directories, the crash-simulating [`vfs::SimVfs`] (durable/volatile
+//!   split, seeded torn tails, op-indexed crash points) and the
+//!   fault-pooling [`vfs::FaultyVfs`];
+//! * [`manifest`](mod@manifest) — the versioned, checksummed segment
+//!   manifest: numbered immutable files published by atomic rename, with
+//!   chain recovery falling back to the last durable state;
+//! * [`ingest`](mod@ingest) — the writable table: a two-stage append
+//!   pipeline (CPU encode → I/O write+fsync) with an explicit
+//!   fsync-before-ack contract;
+//! * [`compact`](mod@compact) — merges small segments and re-runs the
+//!   codec chooser on the merged distribution, retiring inputs only after
+//!   the new manifest is durable.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod aggregate;
 pub mod cache;
+pub mod compact;
 pub mod compressor;
 pub mod detect;
 pub mod format;
 pub mod hier;
+pub mod ingest;
 pub mod io;
+pub mod manifest;
 pub mod multiref;
 pub mod nonhier;
 pub mod optimizer;
@@ -63,6 +79,7 @@ pub mod scan;
 pub mod serve;
 pub mod store;
 pub mod torture;
+pub mod vfs;
 
 // Format-v2 framing for the Corra horizontal codecs and the shared outlier
 // region: the length-prefix frame wraps each existing payload layout.
@@ -79,13 +96,18 @@ pub use aggregate::{
     AggResult, AggValue, GroupKey,
 };
 pub use cache::{CacheConfig, CacheKey, CacheStats, CacheValue, EntryKind, ShardedCache};
+pub use compact::{compact, CompactionConfig, CompactionResult};
 pub use compressor::{
     compress_blocks, decompress_column, BlockView, ColumnCodec, ColumnPlan, CompressedBlock,
     CompressionConfig,
 };
 pub use format::{CodecHeader, CodecWiring, PayloadSpan};
 pub use hier::{HierInt, HierStr};
-pub use io::{checksum64, FaultPlan, FaultStats, FaultyBackend, IoBackend, MemBackend};
+pub use ingest::{IngestConfig, IngestTable};
+pub use io::{
+    checksum64, FaultInjector, FaultPlan, FaultStats, FaultyBackend, IoBackend, MemBackend,
+};
+pub use manifest::{Manifest, SegmentEntry};
 pub use multiref::{Formula, FormulaStats, MultiRefInt};
 pub use nonhier::{plan_window, NonHierInt, WindowPlan};
 pub use optimizer::{apply_assignment, Assignment, ColumnGraph, EncodedColumn};
@@ -95,8 +117,10 @@ pub use scan::{
     query_parallel, scan, scan_blocks, scan_blocks_parallel, scan_pruned, scan_query,
     scan_query_both, CmpOp, Predicate, ScanStats,
 };
-pub use serve::{ServeOutcome, ServeRequest, ServeResult, ServeSession};
+pub use serve::{ServeOutcome, ServeRequest, ServeResult, ServeSession, ServeSource};
 pub use store::{
-    write_table, BlockHandle, BlockMeta, ColumnMeta, TableFooter, TableReader, TableWriter,
+    write_table, BlockHandle, BlockMeta, ColumnMeta, SegmentedTable, TableFooter, TableReader,
+    TableWriter,
 };
 pub use torture::{corruption_sweep, SweepOptions, SweepReport};
+pub use vfs::{DirVfs, FaultyVfs, SimVfs, Vfs};

@@ -228,6 +228,27 @@ pub struct ScanStats {
     /// Payload loads that missed the attached cache and fell through to the
     /// backend. Always 0 for in-memory scans and cacheless readers.
     pub cache_misses: u64,
+    /// Segments this operation touched. Single-file readers report 1 per
+    /// store-driven scan; a [`crate::store::SegmentedTable`] reports one
+    /// per live segment visited, making multi-segment reads observable.
+    /// Always 0 for in-memory scans.
+    pub segments_opened: usize,
+}
+
+impl ScanStats {
+    /// Folds another operation's counters into this one — the one place
+    /// multi-block, multi-segment, and multi-request accounting merge.
+    pub fn absorb(&mut self, other: &ScanStats) {
+        self.blocks += other.blocks;
+        self.blocks_pruned += other.blocks_pruned;
+        self.rows_total += other.rows_total;
+        self.rows_matched += other.rows_matched;
+        self.blocks_skipped_io += other.blocks_skipped_io;
+        self.bytes_read += other.bytes_read;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.segments_opened += other.segments_opened;
+    }
 }
 
 /// A covering min/max zone map for the column at `idx`, derived from its

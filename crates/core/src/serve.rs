@@ -41,7 +41,65 @@ use corra_columnar::selection::SelectionVector;
 
 use crate::aggregate::{AggExpr, AggResult};
 use crate::scan::{Predicate, ScanStats};
-use crate::store::TableReader;
+use crate::store::{BlockHandle, SegmentedTable, TableReader};
+
+/// What a [`ServeSession`] serves from: any table-shaped source that can
+/// hand out block handles and run whole-table scans and aggregates.
+/// Implemented by the single-file [`TableReader`] and the multi-segment
+/// [`SegmentedTable`], so the front door is indifferent to whether the
+/// table is one immutable file or an ingest directory's current
+/// manifest.
+pub trait ServeSource: Send + Sync {
+    /// A lazy handle on one block (global block index for multi-segment
+    /// sources).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range block index; I/O failures.
+    fn block_handle(&self, block: usize) -> Result<BlockHandle<'_>>;
+
+    /// Predicate scan over every block (zone-map pruning included).
+    ///
+    /// # Errors
+    ///
+    /// Unknown columns; decode or I/O failures.
+    fn scan_blocks(&self, pred: &Predicate) -> Result<(Vec<SelectionVector>, ScanStats)>;
+
+    /// Aggregate over every block (zone short-circuits included).
+    ///
+    /// # Errors
+    ///
+    /// Unknown columns; decode or I/O failures.
+    fn aggregate(&self, expr: &AggExpr) -> Result<(AggResult, ScanStats)>;
+}
+
+impl ServeSource for TableReader {
+    fn block_handle(&self, block: usize) -> Result<BlockHandle<'_>> {
+        TableReader::block_handle(self, block)
+    }
+
+    fn scan_blocks(&self, pred: &Predicate) -> Result<(Vec<SelectionVector>, ScanStats)> {
+        TableReader::scan_blocks(self, pred)
+    }
+
+    fn aggregate(&self, expr: &AggExpr) -> Result<(AggResult, ScanStats)> {
+        TableReader::aggregate(self, expr)
+    }
+}
+
+impl ServeSource for SegmentedTable {
+    fn block_handle(&self, block: usize) -> Result<BlockHandle<'_>> {
+        SegmentedTable::block_handle(self, block)
+    }
+
+    fn scan_blocks(&self, pred: &Predicate) -> Result<(Vec<SelectionVector>, ScanStats)> {
+        SegmentedTable::scan_blocks(self, pred)
+    }
+
+    fn aggregate(&self, expr: &AggExpr) -> Result<(AggResult, ScanStats)> {
+        SegmentedTable::aggregate(self, expr)
+    }
+}
 
 /// One unit of serving traffic.
 #[derive(Debug, Clone)]
@@ -123,23 +181,32 @@ pub fn percentile(samples: &[Duration], p: f64) -> Duration {
     sorted[rank]
 }
 
-/// A serving endpoint over one shared reader. See the [module docs](self).
-#[derive(Clone)]
-pub struct ServeSession {
-    reader: Arc<TableReader>,
+/// A serving endpoint over one shared source (a single-file
+/// [`TableReader`] by default, or any other [`ServeSource`] such as a
+/// [`SegmentedTable`]). See the [module docs](self).
+pub struct ServeSession<S: ServeSource = TableReader> {
+    reader: Arc<S>,
 }
 
-impl ServeSession {
-    /// Wraps a shared reader (attach a cache to it first via
-    /// [`TableReader::with_cache`] to make repeated traffic cheap).
+impl<S: ServeSource> Clone for ServeSession<S> {
+    fn clone(&self) -> Self {
+        Self {
+            reader: Arc::clone(&self.reader),
+        }
+    }
+}
+
+impl<S: ServeSource> ServeSession<S> {
+    /// Wraps a shared source (attach a cache to it first — e.g.
+    /// [`TableReader::with_cache`] — to make repeated traffic cheap).
     #[must_use]
-    pub fn new(reader: Arc<TableReader>) -> Self {
+    pub fn new(reader: Arc<S>) -> Self {
         Self { reader }
     }
 
-    /// The shared reader.
+    /// The shared source.
     #[must_use]
-    pub fn reader(&self) -> &Arc<TableReader> {
+    pub fn reader(&self) -> &Arc<S> {
         &self.reader
     }
 
@@ -153,6 +220,7 @@ impl ServeSession {
                     bytes_read: handle.loaded_bytes(),
                     cache_hits: handle.cache_hits(),
                     cache_misses: handle.cache_misses(),
+                    segments_opened: 1,
                     ..ScanStats::default()
                 };
                 Ok((ServeResult::Column(values), stats))
@@ -237,14 +305,7 @@ impl ServeSession {
 }
 
 fn merge(into: &mut ScanStats, from: &ScanStats) {
-    into.blocks += from.blocks;
-    into.blocks_pruned += from.blocks_pruned;
-    into.rows_total += from.rows_total;
-    into.rows_matched += from.rows_matched;
-    into.blocks_skipped_io += from.blocks_skipped_io;
-    into.bytes_read += from.bytes_read;
-    into.cache_hits += from.cache_hits;
-    into.cache_misses += from.cache_misses;
+    into.absorb(from);
 }
 
 #[cfg(test)]

@@ -958,7 +958,10 @@ impl TableReader {
     ///
     /// As [`scan`](Self::scan).
     pub fn scan_blocks(&self, pred: &Predicate) -> Result<(Vec<SelectionVector>, ScanStats)> {
-        let mut stats = ScanStats::default();
+        let mut stats = ScanStats {
+            segments_opened: 1,
+            ..ScanStats::default()
+        };
         let mut selections = Vec::with_capacity(self.n_blocks());
         for i in 0..self.n_blocks() {
             let (sel, pruned, skipped, cost) = self.scan_block_inner(i, pred)?;
@@ -1007,7 +1010,10 @@ impl TableReader {
         if panicked {
             return Err(Error::invalid("parallel store scan worker panicked"));
         }
-        let mut stats = ScanStats::default();
+        let mut stats = ScanStats {
+            segments_opened: 1,
+            ..ScanStats::default()
+        };
         let mut selections = Vec::with_capacity(n);
         for (i, slot) in slots.into_iter().enumerate() {
             let (sel, pruned, skipped, cost) = slot
@@ -1202,7 +1208,10 @@ impl TableReader {
     /// from lazy payload loads.
     pub fn aggregate(&self, expr: &AggExpr) -> Result<(AggResult, ScanStats)> {
         let mut merger = AggMerger::new();
-        let mut stats = ScanStats::default();
+        let mut stats = ScanStats {
+            segments_opened: 1,
+            ..ScanStats::default()
+        };
         for i in 0..self.n_blocks() {
             let (partial, pruned, skipped, cost, matched) = self.aggregate_block_inner(i, expr)?;
             stats.blocks += 1;
@@ -1346,6 +1355,222 @@ impl BlockView for BlockHandle<'_> {
             let _ = cell.set(codec);
         }
         Ok(cell.get().expect("cell populated above").as_ref())
+    }
+}
+
+/// A read view over a multi-segment table: one [`TableReader`] per live
+/// segment of a [`Manifest`](crate::manifest::Manifest), presented as a
+/// single table whose block indices run through the segments in manifest
+/// order.
+///
+/// Scans and aggregates are exactly the concatenation/merge of the
+/// per-segment operations — selections are byte-identical to a single
+/// file holding the same blocks, and aggregate partials merge through the
+/// same `AggMerger` the single-file path uses, so `AVG` and friends
+/// stay exact across segment boundaries.
+///
+/// When opened with a cache, each segment reader takes its own
+/// process-unique table id ([`TableReader::with_cache`]), so compaction
+/// turnover means *new* ids — a stale cache hit against a retired segment
+/// is impossible by construction.
+pub struct SegmentedTable {
+    readers: Vec<Arc<TableReader>>,
+}
+
+impl SegmentedTable {
+    /// Opens every live segment of `manifest` through `vfs`.
+    ///
+    /// # Errors
+    ///
+    /// Missing or corrupt segment files (torn tails fail the footer
+    /// checksum validation in [`TableReader::from_backend`]).
+    pub fn open(vfs: &dyn crate::vfs::Vfs, manifest: &crate::manifest::Manifest) -> Result<Self> {
+        Self::open_impl(vfs, manifest, None)
+    }
+
+    /// As [`open`](Self::open), attaching `cache` to every segment reader
+    /// (each under its own process-unique table id).
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open).
+    pub fn open_cached(
+        vfs: &dyn crate::vfs::Vfs,
+        manifest: &crate::manifest::Manifest,
+        cache: Arc<ShardedCache>,
+    ) -> Result<Self> {
+        Self::open_impl(vfs, manifest, Some(cache))
+    }
+
+    fn open_impl(
+        vfs: &dyn crate::vfs::Vfs,
+        manifest: &crate::manifest::Manifest,
+        cache: Option<Arc<ShardedCache>>,
+    ) -> Result<Self> {
+        let mut readers = Vec::with_capacity(manifest.segments.len());
+        for seg in &manifest.segments {
+            let backend = vfs.open(&seg.name)?;
+            if backend.len()? != seg.file_len {
+                return Err(Error::corrupt(format!(
+                    "segment {} length differs from manifest (torn tail?)",
+                    seg.name
+                )));
+            }
+            let mut reader = TableReader::from_backend(backend)?;
+            if reader.rows_total() as u64 != seg.rows {
+                return Err(Error::corrupt(format!(
+                    "segment {} row count differs from manifest",
+                    seg.name
+                )));
+            }
+            if let Some(cache) = &cache {
+                reader = reader.with_cache(Arc::clone(cache));
+            }
+            readers.push(Arc::new(reader));
+        }
+        Ok(Self { readers })
+    }
+
+    /// Wraps already-open segment readers, in table order.
+    #[must_use]
+    pub fn from_readers(readers: Vec<Arc<TableReader>>) -> Self {
+        Self { readers }
+    }
+
+    /// The per-segment readers, in table order.
+    #[must_use]
+    pub fn segments(&self) -> &[Arc<TableReader>] {
+        &self.readers
+    }
+
+    /// Live segment count.
+    #[must_use]
+    pub fn n_segments(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// Total blocks across all segments.
+    #[must_use]
+    pub fn n_blocks(&self) -> usize {
+        self.readers.iter().map(|r| r.n_blocks()).sum()
+    }
+
+    /// Total rows across all segments.
+    #[must_use]
+    pub fn rows_total(&self) -> usize {
+        self.readers.iter().map(|r| r.rows_total()).sum()
+    }
+
+    /// Maps a global block index to `(segment reader, local block index)`.
+    fn locate(&self, block: usize) -> Result<(&Arc<TableReader>, usize)> {
+        let mut remaining = block;
+        for reader in &self.readers {
+            if remaining < reader.n_blocks() {
+                return Ok((reader, remaining));
+            }
+            remaining -= reader.n_blocks();
+        }
+        Err(Error::IndexOutOfBounds {
+            index: block,
+            len: self.n_blocks(),
+        })
+    }
+
+    /// A lazy handle on the global `block` index.
+    ///
+    /// # Errors
+    ///
+    /// Unknown block; I/O errors reading the segment.
+    pub fn block_handle(&self, block: usize) -> Result<BlockHandle<'_>> {
+        let (reader, local) = self.locate(block)?;
+        reader.block_handle(local)
+    }
+
+    /// Decompresses one column of the global `block` index.
+    ///
+    /// # Errors
+    ///
+    /// As [`TableReader::read_column`].
+    pub fn read_column(&self, block: usize, column: &str) -> Result<Column> {
+        let (reader, local) = self.locate(block)?;
+        reader.read_column(local, column)
+    }
+
+    /// Loads and verifies the global `block` index in full.
+    ///
+    /// # Errors
+    ///
+    /// As [`TableReader::read_block`].
+    pub fn read_block(&self, block: usize) -> Result<CompressedBlock> {
+        let (reader, local) = self.locate(block)?;
+        reader.read_block(local)
+    }
+
+    /// Scans every block of every segment; selections are the
+    /// concatenation of the per-segment scans, in manifest order.
+    ///
+    /// # Errors
+    ///
+    /// As [`TableReader::scan_blocks`].
+    pub fn scan_blocks(&self, pred: &Predicate) -> Result<(Vec<SelectionVector>, ScanStats)> {
+        let mut stats = ScanStats::default();
+        let mut selections = Vec::with_capacity(self.n_blocks());
+        for reader in &self.readers {
+            let (sels, seg_stats) = reader.scan_blocks(pred)?;
+            stats.absorb(&seg_stats);
+            selections.extend(sels);
+        }
+        Ok((selections, stats))
+    }
+
+    /// Morsel-parallel [`scan_blocks`](Self::scan_blocks), segment by
+    /// segment; identical output for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`TableReader::scan_blocks_parallel`].
+    pub fn scan_blocks_parallel(
+        &self,
+        pred: &Predicate,
+        threads: usize,
+    ) -> Result<(Vec<SelectionVector>, ScanStats)> {
+        let mut stats = ScanStats::default();
+        let mut selections = Vec::with_capacity(self.n_blocks());
+        for reader in &self.readers {
+            let (sels, seg_stats) = reader.scan_blocks_parallel(pred, threads)?;
+            stats.absorb(&seg_stats);
+            selections.extend(sels);
+        }
+        Ok((selections, stats))
+    }
+
+    /// Evaluates an aggregate across every segment, merging per-block
+    /// partials through the same `AggMerger` as the single-file path —
+    /// results are identical to aggregating one file holding all blocks.
+    ///
+    /// # Errors
+    ///
+    /// As [`TableReader::aggregate`].
+    pub fn aggregate(&self, expr: &AggExpr) -> Result<(AggResult, ScanStats)> {
+        let mut merger = AggMerger::new();
+        let mut stats = ScanStats::default();
+        for reader in &self.readers {
+            stats.segments_opened += 1;
+            for i in 0..reader.n_blocks() {
+                let (partial, pruned, skipped, cost, matched) =
+                    reader.aggregate_block_inner(i, expr)?;
+                stats.blocks += 1;
+                stats.blocks_pruned += usize::from(pruned);
+                stats.blocks_skipped_io += usize::from(skipped);
+                stats.rows_total += reader.footer.blocks[i].rows as usize;
+                stats.rows_matched += matched;
+                stats.bytes_read += cost.bytes;
+                stats.cache_hits += cost.cache_hits;
+                stats.cache_misses += cost.cache_misses;
+                merger.merge(partial)?;
+            }
+        }
+        Ok((merger.finish(expr), stats))
     }
 }
 

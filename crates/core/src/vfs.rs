@@ -1,0 +1,780 @@
+//! Directory-level storage seam: real directories, a crash-simulating
+//! in-memory filesystem, and a fault-injecting decorator.
+//!
+//! The ingest subsystem ([`ingest`](crate::ingest),
+//! [`manifest`](crate::manifest), [`compact`](mod@crate::compact)) never
+//! touches `std::fs` directly — every file and namespace operation goes
+//! through the [`Vfs`] trait, which models exactly the POSIX durability
+//! contract the crash-consistency proofs rest on:
+//!
+//! * **file content** becomes durable only when that file's
+//!   [`fsync`](crate::io::IoBackend::fsync) succeeds;
+//! * **namespace entries** (create / remove / rename) become durable only
+//!   when [`sync_dir`](Vfs::sync_dir) succeeds — a file can be fully
+//!   fsynced and still vanish in a crash because its directory entry was
+//!   never synced;
+//! * `rename` is atomic: after a crash the destination name holds either
+//!   the old mapping or the new one, never a blend.
+//!
+//! Implementations:
+//!
+//! * [`DirVfs`] — a real directory (`std::fs` + directory fsync);
+//! * [`SimVfs`] — an in-memory filesystem that tracks durable vs volatile
+//!   state per file plus the pending (unsynced) namespace-op list, can
+//!   halt at a chosen operation index ([`SimVfs::crash_after`]), and can
+//!   then [`SimVfs::apply_crash`] — replacing all state with what a
+//!   power failure at that instant could leave behind: durable content
+//!   plus a *seeded prefix* of each unsynced tail and a seeded prefix of
+//!   the pending namespace ops. Deterministic per seed, so every crash
+//!   point is replayable;
+//! * [`FaultyVfs`] — wraps every handle it hands out in a
+//!   [`FaultyBackend`] sharing one [`FaultInjector`], so a whole
+//!   directory draws short writes / write errors / failed fsyncs from a
+//!   single seeded schedule with pooled [`FaultStats`](crate::io::FaultStats).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use corra_columnar::error::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::io::{read_full_at, write_full_at, FaultInjector, FaultPlan, FaultyBackend, IoBackend};
+
+/// A flat directory of named files with explicit durability. See the
+/// [module docs](self) for the contract.
+pub trait Vfs: Send + Sync {
+    /// Creates (or truncates) `name` and returns a read-write handle. The
+    /// directory *entry* stays volatile until [`sync_dir`](Self::sync_dir).
+    ///
+    /// # Errors
+    ///
+    /// Invalid names; underlying I/O failures.
+    fn create(&self, name: &str) -> Result<Box<dyn IoBackend>>;
+
+    /// Opens an existing file for reading.
+    ///
+    /// # Errors
+    ///
+    /// Missing files; underlying I/O failures.
+    fn open(&self, name: &str) -> Result<Box<dyn IoBackend>>;
+
+    /// Deletes `name`. Durable only after [`sync_dir`](Self::sync_dir).
+    ///
+    /// # Errors
+    ///
+    /// Missing files; underlying I/O failures.
+    fn remove(&self, name: &str) -> Result<()>;
+
+    /// Atomically renames `from` to `to` (replacing `to` if present).
+    /// Durable only after [`sync_dir`](Self::sync_dir).
+    ///
+    /// # Errors
+    ///
+    /// Missing source; underlying I/O failures.
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+
+    /// Lists file names, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failures.
+    fn list(&self) -> Result<Vec<String>>;
+
+    /// Fsyncs the directory itself, making all namespace operations so
+    /// far durable.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failures.
+    fn sync_dir(&self) -> Result<()>;
+}
+
+/// Shared filesystems delegate, so `Arc<dyn Vfs>` is itself a [`Vfs`].
+impl<V: Vfs + ?Sized> Vfs for Arc<V> {
+    fn create(&self, name: &str) -> Result<Box<dyn IoBackend>> {
+        (**self).create(name)
+    }
+
+    fn open(&self, name: &str) -> Result<Box<dyn IoBackend>> {
+        (**self).open(name)
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        (**self).remove(name)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        (**self).rename(from, to)
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        (**self).list()
+    }
+
+    fn sync_dir(&self) -> Result<()> {
+        (**self).sync_dir()
+    }
+}
+
+/// Reads the whole of `name` into a buffer.
+///
+/// # Errors
+///
+/// Missing files; underlying I/O failures.
+pub fn read_file(vfs: &dyn Vfs, name: &str) -> Result<Vec<u8>> {
+    let file = vfs.open(name)?;
+    let len = usize::try_from(file.len()?)
+        .map_err(|_| Error::invalid(format!("file {name} too large for memory")))?;
+    let mut bytes = vec![0u8; len];
+    read_full_at(&file, 0, &mut bytes)?;
+    Ok(bytes)
+}
+
+/// Atomically publishes `bytes` as `final_name`: write to `tmp_name`,
+/// fsync, rename, fsync the directory. After `Ok`, a crash at any later
+/// instant still observes the complete file under `final_name`; a crash
+/// *during* the call observes either no `final_name` or the complete
+/// file, never a torn one.
+///
+/// # Errors
+///
+/// Underlying I/O failures at any stage (the caller must treat the
+/// publish as not having happened).
+pub fn write_file_atomic(
+    vfs: &dyn Vfs,
+    tmp_name: &str,
+    final_name: &str,
+    bytes: &[u8],
+) -> Result<()> {
+    let file = vfs.create(tmp_name)?;
+    write_full_at(&file, 0, bytes)?;
+    file.fsync()?;
+    drop(file);
+    vfs.rename(tmp_name, final_name)?;
+    vfs.sync_dir()
+}
+
+fn check_name(name: &str) -> Result<()> {
+    if name.is_empty() || name.contains('/') || name.contains('\\') || name == "." || name == ".." {
+        return Err(Error::invalid(format!("invalid vfs file name: {name:?}")));
+    }
+    Ok(())
+}
+
+/// A [`Vfs`] over a real directory.
+#[derive(Debug, Clone)]
+pub struct DirVfs {
+    root: PathBuf,
+}
+
+impl DirVfs {
+    /// Opens `root` as a table directory, creating it if missing.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn create(root: PathBuf) -> Result<Self> {
+        std::fs::create_dir_all(&root)
+            .map_err(|e| Error::invalid(format!("creating table dir {}: {e}", root.display())))?;
+        Ok(Self { root })
+    }
+
+    /// Wraps an existing directory without touching it.
+    #[must_use]
+    pub fn new(root: PathBuf) -> Self {
+        Self { root }
+    }
+
+    /// The directory path.
+    #[must_use]
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+}
+
+impl Vfs for DirVfs {
+    fn create(&self, name: &str) -> Result<Box<dyn IoBackend>> {
+        check_name(name)?;
+        Ok(Box::new(crate::io::FileBackend::create(
+            &self.root.join(name),
+        )?))
+    }
+
+    fn open(&self, name: &str) -> Result<Box<dyn IoBackend>> {
+        check_name(name)?;
+        Ok(Box::new(crate::io::FileBackend::open(
+            &self.root.join(name),
+        )?))
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        check_name(name)?;
+        std::fs::remove_file(self.root.join(name))
+            .map_err(|e| Error::invalid(format!("removing {name}: {e}")))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        check_name(from)?;
+        check_name(to)?;
+        std::fs::rename(self.root.join(from), self.root.join(to))
+            .map_err(|e| Error::invalid(format!("renaming {from} -> {to}: {e}")))
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| Error::invalid(format!("listing table dir: {e}")))?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| Error::invalid(format!("listing table dir: {e}")))?;
+            if entry
+                .file_type()
+                .map_err(|e| Error::invalid(format!("listing table dir: {e}")))?
+                .is_file()
+            {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn sync_dir(&self) -> Result<()> {
+        // On unix a directory can be opened and fsynced like a file; that
+        // is what makes renames durable. Elsewhere this is a no-op.
+        #[cfg(unix)]
+        {
+            let dir = std::fs::File::open(&self.root)
+                .map_err(|e| Error::invalid(format!("opening table dir for sync: {e}")))?;
+            dir.sync_all()
+                .map_err(|e| Error::invalid(format!("fsyncing table dir: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+type FileId = u64;
+
+#[derive(Debug, Clone, Default)]
+struct SimFile {
+    /// Content as of the last successful fsync.
+    durable: Vec<u8>,
+    /// Live content (what reads observe before a crash).
+    current: Vec<u8>,
+}
+
+#[derive(Debug, Clone)]
+enum NsOp {
+    Create(String, FileId),
+    Remove(String),
+    Rename(String, String),
+}
+
+#[derive(Debug)]
+struct SimState {
+    seed: u64,
+    files: HashMap<FileId, SimFile>,
+    live_ns: HashMap<String, FileId>,
+    durable_ns: HashMap<String, FileId>,
+    pending: Vec<NsOp>,
+    next_id: FileId,
+    ops: u64,
+    crash_at: Option<u64>,
+    crashed: bool,
+}
+
+impl SimState {
+    /// Counts one mutating operation, tripping the crash point if armed.
+    fn tick(&mut self) -> Result<()> {
+        if self.crashed {
+            return Err(Error::invalid("simulated crash: filesystem halted"));
+        }
+        if let Some(at) = self.crash_at {
+            if self.ops >= at {
+                self.crashed = true;
+                return Err(Error::invalid("simulated crash: filesystem halted"));
+            }
+        }
+        self.ops += 1;
+        Ok(())
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.crashed {
+            return Err(Error::invalid("simulated crash: filesystem halted"));
+        }
+        Ok(())
+    }
+}
+
+/// An in-memory crash-simulating [`Vfs`]. See the [module docs](self).
+///
+/// Cloning shares the same filesystem (both clones see the same files and
+/// the same crash state).
+#[derive(Clone)]
+pub struct SimVfs {
+    state: Arc<Mutex<SimState>>,
+}
+
+impl SimVfs {
+    /// An empty simulated filesystem whose crash outcomes are seeded by
+    /// `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: Arc::new(Mutex::new(SimState {
+                seed,
+                files: HashMap::new(),
+                live_ns: HashMap::new(),
+                durable_ns: HashMap::new(),
+                pending: Vec::new(),
+                next_id: 1,
+                ops: 0,
+                crash_at: None,
+                crashed: false,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SimState> {
+        self.state.lock().expect("sim vfs lock poisoned")
+    }
+
+    /// Mutating operations applied so far (writes, fsyncs, namespace ops,
+    /// directory syncs). Run a workload once uncrashed to learn its op
+    /// count, then sweep [`crash_after`](Self::crash_after) over `0..n`.
+    #[must_use]
+    pub fn op_count(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Arms the crash point: the `n+1`-th mutating operation from the
+    /// start of the run fails and halts the filesystem (every later call
+    /// errors) until [`apply_crash`](Self::apply_crash).
+    pub fn crash_after(&self, ops: u64) {
+        self.lock().crash_at = Some(ops);
+    }
+
+    /// Whether the armed crash point has tripped.
+    #[must_use]
+    pub fn has_crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// Simulates the power failure and reboots the filesystem: state
+    /// becomes *durable content plus a seeded prefix of each file's
+    /// unsynced tail*, under *the durable namespace plus a seeded prefix
+    /// of the pending namespace ops*. Callable at any instant (armed
+    /// crash or not), deterministic per `(seed, op count)`.
+    pub fn apply_crash(&self) {
+        let mut st = self.lock();
+        let mut rng = StdRng::seed_from_u64(st.seed ^ st.ops.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // A seeded prefix of the unsynced namespace ops survives: metadata
+        // journaling preserves order, but the tail past the crash instant
+        // is lost.
+        let survive = rng.gen_range(0..=st.pending.len());
+        let mut ns = st.durable_ns.clone();
+        for op in &st.pending[..survive] {
+            match op {
+                NsOp::Create(name, id) => {
+                    ns.insert(name.clone(), *id);
+                }
+                NsOp::Remove(name) => {
+                    ns.remove(name);
+                }
+                NsOp::Rename(from, to) => {
+                    if let Some(id) = ns.remove(from) {
+                        ns.insert(to.clone(), id);
+                    }
+                }
+            }
+        }
+        // Per file (in id order, for determinism): durable bytes survive,
+        // plus a seeded prefix of whatever was written past the last
+        // fsync — the torn tail.
+        let mut ids: Vec<FileId> = st.files.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let file = st.files.get_mut(&id).expect("file id listed");
+            if file.current.len() > file.durable.len() {
+                let tail = file.current.len() - file.durable.len();
+                let kept = rng.gen_range(0..=tail);
+                let mut content = file.durable.clone();
+                content.extend_from_slice(
+                    &file.current[file.durable.len()..file.durable.len() + kept],
+                );
+                file.durable = content.clone();
+                file.current = content;
+            } else {
+                file.current = file.durable.clone();
+            }
+        }
+        st.live_ns = ns.clone();
+        st.durable_ns = ns;
+        st.pending.clear();
+        st.crashed = false;
+        st.crash_at = None;
+        st.ops = 0;
+    }
+
+    /// The durable content of `name` (what a crash right now would
+    /// preserve *if its directory entry is durable*), for test oracles.
+    #[must_use]
+    pub fn durable_content(&self, name: &str) -> Option<Vec<u8>> {
+        let st = self.lock();
+        let id = st.durable_ns.get(name)?;
+        st.files.get(id).map(|f| f.durable.clone())
+    }
+}
+
+struct SimHandle {
+    state: Arc<Mutex<SimState>>,
+    id: FileId,
+}
+
+impl SimHandle {
+    fn lock(&self) -> std::sync::MutexGuard<'_, SimState> {
+        self.state.lock().expect("sim vfs lock poisoned")
+    }
+}
+
+impl IoBackend for SimHandle {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let st = self.lock();
+        st.check_alive()?;
+        let file = st
+            .files
+            .get(&self.id)
+            .ok_or_else(|| Error::invalid("sim file vanished"))?;
+        let Ok(start) = usize::try_from(offset) else {
+            return Ok(0);
+        };
+        if start >= file.current.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(file.current.len() - start);
+        buf[..n].copy_from_slice(&file.current[start..start + n]);
+        Ok(n)
+    }
+
+    fn len(&self) -> Result<u64> {
+        let st = self.lock();
+        st.check_alive()?;
+        let file = st
+            .files
+            .get(&self.id)
+            .ok_or_else(|| Error::invalid("sim file vanished"))?;
+        Ok(file.current.len() as u64)
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> Result<usize> {
+        let mut st = self.lock();
+        st.tick()?;
+        let file = st
+            .files
+            .get_mut(&self.id)
+            .ok_or_else(|| Error::invalid("sim file vanished"))?;
+        let start =
+            usize::try_from(offset).map_err(|_| Error::invalid("sim write offset out of range"))?;
+        if file.current.len() < start + buf.len() {
+            file.current.resize(start + buf.len(), 0);
+        }
+        file.current[start..start + buf.len()].copy_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn fsync(&self) -> Result<()> {
+        let mut st = self.lock();
+        st.tick()?;
+        let file = st
+            .files
+            .get_mut(&self.id)
+            .ok_or_else(|| Error::invalid("sim file vanished"))?;
+        file.durable = file.current.clone();
+        Ok(())
+    }
+}
+
+impl Vfs for SimVfs {
+    fn create(&self, name: &str) -> Result<Box<dyn IoBackend>> {
+        check_name(name)?;
+        let mut st = self.lock();
+        st.tick()?;
+        let id = st.next_id;
+        st.next_id += 1;
+        st.files.insert(id, SimFile::default());
+        st.live_ns.insert(name.to_owned(), id);
+        st.pending.push(NsOp::Create(name.to_owned(), id));
+        Ok(Box::new(SimHandle {
+            state: Arc::clone(&self.state),
+            id,
+        }))
+    }
+
+    fn open(&self, name: &str) -> Result<Box<dyn IoBackend>> {
+        check_name(name)?;
+        let st = self.lock();
+        st.check_alive()?;
+        let id = *st
+            .live_ns
+            .get(name)
+            .ok_or_else(|| Error::invalid(format!("opening table file: {name} not found")))?;
+        Ok(Box::new(SimHandle {
+            state: Arc::clone(&self.state),
+            id,
+        }))
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        check_name(name)?;
+        let mut st = self.lock();
+        st.tick()?;
+        st.live_ns
+            .remove(name)
+            .ok_or_else(|| Error::invalid(format!("removing {name}: not found")))?;
+        // File content is kept: the durable namespace (or an open handle)
+        // may still reference it — exactly like an unlinked inode.
+        st.pending.push(NsOp::Remove(name.to_owned()));
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        check_name(from)?;
+        check_name(to)?;
+        let mut st = self.lock();
+        st.tick()?;
+        let id = st
+            .live_ns
+            .remove(from)
+            .ok_or_else(|| Error::invalid(format!("renaming {from}: not found")))?;
+        st.live_ns.insert(to.to_owned(), id);
+        st.pending
+            .push(NsOp::Rename(from.to_owned(), to.to_owned()));
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let st = self.lock();
+        st.check_alive()?;
+        let mut names: Vec<String> = st.live_ns.keys().cloned().collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn sync_dir(&self) -> Result<()> {
+        let mut st = self.lock();
+        st.tick()?;
+        st.durable_ns = st.live_ns.clone();
+        st.pending.clear();
+        Ok(())
+    }
+}
+
+/// A [`Vfs`] decorator that wraps every handle it hands out in a
+/// [`FaultyBackend`] sharing one [`FaultInjector`], so the whole
+/// directory draws from a single seeded fault schedule and reports pooled
+/// counters.
+pub struct FaultyVfs<V: Vfs> {
+    inner: V,
+    injector: Arc<FaultInjector>,
+}
+
+impl<V: Vfs> FaultyVfs<V> {
+    /// Wraps `inner` with a fresh injector for `plan`.
+    pub fn new(inner: V, plan: FaultPlan) -> Self {
+        Self::with_injector(inner, Arc::new(FaultInjector::new(plan)))
+    }
+
+    /// Wraps `inner` drawing faults from a shared `injector`.
+    pub fn with_injector(inner: V, injector: Arc<FaultInjector>) -> Self {
+        Self { inner, injector }
+    }
+
+    /// The shared injector (for counters, or to share with more
+    /// decorators).
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+}
+
+impl<V: Vfs> Vfs for FaultyVfs<V> {
+    fn create(&self, name: &str) -> Result<Box<dyn IoBackend>> {
+        let inner = self.inner.create(name)?;
+        Ok(Box::new(FaultyBackend::with_injector(
+            inner,
+            Arc::clone(&self.injector),
+        )))
+    }
+
+    fn open(&self, name: &str) -> Result<Box<dyn IoBackend>> {
+        let inner = self.inner.open(name)?;
+        Ok(Box::new(FaultyBackend::with_injector(
+            inner,
+            Arc::clone(&self.injector),
+        )))
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        self.inner.remove(name)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn sync_dir(&self) -> Result<()> {
+        self.inner.sync_dir()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_all(vfs: &dyn Vfs, name: &str, bytes: &[u8]) -> Result<()> {
+        let f = vfs.create(name)?;
+        write_full_at(&f, 0, bytes)?;
+        f.fsync()
+    }
+
+    #[test]
+    fn sim_vfs_roundtrip_and_listing() {
+        let vfs = SimVfs::new(1);
+        write_all(&vfs, "b.seg", b"bravo").unwrap();
+        write_all(&vfs, "a.seg", b"alpha").unwrap();
+        vfs.sync_dir().unwrap();
+        assert_eq!(vfs.list().unwrap(), vec!["a.seg", "b.seg"]);
+        assert_eq!(read_file(&vfs, "a.seg").unwrap(), b"alpha");
+        vfs.rename("a.seg", "c.seg").unwrap();
+        assert_eq!(vfs.list().unwrap(), vec!["b.seg", "c.seg"]);
+        assert_eq!(read_file(&vfs, "c.seg").unwrap(), b"alpha");
+        vfs.remove("b.seg").unwrap();
+        assert_eq!(vfs.list().unwrap(), vec!["c.seg"]);
+        assert!(vfs.open("b.seg").is_err());
+    }
+
+    #[test]
+    fn crash_preserves_only_a_prefix_of_unsynced_content() {
+        for seed in 0..20 {
+            let vfs = SimVfs::new(seed);
+            let f = vfs.create("t.seg").unwrap();
+            write_full_at(&f, 0, b"durable!").unwrap();
+            f.fsync().unwrap();
+            vfs.sync_dir().unwrap();
+            write_full_at(&f, 8, b"volatile").unwrap();
+            drop(f);
+            vfs.apply_crash();
+            let got = read_file(&vfs, "t.seg").unwrap();
+            assert!(got.starts_with(b"durable!"), "fsynced bytes lost: {got:?}");
+            assert!(got.len() <= 16);
+            assert_eq!(
+                &got[8..],
+                &b"volatile"[..got.len() - 8],
+                "torn tail must be a prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_can_lose_a_file_whose_directory_entry_was_never_synced() {
+        let mut lost = false;
+        let mut kept = false;
+        for seed in 0..40 {
+            let vfs = SimVfs::new(seed);
+            // Establish a baseline durable dir state.
+            vfs.sync_dir().unwrap();
+            let f = vfs.create("t.seg").unwrap();
+            write_full_at(&f, 0, b"fully fsynced").unwrap();
+            f.fsync().unwrap();
+            // No sync_dir: content durable, entry volatile.
+            drop(f);
+            vfs.apply_crash();
+            match read_file(&vfs, "t.seg") {
+                Ok(bytes) => {
+                    // If the entry survived, the fsynced content is whole.
+                    assert_eq!(bytes, b"fully fsynced");
+                    kept = true;
+                }
+                Err(_) => lost = true,
+            }
+        }
+        assert!(lost, "no seed lost the unsynced directory entry");
+        assert!(kept, "no seed kept the unsynced directory entry");
+    }
+
+    #[test]
+    fn atomic_publish_is_all_or_nothing_at_every_crash_point() {
+        // Learn the op count of a clean publish.
+        let probe = SimVfs::new(0);
+        write_file_atomic(&probe, "m.tmp", "m", b"manifest-bytes").unwrap();
+        let total = probe.op_count();
+        assert!(total >= 4, "publish should be several ops, got {total}");
+        for crash_at in 0..total {
+            for seed in [3, 17] {
+                let vfs = SimVfs::new(seed);
+                vfs.crash_after(crash_at);
+                let err = write_file_atomic(&vfs, "m.tmp", "m", b"manifest-bytes");
+                assert!(err.is_err(), "crash point {crash_at} did not trip");
+                vfs.apply_crash();
+                if let Ok(bytes) = read_file(&vfs, "m") {
+                    assert_eq!(
+                        bytes, b"manifest-bytes",
+                        "crash at op {crash_at} (seed {seed}) left a torn published file"
+                    );
+                }
+            }
+        }
+        // And a completed publish survives any later crash whole.
+        let vfs = SimVfs::new(9);
+        write_file_atomic(&vfs, "m.tmp", "m", b"manifest-bytes").unwrap();
+        vfs.apply_crash();
+        assert_eq!(read_file(&vfs, "m").unwrap(), b"manifest-bytes");
+    }
+
+    #[test]
+    fn sim_workloads_are_op_deterministic() {
+        let run = |seed| {
+            let vfs = SimVfs::new(seed);
+            write_all(&vfs, "a", b"one").unwrap();
+            vfs.sync_dir().unwrap();
+            write_all(&vfs, "b", b"two").unwrap();
+            vfs.rename("b", "c").unwrap();
+            vfs.sync_dir().unwrap();
+            vfs.op_count()
+        };
+        assert_eq!(run(1), run(2));
+    }
+
+    #[test]
+    fn dir_vfs_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("corra_vfs_unit_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let vfs = DirVfs::create(dir.clone()).unwrap();
+        write_file_atomic(&vfs, "m.tmp", "m", b"payload").unwrap();
+        assert_eq!(vfs.list().unwrap(), vec!["m"]);
+        assert_eq!(read_file(&vfs, "m").unwrap(), b"payload");
+        vfs.remove("m").unwrap();
+        vfs.sync_dir().unwrap();
+        assert!(vfs.list().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_vfs_pools_write_faults_across_files() {
+        let vfs = FaultyVfs::new(SimVfs::new(4), FaultPlan::none(4).with_fsync_errors(1.0));
+        let a = vfs.create("a").unwrap();
+        let b = vfs.create("b").unwrap();
+        write_full_at(&a, 0, b"x").unwrap();
+        write_full_at(&b, 0, b"y").unwrap();
+        assert!(a.fsync().is_err());
+        assert!(b.fsync().is_err());
+        assert_eq!(vfs.injector().stats().failed_fsyncs, 2);
+    }
+}

@@ -77,7 +77,8 @@ fn main() -> ExitCode {
             Ok(Ok(outcome)) => {
                 println!(
                     "seed {:>6} ok  {:<10} rows {:>6} blocks {:>3} ops {:>3} \
-                     faults {:>4} hits {:>4} sweep-flips {:>3} fp {:016x}",
+                     faults {:>4} hits {:>4} sweep-flips {:>3} crashes {:>2} \
+                     segs {:>3} fp {:016x}",
                     outcome.seed,
                     outcome.workload,
                     outcome.rows,
@@ -86,6 +87,8 @@ fn main() -> ExitCode {
                     outcome.faults_injected,
                     outcome.cache_hits,
                     outcome.sweep_flips,
+                    outcome.ingest_crash_points,
+                    outcome.segments_opened,
                     outcome.fingerprint,
                 );
             }

@@ -29,11 +29,13 @@ use corra_columnar::column::{Column, DataType};
 use corra_columnar::schema::{Field, Schema};
 use corra_columnar::selection::SelectionVector;
 use corra_core::cache::{CacheConfig, ShardedCache};
-use corra_core::store::{TableReader, TableWriter};
+use corra_core::ingest::{IngestConfig, IngestTable};
+use corra_core::store::{SegmentedTable, TableReader, TableWriter};
+use corra_core::vfs::{SimVfs, Vfs};
 use corra_core::{
-    aggregate_blocks, aggregate_blocks_parallel, checksum64, corruption_sweep, scan_blocks,
-    AggExpr, AggFunc, AggResult, ColumnPlan, CompressedBlock, CompressionConfig, FaultPlan,
-    FaultyBackend, MemBackend, Predicate, SweepOptions,
+    aggregate_blocks, aggregate_blocks_parallel, checksum64, compact, corruption_sweep,
+    scan_blocks, AggExpr, AggFunc, AggResult, ColumnPlan, CompactionConfig, CompressedBlock,
+    CompressionConfig, FaultPlan, FaultyBackend, MemBackend, Predicate, SweepOptions,
 };
 use corra_datagen::{
     taxi, DmvParams, DmvTable, LineitemDates, MessageParams, MessageTable, TaxiParams, TaxiTable,
@@ -97,6 +99,10 @@ pub struct ScenarioOutcome {
     pub cache_hits: u64,
     /// Bit flips exercised by the corruption sweep.
     pub sweep_flips: usize,
+    /// Crash points exercised by the ingest pass.
+    pub ingest_crash_points: usize,
+    /// Segments opened by the ingest pass's multi-segment schedule replay.
+    pub segments_opened: u64,
 }
 
 /// One scheduled operation.
@@ -133,6 +139,8 @@ pub struct Scenario {
     pub bytes: Vec<u8>,
     /// The row-oriented oracle.
     pub model: ModelTable,
+    raw_blocks: Vec<DataBlock>,
+    compression: CompressionConfig,
     ops: Vec<Op>,
     expected: Vec<Expected>,
     quick: bool,
@@ -179,6 +187,8 @@ impl Scenario {
             blocks,
             bytes,
             model,
+            raw_blocks,
+            compression: cfg,
             ops,
             expected,
             quick: opts.quick,
@@ -419,6 +429,228 @@ impl Scenario {
         };
         corruption_sweep(&self.bytes, &opts).flips_tested
     }
+
+    /// Ingest pass: the scenario's raw blocks are appended group-by-group
+    /// into a crash-consistent [`IngestTable`] over [`SimVfs`], the full
+    /// operation schedule replays against the multi-segment reader (every
+    /// result must match the single-file oracle bit for bit), the table is
+    /// compacted and re-verified row-for-row against the model, and a
+    /// seeded sample of crash points re-runs the build, asserting recovery
+    /// to exactly an acknowledged group boundary. Returns
+    /// `(crash points exercised, segments opened by the schedule replay)`.
+    pub fn verify_ingest(&self) -> Result<(usize, u64), SimFailure> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x16E5_7A55);
+        let groups = self.append_groups(&mut rng);
+
+        // Clean build + schedule replay over the multi-segment reader.
+        let sim = SimVfs::new(self.seed);
+        let (table, _) = self
+            .run_ingest_workload(Arc::new(sim), &groups, false)
+            .map_err(|e| self.fail(format!("ingest build failed: {e}")))?;
+        let table = table.expect("fault-free build always yields a table");
+        let reader = table
+            .reader()
+            .map_err(|e| self.fail(format!("ingest reader failed: {e}")))?;
+        if reader.segments().len() < groups.len() {
+            return Err(self.fail(format!(
+                "{} appends produced {} segments",
+                groups.len(),
+                reader.segments().len()
+            )));
+        }
+        let mut segments_opened = 0u64;
+        for (i, (op, want)) in self.ops.iter().zip(&self.expected).enumerate() {
+            let (got, opened) = run_op_segmented(&reader, op)
+                .map_err(|e| self.fail(format!("segmented op {i} {op:?}: {e}")))?;
+            if &got != want {
+                return Err(self.fail(format!(
+                    "segmented op {i} {op:?}: multi-segment reader diverged from oracle"
+                )));
+            }
+            segments_opened += opened;
+        }
+
+        // Compact and re-verify row-for-row (block boundaries change, so
+        // the comparison is over concatenated columns, not per block).
+        let mut table = table;
+        let result = compact(&mut table, &self.compaction_config())
+            .map_err(|e| self.fail(format!("compaction failed: {e}")))?;
+        if groups.len() >= 2 && !result.compacted {
+            return Err(self.fail(format!(
+                "compaction skipped a {}-segment table",
+                result.segments_before
+            )));
+        }
+        let compacted = table
+            .reader()
+            .map_err(|e| self.fail(format!("post-compaction reader failed: {e}")))?;
+        self.check_rows_equal_model_prefix(&compacted, self.model.rows(), "post-compaction")?;
+
+        // Crash sample: rerun the build + compaction with an op-indexed
+        // crash point, apply the crash, recover, and hold recovery to the
+        // ack boundary: every acknowledged group present, at most the one
+        // in-flight group extra, rows byte-equal to the model prefix.
+        let probe = SimVfs::new(self.seed ^ 0xC4A5);
+        self.run_ingest_workload(Arc::new(probe.clone()), &groups, true)
+            .map_err(|e| self.fail(format!("crash-probe build failed: {e}")))?;
+        let total_ops = probe.op_count();
+        let n_points = if self.quick { 4 } else { 10 };
+        let mut exercised = 0usize;
+        for _ in 0..n_points {
+            let k = rng.gen_range(0..total_ops);
+            let sim = SimVfs::new(self.seed ^ 0xC4A5);
+            sim.crash_after(k);
+            let (_, acked) = self
+                .run_ingest_workload(Arc::new(sim.clone()), &groups, true)
+                .map_err(|e| self.fail(format!("crash run {k} failed cleanly: {e}")))?;
+            if !sim.has_crashed() {
+                return Err(self.fail(format!("crash point {k} never tripped")));
+            }
+            sim.apply_crash();
+            let acked_rows: usize = groups[..acked].iter().map(|g| self.group_rows(g)).sum();
+            let with_inflight = if acked < groups.len() {
+                acked_rows + self.group_rows(&groups[acked])
+            } else {
+                acked_rows
+            };
+            match IngestTable::open(Arc::new(sim.clone()), self.ingest_config()) {
+                Err(_) => {
+                    if acked > 0 {
+                        return Err(self.fail(format!(
+                            "crash point {k}: recovery failed after {acked} acked appends"
+                        )));
+                    }
+                }
+                Ok(recovered) => {
+                    let rows = recovered.rows() as usize;
+                    if rows != acked_rows && rows != with_inflight {
+                        return Err(self.fail(format!(
+                            "crash point {k}: recovered {rows} rows, expected {acked_rows} \
+                             (acked) or {with_inflight} (acked + whole in-flight append)"
+                        )));
+                    }
+                    let reader = recovered
+                        .reader()
+                        .map_err(|e| self.fail(format!("crash point {k}: reopen read: {e}")))?;
+                    self.check_rows_equal_model_prefix(&reader, rows, &format!("crash point {k}"))?;
+                }
+            }
+            exercised += 1;
+        }
+        Ok((exercised, segments_opened))
+    }
+
+    fn ingest_config(&self) -> IngestConfig {
+        IngestConfig {
+            block_rows: self.block_rows,
+            threads: 1,
+            compression: self.compression.clone(),
+            keep_manifests: 2,
+        }
+    }
+
+    fn compaction_config(&self) -> CompactionConfig {
+        CompactionConfig {
+            block_rows: self.block_rows,
+            threads: 1,
+            ..CompactionConfig::default()
+        }
+    }
+
+    /// Splits the raw blocks into 2–4 contiguous append groups.
+    fn append_groups(&self, rng: &mut StdRng) -> Vec<std::ops::Range<usize>> {
+        let n = self.raw_blocks.len();
+        let n_groups = rng.gen_range(2..=4usize.min(n.max(2)));
+        let mut cuts: Vec<usize> = (0..n_groups - 1).map(|_| rng.gen_range(1..n)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut groups = Vec::with_capacity(cuts.len() + 1);
+        let mut start = 0;
+        for cut in cuts {
+            groups.push(start..cut);
+            start = cut;
+        }
+        groups.push(start..n);
+        groups
+    }
+
+    fn group_rows(&self, group: &std::ops::Range<usize>) -> usize {
+        self.raw_blocks[group.clone()]
+            .iter()
+            .map(DataBlock::rows)
+            .sum()
+    }
+
+    /// Builds the ingest table: create, append each group, then (when
+    /// `compact_after`) compact. Returns the table (when it survived) and
+    /// how many appends were acknowledged. Errors from the vfs (crash
+    /// points) are normal and reported through the ack count; only
+    /// non-crash divergence propagates as `Err`.
+    #[allow(clippy::type_complexity)]
+    fn run_ingest_workload(
+        &self,
+        vfs: Arc<dyn Vfs>,
+        groups: &[std::ops::Range<usize>],
+        compact_after: bool,
+    ) -> Result<(Option<IngestTable>, usize), corra_columnar::error::Error> {
+        let mut table = match IngestTable::create(vfs, self.ingest_config()) {
+            Ok(t) => t,
+            Err(_) => return Ok((None, 0)),
+        };
+        let mut acked = 0usize;
+        for group in groups {
+            if table
+                .append_blocks(&self.raw_blocks[group.clone()])
+                .is_err()
+            {
+                return Ok((None, acked));
+            }
+            acked += 1;
+        }
+        if compact_after && compact(&mut table, &self.compaction_config()).is_err() {
+            return Ok((None, acked));
+        }
+        Ok((Some(table), acked))
+    }
+
+    /// Asserts the reader's first `rows` rows equal the model's, column by
+    /// column (block boundaries may differ, so columns are concatenated).
+    fn check_rows_equal_model_prefix(
+        &self,
+        reader: &SegmentedTable,
+        rows: usize,
+        what: &str,
+    ) -> Result<(), SimFailure> {
+        for name in self.model.names() {
+            let mut got_int = Vec::new();
+            let mut got_str = Vec::new();
+            for b in 0..reader.n_blocks() {
+                match reader
+                    .read_column(b, name)
+                    .map_err(|e| self.fail(format!("{what}: reading {name}: {e}")))?
+                {
+                    Column::Int64(v) => got_int.extend(v),
+                    Column::Utf8(p) => got_str.extend(p.iter().map(str::to_owned)),
+                }
+            }
+            let mut want_int = Vec::new();
+            let mut want_str = Vec::new();
+            for b in 0..self.model.n_blocks() {
+                match self.model.column(b, name) {
+                    Column::Int64(v) => want_int.extend(v),
+                    Column::Utf8(p) => want_str.extend(p.iter().map(str::to_owned)),
+                }
+            }
+            want_int.truncate(rows);
+            want_str.truncate(rows);
+            if got_int != want_int || got_str != want_str {
+                return Err(self.fail(format!(
+                    "{what}: column {name} diverged from the model prefix ({rows} rows)"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Builds the scenario for a seed and runs all passes.
@@ -429,6 +661,7 @@ pub fn run_seed(seed: u64, opts: &SimOptions) -> Result<ScenarioOutcome, SimFail
     scenario.verify_benign_faults()?;
     let faults_injected = scenario.verify_hostile_faults()?;
     let sweep_flips = scenario.verify_sweep();
+    let (ingest_crash_points, segments_opened) = scenario.verify_ingest()?;
     Ok(ScenarioOutcome {
         seed,
         workload: scenario.workload,
@@ -439,6 +672,8 @@ pub fn run_seed(seed: u64, opts: &SimOptions) -> Result<ScenarioOutcome, SimFail
         faults_injected,
         cache_hits,
         sweep_flips,
+        ingest_crash_points,
+        segments_opened,
     })
 }
 
@@ -485,6 +720,27 @@ fn run_op_counted(reader: &TableReader, op: &Op) -> corra_columnar::error::Resul
         Op::Aggregate(expr, _) => {
             let (agg, stats) = reader.aggregate(expr)?;
             (Expected::Agg(agg), stats.cache_hits)
+        }
+    })
+}
+
+/// Runs one op against the multi-segment reader, returning the result and
+/// the `segments_opened` count the op reported (point ops report 0 here —
+/// their per-block stats are covered by the serve tests).
+fn run_op_segmented(
+    reader: &SegmentedTable,
+    op: &Op,
+) -> corra_columnar::error::Result<(Expected, u64)> {
+    Ok(match op {
+        Op::ReadBlock(b) => (Expected::Block(reader.read_block(*b)?), 0),
+        Op::ReadColumn(b, name) => (Expected::Column(reader.read_column(*b, name)?), 0),
+        Op::Scan(pred, _) => {
+            let (sels, stats) = reader.scan_blocks(pred)?;
+            (Expected::Scan(sels), stats.segments_opened as u64)
+        }
+        Op::Aggregate(expr, _) => {
+            let (agg, stats) = reader.aggregate(expr)?;
+            (Expected::Agg(agg), stats.segments_opened as u64)
         }
     })
 }

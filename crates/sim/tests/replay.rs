@@ -74,4 +74,12 @@ fn outcomes_describe_the_scenario() {
     assert!(outcome.n_blocks > 1, "sim tables should span blocks");
     assert!(outcome.ops > 0);
     assert!(outcome.sweep_flips > 0);
+    assert!(
+        outcome.ingest_crash_points > 0,
+        "ingest pass exercised no crash points"
+    );
+    assert!(
+        outcome.segments_opened > 0,
+        "multi-segment replay opened no segments"
+    );
 }
