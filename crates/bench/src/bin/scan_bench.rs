@@ -39,6 +39,12 @@ impl ScanRow {
         self.stats.rows_total as f64 / self.scan_secs.max(f64::MIN_POSITIVE)
     }
 
+    /// Scanned column bytes per second (8 bytes per logical value) — the
+    /// GB/s series, comparable with `decode_bench`'s `decoded_bytes_per_sec`.
+    fn scanned_bps(&self) -> f64 {
+        self.stats.rows_total as f64 * 8.0 / self.scan_secs.max(f64::MIN_POSITIVE)
+    }
+
     /// Decompress-then-filter values per second (the old shape).
     fn naive_vps(&self) -> f64 {
         self.stats.rows_total as f64 / self.naive_secs.max(f64::MIN_POSITIVE)
@@ -55,6 +61,7 @@ impl serde::Serialize for ScanRow {
             "naive_secs": self.naive_secs,
             "speedup": self.speedup(),
             "scan_values_per_sec": self.scan_vps(),
+            "scanned_bytes_per_sec": self.scanned_bps(),
             "naive_values_per_sec": self.naive_vps(),
             "rows_total": self.stats.rows_total,
             "rows_matched": self.stats.rows_matched,
@@ -123,7 +130,8 @@ fn main() {
         .and_then(|s| s.replace('_', "").parse().ok())
         .unwrap_or(if quick { 200_000 } else { 1_000_000 });
     let reps = if quick { 3 } else { 7 };
-    println!("Scan bench at {rows} rows, {reps} reps (quick={quick})");
+    let kernel = corra_columnar::simd::active().tier.as_str();
+    println!("Scan bench at {rows} rows, {reps} reps (quick={quick}, kernel={kernel})");
 
     // Non-hierarchical: lineitem dates.
     let table = LineitemDates::generate(rows, 42).into_table();
@@ -207,25 +215,27 @@ fn main() {
     ];
 
     println!(
-        "\n{:<26} {:>12} {:>12} {:>12} {:>9} {:>12} {:>12} {:>8}",
+        "\n{:<26} {:>12} {:>12} {:>12} {:>9} {:>12} {:>8} {:>12} {:>8}",
         "series",
         "scan",
         "par-scan",
         "decode+filt",
         "speedup",
         "scan vals/s",
+        "GB/s",
         "old vals/s",
         "pruned"
     );
     for r in &series {
         println!(
-            "{:<26} {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>8.2}x {:>11.1}M {:>11.1}M {:>8}",
+            "{:<26} {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>8.2}x {:>11.1}M {:>7.2} {:>11.1}M {:>8}",
             r.name,
             r.scan_secs * 1e3,
             r.par_secs * 1e3,
             r.naive_secs * 1e3,
             r.speedup(),
             r.scan_vps() / 1e6,
+            r.scanned_bps() / 1e9,
             r.naive_vps() / 1e6,
             r.stats.blocks_pruned,
         );
@@ -234,6 +244,7 @@ fn main() {
     if json {
         let doc = serde_json::json!({
             "bench": "scan",
+            "kernel": kernel,
             "rows": rows,
             "reps": reps,
             "quick": quick,

@@ -24,8 +24,20 @@
 //! [`unpack_add_into`](BitPackedVec::unpack_add_into) (offset → `i64` in
 //! one pass, no second add pass) and every table-driven codec a streaming
 //! [`unpack_chunks`](BitPackedVec::unpack_chunks) visitor.
+//!
+//! # SIMD tier
+//!
+//! On top of the scalar engine sits a runtime-dispatched SIMD tier (see
+//! [`crate::simd`]): `unpack_into`, `unpack_add_into`, `unpack_chunks` and
+//! the fused [`filter_range_into`](BitPackedVec::filter_range_into) all
+//! route through a process-wide table of kernel function pointers resolved
+//! once from CPU feature detection (AVX2 on x86-64, scalar fallback
+//! everywhere, `CORRA_DECODE_KERNEL` override). The `*_with` variants take
+//! an explicit [`simd::KernelTable`] so tests
+//! and benches can pin a tier per call.
 
 use crate::error::{Error, Result};
+use crate::simd::{self, KernelTable};
 use bytes::{Buf, BufMut};
 
 /// Number of values decoded per width-specialized chunk in bulk operations.
@@ -187,22 +199,39 @@ impl BitPackedVec {
     }
 
     /// Decodes the whole vector into `out` (cleared first) through the
-    /// width-specialized batched kernels.
+    /// active SIMD/scalar kernel tier.
     pub fn unpack_into(&self, out: &mut Vec<u64>) {
-        out.clear();
-        out.resize(self.len, 0);
-        unpack_all(self.bits, &self.words, &mut out[..], |v| v);
+        self.unpack_into_with(simd::active(), out);
+    }
+
+    /// [`unpack_into`](Self::unpack_into) with an explicit kernel table,
+    /// for tier-parity tests and benches.
+    pub fn unpack_into_with(&self, k: &KernelTable, out: &mut Vec<u64>) {
+        // Resize only on length change: the kernel overwrites every slot, so
+        // a reused buffer skips the O(len) zeroing pass `resize` would pay.
+        if out.len() != self.len {
+            out.clear();
+            out.resize(self.len, 0);
+        }
+        (k.unpack)(self.bits, &self.words, &mut out[..]);
     }
 
     /// Fused FOR decode: writes `base.wrapping_add(value)` for every packed
     /// value into `out` (cleared first), in a single batched pass — the
     /// frame-of-reference add never runs as a separate pass over the output.
     pub fn unpack_add_into(&self, base: i64, out: &mut Vec<i64>) {
-        out.clear();
-        out.resize(self.len, 0);
-        unpack_all(self.bits, &self.words, &mut out[..], |v| {
-            base.wrapping_add(v as i64)
-        });
+        self.unpack_add_into_with(simd::active(), base, out);
+    }
+
+    /// [`unpack_add_into`](Self::unpack_add_into) with an explicit kernel
+    /// table, for tier-parity tests and benches.
+    pub fn unpack_add_into_with(&self, k: &KernelTable, base: i64, out: &mut Vec<i64>) {
+        // As in `unpack_into_with`: skip the zeroing pass on reused buffers.
+        if out.len() != self.len {
+            out.clear();
+            out.resize(self.len, 0);
+        }
+        (k.unpack_add)(self.bits, &self.words, base, &mut out[..]);
     }
 
     /// Streams the vector through the batched kernels in
@@ -211,18 +240,71 @@ impl BitPackedVec {
     ///
     /// This is the bulk path for table-driven codecs (dict codes, formula
     /// codes, hierarchical group indexes): the chunk stays cache-hot while
-    /// the caller maps it through its lookup structure.
+    /// the caller maps it through its lookup structure. Chunk fills run on
+    /// the active SIMD tier.
     pub fn unpack_chunks(&self, mut f: impl FnMut(usize, &[u64])) {
+        let k = simd::active();
         let mut buf = [0u64; UNPACK_CHUNK];
         let mut start = 0usize;
         while start < self.len {
             let n = (self.len - start).min(UNPACK_CHUNK);
             // Chunks are word-aligned: start * bits is a multiple of 64.
             let w0 = start * self.bits as usize / 64;
-            unpack_all(self.bits, &self.words[w0..], &mut buf[..n], |v| v);
+            (k.unpack)(self.bits, &self.words[w0..], &mut buf[..n]);
             f(start, &buf[..n]);
             start += n;
         }
+    }
+
+    /// Fused decode+filter: pushes the index of every packed value inside
+    /// (or, with `negate`, outside) the inclusive unsigned interval
+    /// `[lo, hi]` onto `out` — decode and compare run as one chunked sweep
+    /// over the compressed words that never materializes the column. This
+    /// is the one-pass cold-scan primitive behind the FOR (offset-domain)
+    /// and Dict (code-domain) filter kernels.
+    ///
+    /// `lo > hi` denotes the empty interval (matches nothing, or everything
+    /// when negated). `out` is *not* cleared: callers may stack spans.
+    pub fn filter_range_into(&self, lo: u64, hi: u64, negate: bool, out: &mut Vec<u32>) {
+        self.filter_range_into_with(simd::active(), lo, hi, negate, out);
+    }
+
+    /// [`filter_range_into`](Self::filter_range_into) with an explicit
+    /// kernel table, for tier-parity tests and benches.
+    pub fn filter_range_into_with(
+        &self,
+        k: &KernelTable,
+        lo: u64,
+        hi: u64,
+        negate: bool,
+        out: &mut Vec<u32>,
+    ) {
+        if self.len == 0 {
+            return;
+        }
+        let all = |out: &mut Vec<u32>| out.extend(0..self.len as u32);
+        if lo > hi {
+            // Empty interval: negation selects every row.
+            if negate {
+                all(out);
+            }
+            return;
+        }
+        if self.bits == 0 {
+            // Constant-zero column: one comparison decides every row.
+            if (lo == 0) != negate {
+                all(out);
+            }
+            return;
+        }
+        if lo == 0 && hi >= mask_for(self.bits) {
+            // Interval covers the whole packed domain: no decode needed.
+            if !negate {
+                all(out);
+            }
+            return;
+        }
+        simd::filter_packed_span(k, self.bits, &self.words, self.len, lo, hi, negate, 0, out);
     }
 
     /// Decodes the whole vector into a fresh `Vec`.
@@ -302,7 +384,7 @@ impl BitPackedVec {
 crate::impl_framed!(BitPackedVec);
 
 #[inline]
-fn mask_for(bits: u8) -> u64 {
+pub(crate) fn mask_for(bits: u8) -> u64 {
     debug_assert!((1..=64).contains(&bits));
     if bits == 64 {
         u64::MAX
@@ -316,7 +398,7 @@ fn mask_for(bits: u8) -> u64 {
 /// reads, a shift and a mask. `bits` must be in `1..=64` and `mask` must be
 /// `mask_for(bits)`.
 #[inline(always)]
-fn read_raw(words: &[u64], bits: u8, mask: u64, i: usize) -> u64 {
+pub(crate) fn read_raw(words: &[u64], bits: u8, mask: u64, i: usize) -> u64 {
     let bit_pos = i as u64 * bits as u64;
     let word = (bit_pos / 64) as usize;
     let offset = (bit_pos % 64) as u32;
@@ -458,7 +540,14 @@ macro_rules! width_specialized {
 
 /// Batched decode entry point: `out` must already hold `len` slots; `f`
 /// maps each packed value to the output type (identity, FOR add, …).
-fn unpack_all<T: Copy>(bits: u8, words: &[u64], out: &mut [T], f: impl Fn(u64) -> T + Copy) {
+/// This is the scalar engine; [`crate::simd`] layers runtime-dispatched
+/// SIMD kernels on top for the identity / FOR-add transforms.
+pub(crate) fn unpack_all<T: Copy>(
+    bits: u8,
+    words: &[u64],
+    out: &mut [T],
+    f: impl Fn(u64) -> T + Copy,
+) {
     if bits == 0 {
         out.fill(f(0));
         return;

@@ -18,6 +18,9 @@
 //!   plus the [`stats::ZoneMap`] used for scan-time block pruning;
 //! * [`predicate::IntRange`] — the normalized range predicate every filter
 //!   kernel evaluates in its compressed domain;
+//! * [`simd`] — the runtime-dispatched SIMD decode tier (AVX2 with a
+//!   scalar fallback) behind every batched unpack and the fused
+//!   decode-filter scan primitive;
 //! * [`aggregate::IntAggState`] / [`aggregate::StrAggState`] — mergeable
 //!   partial aggregate states every compressed-domain aggregate kernel
 //!   folds into (`SUM` in `i128`, so it never silently wraps);
@@ -37,6 +40,7 @@ pub mod frame;
 pub mod predicate;
 pub mod schema;
 pub mod selection;
+pub mod simd;
 pub mod stats;
 pub mod strings;
 pub mod temporal;

@@ -1,0 +1,716 @@
+//! Runtime-dispatched SIMD decode kernels.
+//!
+//! The batched engine in [`bitpack`] is branch-free scalar:
+//! compiled at the baseline `x86-64` target it autovectorizes to SSE2 at
+//! best, and SSE2 has no per-lane variable shifts — exactly the operation
+//! bit-unpacking lives on. This module adds an explicit AVX2 tier written
+//! against `core::arch` and picks the implementation **once per process**
+//! via runtime feature detection, resolved into a table of plain function
+//! pointers (a [`KernelTable`]) so the hot loops pay one indirect call per
+//! batch, not per value.
+//!
+//! Three kernel families are dispatched:
+//!
+//! * **unpack** — fixed-width decode of `n` values into `u64`s;
+//! * **unpack-add** — the fused FOR/FFOR/DFOR variant (`base + value` in
+//!   the same pass, wrapping `i64` add);
+//! * **range bitmap** — the fused decode-filter primitive: evaluate an
+//!   inclusive `[lo, hi]` interval over a value slice and emit one
+//!   selection bit per value.
+//!   [`BitPackedVec::filter_range_into`](crate::bitpack::BitPackedVec::filter_range_into)
+//!   combines it with
+//!   chunked unpack so a cold scan is decode+filter in a single sweep that
+//!   never materializes the column.
+//!
+//! # Tier selection
+//!
+//! [`active`] resolves the table on first use: AVX2 when
+//! `is_x86_feature_detected!("avx2")` says so, scalar otherwise. The
+//! `CORRA_DECODE_KERNEL` environment variable (`scalar` | `avx2` | `auto`)
+//! overrides detection for testing and reproduction; forcing `avx2` on a
+//! machine without it falls back to scalar with a warning rather than
+//! crashing. Every tier is bit-exact against the scalar engine — the
+//! differential proptests in `proptest_simd_parity` force both tiers on
+//! the same inputs for every width in `0..=64`.
+//!
+//! # AVX2 width strategy
+//!
+//! | widths            | kernel                                            |
+//! |-------------------|---------------------------------------------------|
+//! | 1, 2, 4           | broadcast word + `vpsrlvq` variable shifts        |
+//! | 6, 10, 12, 14     | memory-source `vpbroadcastq` + constant `vpsrlvq` |
+//! |                   | (4 values = a whole number of bytes, one qword)   |
+//! | 8, 16, 32         | `vpmovzx` widening loads, unrolled                |
+//! | 24                | `pshufb` byte gather → dword lanes + `vpmovzxdq`  |
+//! | 64                | word copy                                         |
+//! | everything else   | the batched scalar engine (measured faster than   |
+//! |                   | `vpgatherqq` for straddling widths on modern x86) |
+//!
+//! Every SIMD main loop bounds itself so unaligned loads never read past
+//! the packed word buffer; the remainder runs through the scalar core.
+//! The broadcast kernel carries the non-byte-dividing gated width (12):
+//! a memory-source broadcast costs no shuffle-port micro-op, so the loop
+//! is load/shift/store bound instead of port-5 bound like a `pshufb`
+//! design.
+
+use crate::bitpack::{self, UNPACK_CHUNK};
+use std::sync::OnceLock;
+
+/// Which implementation tier a [`KernelTable`] was built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Portable branch-free scalar kernels (always available).
+    Scalar,
+    /// x86-64 AVX2 kernels selected by runtime feature detection.
+    Avx2,
+}
+
+impl KernelTier {
+    /// Stable lowercase name, as printed in bench JSON (`"kernel": "avx2"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Avx2 => "avx2",
+        }
+    }
+}
+
+/// A resolved set of decode kernels; see the [module docs](self).
+///
+/// All function pointers share the scalar engine's exact semantics:
+/// `unpack`/`unpack_add` decode `out.len()` values from word-aligned
+/// `words` (width `0..=64`, width 0 emits zeros / `base`), and the range
+/// kernels set bit `j` of the bitmap iff value `j` lies in the inclusive
+/// `[lo, hi]` interval (unsigned for the packed domain, signed for
+/// materialized `i64` columns). The bitmap must hold `ceil(n / 64)` words
+/// and is fully overwritten.
+pub struct KernelTable {
+    /// The tier these kernels belong to.
+    pub tier: KernelTier,
+    /// `(bits, words, out)` — fixed-width decode of `out.len()` values.
+    pub unpack: fn(u8, &[u64], &mut [u64]),
+    /// `(bits, words, base, out)` — fused FOR decode: `base.wrapping_add(v)`.
+    pub unpack_add: fn(u8, &[u64], i64, &mut [i64]),
+    /// `(vals, lo, hi, bitmap)` — unsigned inclusive-range selection bits.
+    pub range_bitmap_u64: fn(&[u64], u64, u64, &mut [u64]),
+    /// `(vals, lo, hi, bitmap)` — signed inclusive-range selection bits.
+    pub range_bitmap_i64: fn(&[i64], i64, i64, &mut [u64]),
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier (always available, the parity reference).
+// ---------------------------------------------------------------------------
+
+fn scalar_unpack(bits: u8, words: &[u64], out: &mut [u64]) {
+    bitpack::unpack_all(bits, words, out, |v| v);
+}
+
+fn scalar_unpack_add(bits: u8, words: &[u64], base: i64, out: &mut [i64]) {
+    bitpack::unpack_all(bits, words, out, |v| base.wrapping_add(v as i64));
+}
+
+fn scalar_range_bitmap_u64(vals: &[u64], lo: u64, hi: u64, bm: &mut [u64]) {
+    bm.fill(0);
+    for (j, &v) in vals.iter().enumerate() {
+        let hit = ((v >= lo) & (v <= hi)) as u64;
+        bm[j >> 6] |= hit << (j & 63);
+    }
+}
+
+fn scalar_range_bitmap_i64(vals: &[i64], lo: i64, hi: i64, bm: &mut [u64]) {
+    bm.fill(0);
+    for (j, &v) in vals.iter().enumerate() {
+        let hit = ((v >= lo) & (v <= hi)) as u64;
+        bm[j >> 6] |= hit << (j & 63);
+    }
+}
+
+static SCALAR: KernelTable = KernelTable {
+    tier: KernelTier::Scalar,
+    unpack: scalar_unpack,
+    unpack_add: scalar_unpack_add,
+    range_bitmap_u64: scalar_range_bitmap_u64,
+    range_bitmap_i64: scalar_range_bitmap_i64,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2 tier (x86-64 only; reachable only after runtime detection).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_unpack(bits: u8, words: &[u64], out: &mut [u64]) {
+    // SAFETY: the AVX2 table is only ever handed out after
+    // `is_x86_feature_detected!("avx2")` succeeded (see `resolve`/`tiers`).
+    unsafe { avx2::unpack(bits, words, out) }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_unpack_add(bits: u8, words: &[u64], base: i64, out: &mut [i64]) {
+    // SAFETY: as above — table construction implies AVX2 is present.
+    unsafe { avx2::unpack_add(bits, words, base, out) }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_range_bitmap_u64(vals: &[u64], lo: u64, hi: u64, bm: &mut [u64]) {
+    // SAFETY: as above — table construction implies AVX2 is present.
+    unsafe { avx2::range_bitmap_u64(vals, lo, hi, bm) }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_range_bitmap_i64(vals: &[i64], lo: i64, hi: i64, bm: &mut [u64]) {
+    // SAFETY: as above — table construction implies AVX2 is present.
+    unsafe { avx2::range_bitmap_i64(vals, lo, hi, bm) }
+}
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: KernelTable = KernelTable {
+    tier: KernelTier::Avx2,
+    unpack: avx2_unpack,
+    unpack_add: avx2_unpack_add,
+    range_bitmap_u64: avx2_range_bitmap_u64,
+    range_bitmap_i64: avx2_range_bitmap_i64,
+};
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+/// The scalar kernel table — the parity reference every tier is checked
+/// against, and the baseline the benches measure SIMD speedups from.
+pub fn scalar() -> &'static KernelTable {
+    &SCALAR
+}
+
+/// Every kernel table usable on this machine (scalar first). Parity tests
+/// and benches iterate this to cover each tier in the same process.
+pub fn tiers() -> &'static [&'static KernelTable] {
+    static TIERS: OnceLock<Vec<&'static KernelTable>> = OnceLock::new();
+    TIERS.get_or_init(|| {
+        #[allow(unused_mut)]
+        let mut t: Vec<&'static KernelTable> = vec![&SCALAR];
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            t.push(&AVX2);
+        }
+        t
+    })
+}
+
+fn best() -> &'static KernelTable {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return &AVX2;
+    }
+    &SCALAR
+}
+
+fn resolve() -> &'static KernelTable {
+    match std::env::var("CORRA_DECODE_KERNEL") {
+        Ok(v) => match v.as_str() {
+            "scalar" => &SCALAR,
+            "avx2" => {
+                #[cfg(target_arch = "x86_64")]
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    return &AVX2;
+                }
+                eprintln!(
+                    "corra: CORRA_DECODE_KERNEL=avx2 requested but AVX2 is \
+                     unavailable; falling back to scalar"
+                );
+                &SCALAR
+            }
+            "" | "auto" => best(),
+            other => {
+                eprintln!("corra: unknown CORRA_DECODE_KERNEL={other:?}; using auto detection");
+                best()
+            }
+        },
+        Err(_) => best(),
+    }
+}
+
+/// The process-wide kernel table, resolved once on first use from runtime
+/// feature detection and the `CORRA_DECODE_KERNEL` override.
+pub fn active() -> &'static KernelTable {
+    static ACTIVE: OnceLock<&'static KernelTable> = OnceLock::new();
+    ACTIVE.get_or_init(resolve)
+}
+
+/// Expands a selection bitmap into row positions: for every set bit `j`
+/// (flipped by `negate`, with bits past `len` ignored) pushes
+/// `first_row + j`. The shared back half of every fused decode-filter pass.
+pub fn emit_positions(bm: &[u64], len: usize, negate: bool, first_row: u32, out: &mut Vec<u32>) {
+    let n_words = len.div_ceil(64);
+    debug_assert!(bm.len() >= n_words);
+    for (wi, &wv) in bm[..n_words].iter().enumerate() {
+        let mut m = if negate { !wv } else { wv };
+        let rem = len - wi * 64;
+        if rem < 64 {
+            m &= (1u64 << rem) - 1;
+        }
+        let base = first_row + (wi as u32) * 64;
+        while m != 0 {
+            out.push(base + m.trailing_zeros());
+            m &= m - 1;
+        }
+    }
+}
+
+/// Fused range filter over a materialized `i64` slice: pushes
+/// `first_row + j` for every value in (or, negated, outside) the inclusive
+/// `[lo, hi]` interval, running the active tier's SIMD compare in
+/// cache-sized strides. Used by the Plain and Delta filter kernels.
+pub fn filter_i64_into(
+    k: &KernelTable,
+    values: &[i64],
+    lo: i64,
+    hi: i64,
+    negate: bool,
+    first_row: u32,
+    out: &mut Vec<u32>,
+) {
+    const STRIDE: usize = 4096;
+    let mut bm = [0u64; STRIDE / 64];
+    let mut start = 0usize;
+    while start < values.len() {
+        let n = (values.len() - start).min(STRIDE);
+        let nw = n.div_ceil(64);
+        (k.range_bitmap_i64)(&values[start..start + n], lo, hi, &mut bm[..nw]);
+        emit_positions(&bm[..nw], n, negate, first_row + start as u32, out);
+        start += n;
+    }
+}
+
+/// Chunked fused decode+compare over a packed span: decodes
+/// [`UNPACK_CHUNK`]-sized chunks with `k.unpack` and emits matching
+/// positions (offset by `first_row`) without ever materializing the span.
+/// `words` must start word-aligned for value 0 and `lo <= hi`; the packed
+/// domain is unsigned. Shared by
+/// [`BitPackedVec::filter_range_into`](crate::bitpack::BitPackedVec::filter_range_into).
+#[allow(clippy::too_many_arguments)] // one call site; a params struct would only obscure it
+pub(crate) fn filter_packed_span(
+    k: &KernelTable,
+    bits: u8,
+    words: &[u64],
+    len: usize,
+    lo: u64,
+    hi: u64,
+    negate: bool,
+    first_row: u32,
+    out: &mut Vec<u32>,
+) {
+    debug_assert!(bits >= 1 && lo <= hi);
+    let mut buf = [0u64; UNPACK_CHUNK];
+    let mut bm = [0u64; UNPACK_CHUNK / 64];
+    let mut start = 0usize;
+    while start < len {
+        let n = (len - start).min(UNPACK_CHUNK);
+        // Chunks are word-aligned: start * bits is a multiple of 64.
+        let w0 = start * bits as usize / 64;
+        (k.unpack)(bits, &words[w0..], &mut buf[..n]);
+        let nw = n.div_ceil(64);
+        (k.range_bitmap_u64)(&buf[..n], lo, hi, &mut bm[..nw]);
+        emit_positions(&bm[..nw], n, negate, first_row + start as u32, out);
+        start += n;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! The AVX2 kernel bodies. Everything here is `unsafe fn` carrying
+    //! `#[target_feature(enable = "avx2")]`; callers must have verified
+    //! AVX2 via runtime detection. Inner helpers are `#[inline(always)]`
+    //! so they inherit the enabled feature set of their callers.
+
+    use super::bitpack;
+    use core::arch::x86_64::*;
+
+    #[inline(always)]
+    fn mask_of(bits: u8) -> u64 {
+        u64::MAX >> (64 - bits as u32)
+    }
+
+    /// Decode + optional fused add. `out` must hold `n` writable `u64`
+    /// slots (an `i64` buffer reinterpreted bitwise when `ADD`); `words`
+    /// must cover `ceil(n * bits / 64)` words.
+    #[inline(always)]
+    unsafe fn unpack_impl<const ADD: bool>(
+        bits: u8,
+        words: &[u64],
+        base: i64,
+        out: *mut u64,
+        n: usize,
+    ) {
+        if bits == 0 {
+            let fill = if ADD { base as u64 } else { 0 };
+            for i in 0..n {
+                *out.add(i) = fill;
+            }
+            return;
+        }
+        match bits {
+            1 | 2 | 4 => unpack_bcast::<ADD>(bits, words, base, out, n),
+            6 | 10 | 12 | 14 => unpack_even16::<ADD>(bits, words, base, out, n),
+            8 => unpack_cvt::<8, ADD>(words, base, out, n),
+            16 => unpack_cvt::<16, ADD>(words, base, out, n),
+            24 => unpack_w24::<ADD>(words, base, out, n),
+            32 => unpack_cvt::<32, ADD>(words, base, out, n),
+            64 => {
+                for (i, &v) in words.iter().enumerate().take(n) {
+                    *out.add(i) = if ADD {
+                        base.wrapping_add(v as i64) as u64
+                    } else {
+                        v
+                    };
+                }
+            }
+            // Straddling widths: the autovectorized batched scalar engine
+            // beats a `vpgatherqq` design (gather throughput ≈ 1 value per
+            // cycle), so the AVX2 tier reuses it rather than regressing.
+            _ => {
+                if ADD {
+                    let s = core::slice::from_raw_parts_mut(out as *mut i64, n);
+                    bitpack::unpack_all(bits, words, s, |v| base.wrapping_add(v as i64));
+                } else {
+                    let s = core::slice::from_raw_parts_mut(out, n);
+                    bitpack::unpack_all(bits, words, s, |v| v);
+                }
+            }
+        }
+    }
+
+    /// Scalar remainder shared by every SIMD main loop: values `j0..n`
+    /// through the same two-word core as the scalar engine.
+    #[inline(always)]
+    unsafe fn scalar_span<const ADD: bool>(
+        bits: u8,
+        words: &[u64],
+        base: i64,
+        out: *mut u64,
+        j0: usize,
+        n: usize,
+    ) {
+        let mask = mask_of(bits);
+        for j in j0..n {
+            let v = bitpack::read_raw(words, bits, mask, j);
+            *out.add(j) = if ADD {
+                base.wrapping_add(v as i64) as u64
+            } else {
+                v
+            };
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn finish<const ADD: bool>(v: __m256i, basev: __m256i, out: *mut u64, j: usize) {
+        let v = if ADD { _mm256_add_epi64(v, basev) } else { v };
+        _mm256_storeu_si256(out.add(j) as *mut __m256i, v);
+    }
+
+    /// Widths 1/2/4: broadcast each packed word and shift four lanes at a
+    /// time with `vpsrlvq` — the per-lane variable shift scalar code never
+    /// gets below AVX2.
+    #[inline(always)]
+    unsafe fn unpack_bcast<const ADD: bool>(
+        bits: u8,
+        words: &[u64],
+        base: i64,
+        out: *mut u64,
+        n: usize,
+    ) {
+        let b = bits as i64;
+        let vpw = 64 / bits as usize;
+        let maskv = _mm256_set1_epi64x(mask_of(bits) as i64);
+        let basev = _mm256_set1_epi64x(base);
+        let step = _mm256_set1_epi64x(4 * b);
+        let sh0 = _mm256_setr_epi64x(0, b, 2 * b, 3 * b);
+        let mut j = 0usize;
+        while j + vpw <= n {
+            let wv = _mm256_set1_epi64x(words[j / vpw] as i64);
+            let mut sh = sh0;
+            for g in 0..vpw / 4 {
+                let v = _mm256_and_si256(_mm256_srlv_epi64(wv, sh), maskv);
+                finish::<ADD>(v, basev, out, j + 4 * g);
+                sh = _mm256_add_epi64(sh, step);
+            }
+            j += vpw;
+        }
+        scalar_span::<ADD>(bits, words, base, out, j, n);
+    }
+
+    /// Even widths 6–16 (the gated 8/12/16 live here): four consecutive
+    /// values span `4 * bits` bits — a whole number of bytes (`bits / 2`
+    /// per value group) that fits one qword. So each group is one
+    /// memory-source `vpbroadcastq` plus a *constant* `vpsrlvq` shift
+    /// vector `{0, b, 2b, 3b}` and a mask: no shuffle-port micro-ops, no
+    /// gathers, no cross-lane traffic. Unrolled 4× (16 values/iteration)
+    /// to amortize loop overhead.
+    #[inline(always)]
+    unsafe fn unpack_even16<const ADD: bool>(
+        bits: u8,
+        words: &[u64],
+        base: i64,
+        out: *mut u64,
+        n: usize,
+    ) {
+        debug_assert!((6..=16).contains(&bits) && bits % 2 == 0);
+        let bytes = words.len() * 8;
+        let p = words.as_ptr() as *const u8;
+        let b = bits as i64;
+        let stride = bits as usize / 2; // bytes per 4-value group
+        let maskv = _mm256_set1_epi64x(mask_of(bits) as i64);
+        let basev = _mm256_set1_epi64x(base);
+        let sh = _mm256_setr_epi64x(0, b, 2 * b, 3 * b);
+        let mut j = 0usize;
+        let mut off = 0usize;
+        if bits <= 8 {
+            // Eight values (8·b ≤ 64 bits) fit one qword: each broadcast
+            // feeds two shift groups, halving the load traffic.
+            let sh1 = _mm256_setr_epi64x(4 * b, 5 * b, 6 * b, 7 * b);
+            while j + 16 <= n && off + 2 * stride + 8 <= bytes {
+                for u in 0..2 {
+                    let q = _mm256_broadcastq_epi64(_mm_loadl_epi64(
+                        p.add(off + u * stride * 2) as *const __m128i
+                    ));
+                    let v0 = _mm256_and_si256(_mm256_srlv_epi64(q, sh), maskv);
+                    finish::<ADD>(v0, basev, out, j + 8 * u);
+                    let v1 = _mm256_and_si256(_mm256_srlv_epi64(q, sh1), maskv);
+                    finish::<ADD>(v1, basev, out, j + 8 * u + 4);
+                }
+                j += 16;
+                off += 4 * stride;
+            }
+        }
+        // Each group's 8-byte load at `off + u * stride` stays in bounds.
+        while j + 16 <= n && off + 3 * stride + 8 <= bytes {
+            for u in 0..4 {
+                let q = _mm256_broadcastq_epi64(_mm_loadl_epi64(
+                    p.add(off + u * stride) as *const __m128i
+                ));
+                let v = _mm256_and_si256(_mm256_srlv_epi64(q, sh), maskv);
+                finish::<ADD>(v, basev, out, j + 4 * u);
+            }
+            j += 16;
+            off += 4 * stride;
+        }
+        while j + 4 <= n && off + 8 <= bytes {
+            let q = _mm256_broadcastq_epi64(_mm_loadl_epi64(p.add(off) as *const __m128i));
+            let v = _mm256_and_si256(_mm256_srlv_epi64(q, sh), maskv);
+            finish::<ADD>(v, basev, out, j);
+            j += 4;
+            off += stride;
+        }
+        scalar_span::<ADD>(bits, words, base, out, j, n);
+    }
+
+    /// Width 24: every value is byte-aligned at a 3-byte stride, so
+    /// `pshufb` gathers four values' byte triples into zero-extended dword
+    /// lanes (the index high bit zeroes the fourth byte) and `vpmovzxdq`
+    /// widens them — no mask needed.
+    #[inline(always)]
+    unsafe fn unpack_w24<const ADD: bool>(words: &[u64], base: i64, out: *mut u64, n: usize) {
+        let bytes = words.len() * 8;
+        let p = words.as_ptr() as *const u8;
+        let basev = _mm256_set1_epi64x(base);
+        let zero = -128i8; // 0x80: pshufb writes a zero byte
+        let idx = _mm_setr_epi8(0, 1, 2, zero, 3, 4, 5, zero, 6, 7, 8, zero, 9, 10, 11, zero);
+        let mut j = 0usize;
+        // Group j..j+4 starts at byte 3j and loads 16 bytes.
+        while j + 4 <= n && 3 * j + 16 <= bytes {
+            let x = _mm_loadu_si128(p.add(3 * j) as *const __m128i);
+            finish::<ADD>(
+                _mm256_cvtepu32_epi64(_mm_shuffle_epi8(x, idx)),
+                basev,
+                out,
+                j,
+            );
+            j += 4;
+        }
+        scalar_span::<ADD>(24, words, base, out, j, n);
+    }
+
+    /// Byte-dividing widths 8/16/32: `vpmovzx` widening loads, three
+    /// micro-ops per four values (load, zero-extend, store), unrolled 4×.
+    /// Packed words are padded to a whole word, so every load through
+    /// `j + 4 <= n` stays inside the buffer.
+    #[inline(always)]
+    unsafe fn unpack_cvt<const W: u8, const ADD: bool>(
+        words: &[u64],
+        base: i64,
+        out: *mut u64,
+        n: usize,
+    ) {
+        let p = words.as_ptr() as *const u8;
+        let basev = _mm256_set1_epi64x(base);
+        #[inline(always)]
+        unsafe fn group<const W: u8>(p: *const u8, j: usize) -> __m256i {
+            match W {
+                8 => _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(
+                    (p.add(j) as *const i32).read_unaligned(),
+                )),
+                16 => _mm256_cvtepu16_epi64(_mm_loadl_epi64(p.add(2 * j) as *const __m128i)),
+                _ => _mm256_cvtepu32_epi64(_mm_loadu_si128(p.add(4 * j) as *const __m128i)),
+            }
+        }
+        let mut j = 0usize;
+        while j + 16 <= n {
+            for u in 0..4 {
+                finish::<ADD>(group::<W>(p, j + 4 * u), basev, out, j + 4 * u);
+            }
+            j += 16;
+        }
+        while j + 4 <= n {
+            finish::<ADD>(group::<W>(p, j), basev, out, j);
+            j += 4;
+        }
+        scalar_span::<ADD>(W, words, base, out, j, n);
+    }
+
+    /// See [`KernelTable::unpack`](super::KernelTable).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (checked by the dispatch layer).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn unpack(bits: u8, words: &[u64], out: &mut [u64]) {
+        unpack_impl::<false>(bits, words, 0, out.as_mut_ptr(), out.len());
+    }
+
+    /// See [`KernelTable::unpack_add`](super::KernelTable).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (checked by the dispatch layer).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn unpack_add(bits: u8, words: &[u64], base: i64, out: &mut [i64]) {
+        unpack_impl::<true>(bits, words, base, out.as_mut_ptr() as *mut u64, out.len());
+    }
+
+    /// Inclusive-range compare over 4 lanes at a time. Unsigned inputs are
+    /// mapped onto signed compares by flipping the sign bit of both the
+    /// values and the bounds.
+    #[inline(always)]
+    unsafe fn range_bitmap_impl<const SIGNED: bool>(
+        vals: *const i64,
+        n: usize,
+        lo: i64,
+        hi: i64,
+        bm: &mut [u64],
+    ) {
+        let flip = _mm256_set1_epi64x(i64::MIN);
+        let (lov, hiv) = if SIGNED {
+            (_mm256_set1_epi64x(lo), _mm256_set1_epi64x(hi))
+        } else {
+            (
+                _mm256_set1_epi64x(lo ^ i64::MIN),
+                _mm256_set1_epi64x(hi ^ i64::MIN),
+            )
+        };
+        let mut j = 0usize;
+        let mut wi = 0usize;
+        while j + 64 <= n {
+            let mut acc = 0u64;
+            for k in 0..16 {
+                let mut v = _mm256_loadu_si256(vals.add(j + 4 * k) as *const __m256i);
+                if !SIGNED {
+                    v = _mm256_xor_si256(v, flip);
+                }
+                let miss = _mm256_or_si256(_mm256_cmpgt_epi64(lov, v), _mm256_cmpgt_epi64(v, hiv));
+                let miss4 = _mm256_movemask_pd(_mm256_castsi256_pd(miss)) as u64;
+                acc |= (!miss4 & 0xF) << (4 * k);
+            }
+            bm[wi] = acc;
+            wi += 1;
+            j += 64;
+        }
+        if j < n {
+            let mut acc = 0u64;
+            for (k, jj) in (j..n).enumerate() {
+                let v = *vals.add(jj);
+                let hit = if SIGNED {
+                    v >= lo && v <= hi
+                } else {
+                    (v as u64) >= (lo as u64) && (v as u64) <= (hi as u64)
+                };
+                acc |= (hit as u64) << k;
+            }
+            bm[wi] = acc;
+        }
+    }
+
+    /// See [`KernelTable::range_bitmap_u64`](super::KernelTable).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (checked by the dispatch layer).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn range_bitmap_u64(vals: &[u64], lo: u64, hi: u64, bm: &mut [u64]) {
+        range_bitmap_impl::<false>(
+            vals.as_ptr() as *const i64,
+            vals.len(),
+            lo as i64,
+            hi as i64,
+            bm,
+        );
+    }
+
+    /// See [`KernelTable::range_bitmap_i64`](super::KernelTable).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (checked by the dispatch layer).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn range_bitmap_i64(vals: &[i64], lo: i64, hi: i64, bm: &mut [u64]) {
+        range_bitmap_impl::<true>(vals.as_ptr(), vals.len(), lo, hi, bm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_names() {
+        assert_eq!(KernelTier::Scalar.as_str(), "scalar");
+        assert_eq!(KernelTier::Avx2.as_str(), "avx2");
+    }
+
+    #[test]
+    fn scalar_tier_always_listed_first() {
+        let t = tiers();
+        assert_eq!(t[0].tier, KernelTier::Scalar);
+        assert!(t.len() <= 2);
+    }
+
+    #[test]
+    fn emit_positions_masks_and_negates() {
+        let mut out = Vec::new();
+        emit_positions(&[0b1011], 3, false, 10, &mut out);
+        assert_eq!(out, vec![10, 11]); // bit 3 is past len
+        out.clear();
+        emit_positions(&[0b1011], 3, true, 0, &mut out);
+        assert_eq!(out, vec![2]);
+        out.clear();
+        emit_positions(&[u64::MAX, u64::MAX], 65, true, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn range_bitmap_scalar_tail_words() {
+        for k in tiers() {
+            let vals: Vec<u64> = (0..130).collect();
+            let mut bm = vec![0u64; 3];
+            (k.range_bitmap_u64)(&vals, 5, 10, &mut bm);
+            let mut got = Vec::new();
+            emit_positions(&bm, vals.len(), false, 0, &mut got);
+            assert_eq!(got, vec![5, 6, 7, 8, 9, 10], "{}", k.tier.as_str());
+            // Signed compare crosses zero correctly.
+            let svals: Vec<i64> = (-70..70).collect();
+            let mut bm = vec![0u64; 3];
+            (k.range_bitmap_i64)(&svals, -2, 1, &mut bm);
+            let mut got = Vec::new();
+            emit_positions(&bm, svals.len(), false, 0, &mut got);
+            assert_eq!(got, vec![68, 69, 70, 71], "{}", k.tier.as_str());
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! checkpoint cost the paper cites when excluding Delta from its baseline.
 
 use bytes::{Buf, BufMut};
-use corra_columnar::bitpack::{zigzag_decode, zigzag_encode, BitPackedVec};
+use corra_columnar::bitpack::{zigzag_decode, zigzag_encode, BitPackedVec, UNPACK_CHUNK};
 use corra_columnar::error::{Error, Result};
 use corra_columnar::predicate::IntRange;
 use corra_columnar::stats::ZoneMap;
@@ -143,10 +143,12 @@ impl FilterInt for DeltaInt {
     /// Delta has no per-row compressed-domain shortcut: values only exist as
     /// prefix sums. The kernel therefore falls back to a *streaming*
     /// reconstruction — a single sequential pass with miniblock restarts —
-    /// which never pays the O(MINIBLOCK) random-access cost of `get`.
+    /// which never pays the O(MINIBLOCK) random-access cost of `get`. Each
+    /// reconstructed chunk is compared through the SIMD range kernel.
     fn filter_into(&self, range: &IntRange, out: &mut Vec<u32>) {
         out.clear();
         let mut v = 0i64;
+        let mut vals = [0i64; UNPACK_CHUNK];
         self.deltas.unpack_chunks(|start, chunk| {
             for (j, &d) in chunk.iter().enumerate() {
                 let i = start + j;
@@ -155,10 +157,9 @@ impl FilterInt for DeltaInt {
                 } else {
                     v = v.wrapping_add(zigzag_decode(d));
                 }
-                if range.matches(v) {
-                    out.push(i as u32);
-                }
+                vals[j] = v;
             }
+            crate::filter::filter_i64_slice(&vals[..chunk.len()], range, start as u32, out);
         });
     }
 

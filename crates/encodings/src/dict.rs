@@ -191,14 +191,10 @@ impl FilterInt for DictInt {
             }
             return;
         }
-        let negate = range.negate;
-        self.codes.unpack_chunks(|start, chunk| {
-            for (j, &c) in chunk.iter().enumerate() {
-                if ((lo_code <= c) & (c < hi_code)) != negate {
-                    out.push((start + j) as u32);
-                }
-            }
-        });
+        // Fused decode+compare in the code domain (hi_code is exclusive and
+        // lo_code < hi_code here, so the inclusive bound cannot underflow).
+        self.codes
+            .filter_range_into(lo_code, hi_code - 1, range.negate, out);
     }
 
     /// Exact bounds: the sorted dictionary's first and last entry.

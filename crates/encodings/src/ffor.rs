@@ -165,14 +165,10 @@ impl FilterInt for ForInt {
         }
         let lo_off = lo_wide.max(0) as u64;
         let hi_off = hi_wide.min(u64::MAX as i128) as u64;
-        let negate = range.negate;
-        self.packed.unpack_chunks(|start, chunk| {
-            for (j, &off) in chunk.iter().enumerate() {
-                if ((lo_off <= off) & (off <= hi_off)) != negate {
-                    out.push((start + j) as u32);
-                }
-            }
-        });
+        // Fused decode+compare in the packed offset domain: one SIMD sweep
+        // over the compressed words, no materialized column.
+        self.packed
+            .filter_range_into(lo_off, hi_off, range.negate, out);
     }
 
     /// O(1) covering bounds from the frame: `[base, base + 2^bits - 1]`

@@ -20,6 +20,7 @@
 //! [`SelectionVector::from_sorted`](corra_columnar::selection::SelectionVector::from_sorted).
 
 use corra_columnar::predicate::IntRange;
+use corra_columnar::simd;
 use corra_columnar::stats::ZoneMap;
 
 /// Predicate evaluation over a compressed integer column.
@@ -39,6 +40,29 @@ pub trait FilterStr {
     /// Appends the positions (ascending) of all rows whose string equals
     /// `value` (or differs, when `negate`) into `out` (cleared first).
     fn filter_eq_into(&self, value: &str, negate: bool, out: &mut Vec<u32>);
+}
+
+/// Fused range compare over a materialized `i64` span: appends
+/// `first_row + j` for every value matching `range`, running the active
+/// SIMD tier's compare kernel. The shared back end of the Plain filter and
+/// Delta's streaming-reconstruction filter. `out` is *not* cleared, so
+/// chunked callers can stack spans.
+pub fn filter_i64_slice(values: &[i64], range: &IntRange, first_row: u32, out: &mut Vec<u32>) {
+    if range.interval_is_empty() {
+        if range.negate {
+            out.extend(first_row..first_row + values.len() as u32);
+        }
+        return;
+    }
+    simd::filter_i64_into(
+        simd::active(),
+        values,
+        range.lo,
+        range.hi,
+        range.negate,
+        first_row,
+        out,
+    );
 }
 
 /// Reference comparator used by the parity tests: decompress-then-filter.

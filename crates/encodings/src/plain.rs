@@ -90,14 +90,10 @@ impl IntAccess for PlainInt {
 
 impl FilterInt for PlainInt {
     /// Direct comparison over raw values — the comparator the compressed
-    /// kernels are measured against.
+    /// kernels are measured against — through the SIMD range kernel.
     fn filter_into(&self, range: &IntRange, out: &mut Vec<u32>) {
         out.clear();
-        for (i, &v) in self.values.iter().enumerate() {
-            if range.matches(v) {
-                out.push(i as u32);
-            }
-        }
+        crate::filter::filter_i64_slice(&self.values, range, 0, out);
     }
 
     /// Plain stores no statistics, so bounds would cost the same full pass

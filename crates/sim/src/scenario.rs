@@ -420,6 +420,69 @@ impl Scenario {
         Ok(injected)
     }
 
+    /// Hostile fault pass under **parallel** drivers: positional fault
+    /// schedules (`FaultPlan::with_positional_schedule`) make every read's
+    /// verdict a pure function of `(seed, offset, len)`, so morsel-parallel
+    /// scans and parallel aggregation can run under fire and still replay.
+    /// Every operation must error or return the exact model answer, and two
+    /// runs of an episode must produce the same per-op ok/err status log.
+    /// (Status only: which thread trips a faulting read first — and thus
+    /// the error *text* — legitimately varies with interleaving; whether
+    /// the op faults at all does not, because a fault is the only thing
+    /// that aborts a driver early.) Returns total faults injected.
+    pub fn verify_hostile_parallel_faults(&self) -> Result<u64, SimFailure> {
+        let episodes = if self.quick { 2 } else { 4 };
+        let mut injected = 0u64;
+        for episode in 0..episodes {
+            let fault_seed = self
+                .seed
+                .wrapping_mul(0xA24B_AED4_963E_E407)
+                .wrapping_add(episode);
+            let run = || -> Result<(Vec<String>, u64), SimFailure> {
+                let plan = FaultPlan::none(fault_seed)
+                    .with_bit_flips(0.03 + 0.03 * episode as f64)
+                    .with_transient_errors(0.015 * episode as f64)
+                    .with_positional_schedule();
+                let backend = std::sync::Arc::new(FaultyBackend::new(
+                    MemBackend::new(self.bytes.clone()),
+                    plan,
+                ));
+                let stats_handle = std::sync::Arc::clone(&backend);
+                let mut log = Vec::with_capacity(self.ops.len() + 1);
+                match TableReader::from_backend(Box::new(backend)) {
+                    Err(_) => log.push("open err".to_owned()),
+                    Ok(reader) => {
+                        for (i, (op, want)) in self.ops.iter().zip(&self.expected).enumerate() {
+                            match run_op_parallel(&reader, op) {
+                                Err(_) => log.push(format!("op {i} err")),
+                                Ok(got) => {
+                                    if &got != want {
+                                        return Err(self.fail(format!(
+                                            "hostile parallel episode {episode} op {i} {op:?}: \
+                                             silently wrong data served"
+                                        )));
+                                    }
+                                    log.push(format!("op {i} ok"));
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok((log, stats_handle.stats().total()))
+            };
+            let (first, faults) = run()?;
+            let (second, _) = run()?;
+            if first != second {
+                return Err(self.fail(format!(
+                    "hostile parallel episode {episode}: positional fault schedule \
+                     not deterministic across runs"
+                )));
+            }
+            injected += faults;
+        }
+        Ok(injected)
+    }
+
     /// Seeded slice of the shared single-bit-flip corruption sweep.
     pub fn verify_sweep(&self) -> usize {
         let budget = if self.quick { 16 } else { 64 };
@@ -659,7 +722,8 @@ pub fn run_seed(seed: u64, opts: &SimOptions) -> Result<ScenarioOutcome, SimFail
     let fingerprint = scenario.verify_clean()?;
     let cache_hits = scenario.verify_cached()?;
     scenario.verify_benign_faults()?;
-    let faults_injected = scenario.verify_hostile_faults()?;
+    let mut faults_injected = scenario.verify_hostile_faults()?;
+    faults_injected += scenario.verify_hostile_parallel_faults()?;
     let sweep_flips = scenario.verify_sweep();
     let (ingest_crash_points, segments_opened) = scenario.verify_ingest()?;
     Ok(ScenarioOutcome {
@@ -704,6 +768,24 @@ fn run_op_serial(reader: &TableReader, op: &Op) -> corra_columnar::error::Result
         Op::ReadColumn(b, name) => Expected::Column(reader.read_column(*b, name)?),
         Op::Scan(pred, _) => Expected::Scan(reader.scan_blocks(pred)?.0),
         Op::Aggregate(expr, _) => Expected::Agg(reader.aggregate(expr)?.0),
+    })
+}
+
+/// Parallel-only variant of [`run_op`]: scans and aggregates run through
+/// the morsel-parallel drivers at the op's scheduled thread count. Only
+/// safe under fault plans whose read verdicts are positional
+/// (order-independent) — see `verify_hostile_parallel_faults`.
+fn run_op_parallel(reader: &TableReader, op: &Op) -> corra_columnar::error::Result<Expected> {
+    Ok(match op {
+        Op::ReadBlock(b) => Expected::Block(reader.read_block(*b)?),
+        Op::ReadColumn(b, name) => Expected::Column(reader.read_column(*b, name)?),
+        Op::Scan(pred, threads) => Expected::Scan(reader.scan_blocks_parallel(pred, *threads)?.0),
+        Op::Aggregate(expr, threads) => {
+            let blocks: Vec<_> = (0..reader.n_blocks())
+                .map(|b| reader.read_block(b))
+                .collect::<corra_columnar::error::Result<_>>()?;
+            Expected::Agg(aggregate_blocks_parallel(&blocks, expr, *threads)?.0)
+        }
     })
 }
 
