@@ -147,8 +147,7 @@ fn main() {
         },
     );
     let compressed = compress_blocks(&blocks, &cfg, 4).expect("compress");
-    let dir = std::env::temp_dir().join("corra_agg_bench");
-    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let dir = corra_bench::unique_temp_dir("agg_bench");
     let path = dir.join("bench.corra");
     let file = std::fs::File::create(&path).expect("create");
     let mut writer = TableWriter::with_schema(file, schema).expect("writer");
@@ -254,5 +253,5 @@ fn main() {
         }
     }
 
-    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -16,8 +16,14 @@
 //! field so reordering cannot misalign series), and every metric whose key
 //! ends in `_per_sec` present on both sides is diffed. A current value
 //! below `baseline * (1 - max_regression)` trips the gate; improvements
-//! and new/removed series are reported but never fail. Exit status is the
-//! CI contract: 0 clean, 1 regression, 2 usage/IO error.
+//! and new/removed series are reported but never fail.
+//!
+//! A bench with **no committed baseline** (missing file, or a file with
+//! no `_per_sec` series) is the first run of a new series: the current
+//! document is copied into the baseline directory and reported loudly —
+//! never a panic, never a silent pass. A baseline file that exists but
+//! cannot be parsed still errors. Exit status is the CI contract: 0
+//! clean, 1 regression, 2 usage/IO error.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -122,7 +128,7 @@ fn run() -> Result<bool, String> {
          [--current-dir DIR] [--max-regression 0.30] BENCH...",
     )?;
     if benches.is_empty() {
-        benches = ["scan", "decode", "store", "agg"]
+        benches = ["scan", "decode", "store", "agg", "ingest", "query"]
             .map(str::to_owned)
             .to_vec();
     }
@@ -132,9 +138,34 @@ fn run() -> Result<bool, String> {
 
     let mut rows = Vec::new();
     let mut unmatched = 0usize;
+    let mut recorded = 0usize;
     for bench in &benches {
-        let base = load(&baseline_dir, bench)?;
         let cur = load(&current_dir, bench)?;
+        // First run of a new series: no committed baseline file, or one
+        // carrying no throughput series. Record the current document as
+        // the new baseline, loudly — a missing baseline must never panic
+        // and must never silently pass as "compared clean". A baseline
+        // file that exists but fails to parse still errors above.
+        let base_path = format!("{baseline_dir}/BENCH_{bench}.json");
+        let base = if std::path::Path::new(&base_path).exists() {
+            Some(load(&baseline_dir, bench)?)
+        } else {
+            None
+        };
+        let base = match base {
+            Some(b) if b.keys().any(|p| is_throughput(p)) => b,
+            _ => {
+                let series = cur.keys().filter(|p| is_throughput(p)).count();
+                std::fs::copy(format!("{current_dir}/BENCH_{bench}.json"), &base_path)
+                    .map_err(|e| format!("cannot record new baseline {base_path}: {e}"))?;
+                println!(
+                    "note: {bench} has no committed baseline — recorded the current \
+                     run ({series} throughput series) as the new baseline"
+                );
+                recorded += 1;
+                continue;
+            }
+        };
         for (path, &baseline) in base.iter().filter(|(p, _)| is_throughput(p)) {
             // A zero baseline carries no throughput signal — e.g. the
             // pruned-scan series reads 0 bytes by design, so its
@@ -165,6 +196,10 @@ fn run() -> Result<bool, String> {
         }
     }
     if rows.is_empty() {
+        if recorded > 0 {
+            println!("no baselines to compare yet; {recorded} recorded for the next run");
+            return Ok(false);
+        }
         return Err("no overlapping throughput metrics found — wrong directories?".into());
     }
 
@@ -194,9 +229,11 @@ fn run() -> Result<bool, String> {
         );
     }
     println!(
-        "\n{} metrics compared ({} unmatched), floor {:.2}x of baseline: {}",
+        "\n{} metrics compared ({} unmatched, {} baselines recorded), \
+         floor {:.2}x of baseline: {}",
         rows.len(),
         unmatched,
+        recorded,
         floor,
         if failed { "REGRESSION" } else { "ok" }
     );

@@ -108,8 +108,7 @@ fn main() {
     );
     let compressed = compress_blocks(&blocks, &cfg, 4).expect("compress");
 
-    let dir = std::env::temp_dir().join("corra_serve_bench");
-    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let dir = corra_bench::unique_temp_dir("serve_bench");
     let path = dir.join("bench.corra");
     let file = std::fs::File::create(&path).expect("create");
     let mut writer = TableWriter::with_schema(file, schema).expect("writer");
@@ -221,5 +220,5 @@ fn main() {
         println!("wrote {path} ({} bytes)", body.len());
     }
 
-    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }

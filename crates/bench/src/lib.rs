@@ -150,6 +150,21 @@ pub fn width_payload(bits: u8, n: usize) -> Vec<u64> {
         .collect()
 }
 
+/// A process-unique scratch directory under the system temp dir
+/// (`corra_<tag>_<pid>_<counter>`), created before returning. Fixed
+/// temp paths make concurrently running benches clobber each other's
+/// table files; callers `remove_dir_all` the returned dir when done.
+pub fn unique_temp_dir(tag: &str) -> std::path::PathBuf {
+    static COUNTER: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "corra_{tag}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
 /// Times `f` over `reps` repetitions and returns the median seconds.
 pub fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut samples: Vec<f64> = (0..reps.max(1))

@@ -47,6 +47,21 @@ use bytes::{Buf, BufMut};
 /// are built on.
 pub const UNPACK_CHUNK: usize = 1024;
 
+/// Stack scratch for one decoded chunk, aligned to the cache line (and
+/// therefore to the widest SIMD store). A plain `[u64; UNPACK_CHUNK]`
+/// local inherits whatever alignment the call chain's frames happen to
+/// produce; when it lands off a 32-byte boundary every AVX2 store into
+/// it straddles a cache line and chunked decode loses ~40% throughput —
+/// measurably, and dependent on unrelated code upstream in the binary.
+#[repr(align(64))]
+pub(crate) struct ChunkBuf(pub(crate) [u64; UNPACK_CHUNK]);
+
+impl ChunkBuf {
+    pub(crate) fn zeroed() -> Self {
+        ChunkBuf([0u64; UNPACK_CHUNK])
+    }
+}
+
 /// Minimal number of bits needed to represent `value` (0 for value 0).
 #[inline]
 pub fn bits_needed(value: u64) -> u8 {
@@ -244,14 +259,14 @@ impl BitPackedVec {
     /// the active SIMD tier.
     pub fn unpack_chunks(&self, mut f: impl FnMut(usize, &[u64])) {
         let k = simd::active();
-        let mut buf = [0u64; UNPACK_CHUNK];
+        let mut buf = ChunkBuf::zeroed();
         let mut start = 0usize;
         while start < self.len {
             let n = (self.len - start).min(UNPACK_CHUNK);
             // Chunks are word-aligned: start * bits is a multiple of 64.
             let w0 = start * self.bits as usize / 64;
-            (k.unpack)(self.bits, &self.words[w0..], &mut buf[..n]);
-            f(start, &buf[..n]);
+            (k.unpack)(self.bits, &self.words[w0..], &mut buf.0[..n]);
+            f(start, &buf.0[..n]);
             start += n;
         }
     }

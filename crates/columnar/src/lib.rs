@@ -24,6 +24,9 @@
 //! * [`aggregate::IntAggState`] / [`aggregate::StrAggState`] — mergeable
 //!   partial aggregate states every compressed-domain aggregate kernel
 //!   folds into (`SUM` in `i128`, so it never silently wraps);
+//! * [`topk::TopKHeap`] — the bounded `(value, position)` selection heap
+//!   behind the compressed-domain TOP-K / ORDER BY kernels, with the
+//!   deterministic tie-break that makes parallel drivers bit-identical;
 //! * [`frame::Framed`] — the format-v2 length-prefix framing that makes
 //!   every serialized codec payload independently addressable;
 //! * [`temporal`] — from-scratch civil-date ↔ epoch-day conversion.
@@ -44,6 +47,7 @@ pub mod simd;
 pub mod stats;
 pub mod strings;
 pub mod temporal;
+pub mod topk;
 
 pub use aggregate::{IntAggState, StrAggState};
 pub use bitpack::BitPackedVec;
@@ -56,3 +60,4 @@ pub use schema::{Field, Schema};
 pub use selection::SelectionVector;
 pub use stats::ZoneMap;
 pub use strings::{StringDictBuilder, StringPool};
+pub use topk::TopKHeap;

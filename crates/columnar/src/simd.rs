@@ -300,16 +300,16 @@ pub(crate) fn filter_packed_span(
     out: &mut Vec<u32>,
 ) {
     debug_assert!(bits >= 1 && lo <= hi);
-    let mut buf = [0u64; UNPACK_CHUNK];
+    let mut buf = crate::bitpack::ChunkBuf::zeroed();
     let mut bm = [0u64; UNPACK_CHUNK / 64];
     let mut start = 0usize;
     while start < len {
         let n = (len - start).min(UNPACK_CHUNK);
         // Chunks are word-aligned: start * bits is a multiple of 64.
         let w0 = start * bits as usize / 64;
-        (k.unpack)(bits, &words[w0..], &mut buf[..n]);
+        (k.unpack)(bits, &words[w0..], &mut buf.0[..n]);
         let nw = n.div_ceil(64);
-        (k.range_bitmap_u64)(&buf[..n], lo, hi, &mut bm[..nw]);
+        (k.range_bitmap_u64)(&buf.0[..n], lo, hi, &mut bm[..nw]);
         emit_positions(&bm[..nw], n, negate, first_row + start as u32, out);
         start += n;
     }

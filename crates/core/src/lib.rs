@@ -28,6 +28,9 @@
 //!   `COUNT`/`SUM`/`MIN`/`MAX`/`AVG` with optional filter and `GROUP BY`,
 //!   folded per codec without materializing values, merged
 //!   deterministically across blocks (serial or morsel-parallel);
+//! * [`operator`](mod@operator) — compressed-domain operators: TOP-K /
+//!   ORDER BY with zone-map pruning against a shared k-th bound, and
+//!   dictionary-code hash joins with late materialization;
 //! * [`store`](mod@store) — the indexed table storage layer: multi-block
 //!   files whose footer addresses every codec payload, enabling projection
 //!   pushdown, I/O-free block pruning and streaming writes;
@@ -72,6 +75,7 @@ pub mod io;
 pub mod manifest;
 pub mod multiref;
 pub mod nonhier;
+pub mod operator;
 pub mod optimizer;
 pub mod outlier;
 pub mod query;
@@ -110,6 +114,11 @@ pub use io::{
 pub use manifest::{Manifest, SegmentEntry};
 pub use multiref::{Formula, FormulaStats, MultiRefInt};
 pub use nonhier::{plan_window, NonHierInt, WindowPlan};
+pub use operator::{
+    gather_rows, gather_rows_with, hash_join_blocks, hash_join_blocks_parallel, join_materialize,
+    top_k_blocks, top_k_blocks_parallel, top_k_materialize, JoinExpr, JoinPair, JoinStats, RowId,
+    TopKBound, TopKExpr, TopKRow,
+};
 pub use optimizer::{apply_assignment, Assignment, ColumnGraph, EncodedColumn};
 pub use outlier::OutlierRegion;
 pub use query::{query_both, query_column, query_two_columns, QueryOutput};

@@ -1,0 +1,915 @@
+//! Compressed-domain operators: TOP-K / ORDER BY and dictionary-code hash
+//! joins.
+//!
+//! Both operators follow the same shape as [`mod@crate::aggregate`]: a
+//! per-block kernel dispatched through the `IntColumn` visitor (so each
+//! codec family contributes one fast path, not seven ladders), a serial
+//! driver, and a morsel-parallel driver that is bit-identical to the
+//! serial one for any thread count.
+//!
+//! **TOP-K** exploits codec order: sorted int dictionaries select winners
+//! in the code domain, RLE folds whole runs, FOR/plain stream through the
+//! batched decode, and zone maps prune blocks whose best possible value
+//! cannot beat the current k-th bound. The bound is shared across workers
+//! as a [`TopKBound`] — pruning uses a *strict* comparison against the
+//! k-th value's rank, so a pruned block provably contributes nothing even
+//! under tie-breaks, and the result set is deterministic for any morsel
+//! interleaving (which blocks get *pruned* vs. merely lose every
+//! candidate is timing-dependent, so pruning counters may vary between
+//! parallel runs; the rows never do).
+//!
+//! **Hash joins** build and probe on dictionary *codes*: each block's
+//! distinct keys are hashed exactly once into a global key table (int
+//! dictionaries directly; string dictionaries through a per-block
+//! code→global-id remap, since their codes are first-occurrence-ordered —
+//! see [`corra_encodings::CodeOrder`]), after which per-row work is one
+//! packed-code read and one array index. Surviving rows late-materialize
+//! payload columns through the projection-pushdown [`BlockView`] reads,
+//! so only touched blocks and only named columns decode.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use corra_columnar::error::{Error, Result};
+use corra_columnar::selection::SelectionVector;
+use corra_columnar::topk::{rank, TopKHeap};
+use corra_encodings::{IntEncoding, TopKInt};
+use rustc_hash::FxHashMap;
+
+use crate::compressor::{BlockView, ColumnCodec};
+use crate::query::{eval_formula_mask, int_column, query_column, IntColumn, QueryOutput};
+use crate::scan::{column_bounds, scan_pruned, validate_pred, Predicate, ScanStats};
+
+/// A TOP-K (`ORDER BY <column> LIMIT k`) over one integer column, with an
+/// optional pushed-down filter.
+#[derive(Debug, Clone)]
+pub struct TopKExpr {
+    column: String,
+    k: usize,
+    descending: bool,
+    filter: Option<Predicate>,
+}
+
+impl TopKExpr {
+    /// The `k` smallest values of `column` (ascending order).
+    pub fn asc(column: impl Into<String>, k: usize) -> Self {
+        Self {
+            column: column.into(),
+            k,
+            descending: false,
+            filter: None,
+        }
+    }
+
+    /// The `k` largest values of `column` (descending order).
+    pub fn desc(column: impl Into<String>, k: usize) -> Self {
+        Self {
+            column: column.into(),
+            k,
+            descending: true,
+            filter: None,
+        }
+    }
+
+    /// A full ORDER BY: every row, ordered. (`k = usize::MAX`.)
+    pub fn order_by(column: impl Into<String>, descending: bool) -> Self {
+        Self {
+            column: column.into(),
+            k: usize::MAX,
+            descending,
+            filter: None,
+        }
+    }
+
+    /// Restricts the operator to rows matching `pred`.
+    pub fn with_filter(mut self, pred: Predicate) -> Self {
+        self.filter = Some(pred);
+        self
+    }
+
+    /// The ordered column.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// The row bound.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Whether larger values rank first.
+    pub fn descending(&self) -> bool {
+        self.descending
+    }
+
+    /// The pushed-down filter, if any.
+    pub fn filter(&self) -> Option<&Predicate> {
+        self.filter.as_ref()
+    }
+}
+
+/// Addresses one row of a multi-block table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId {
+    /// Block number (global across segments for segmented drivers).
+    pub block: u32,
+    /// Row within the block.
+    pub row: u32,
+}
+
+/// One TOP-K result row: the ordering value plus the row it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopKRow {
+    /// The value of the ordered column at this row.
+    pub value: i64,
+    /// Block number the row lives in.
+    pub block: u32,
+    /// Row within the block.
+    pub row: u32,
+}
+
+impl TopKRow {
+    /// The row's address.
+    pub fn id(&self) -> RowId {
+        RowId {
+            block: self.block,
+            row: self.row,
+        }
+    }
+}
+
+pub(crate) fn rows_from(heap: TopKHeap) -> Vec<TopKRow> {
+    heap.into_sorted()
+        .into_iter()
+        .map(|(value, pos)| TopKRow {
+            value,
+            block: (pos >> 32) as u32,
+            row: pos as u32,
+        })
+        .collect()
+}
+
+/// The shared k-th bound threaded through morsel-parallel TOP-K drivers:
+/// a mutex-protected global heap plus a lock-free snapshot of the current
+/// k-th value's rank for block-level pruning.
+pub struct TopKBound {
+    heap: Mutex<TopKHeap>,
+    /// Rank of the k-th (worst kept) value once the heap is full;
+    /// `u64::MAX` (accept everything) until then.
+    worst: AtomicU64,
+}
+
+impl TopKBound {
+    /// An empty bound for a `k`-row heap. Drivers handle `k == 0`
+    /// themselves (nothing can enter, so every block is skippable).
+    pub fn new(k: usize, descending: bool) -> Self {
+        Self {
+            heap: Mutex::new(TopKHeap::new(k, descending)),
+            worst: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Snapshot of the k-th value's rank, present once the heap is full.
+    pub fn worst_rank(&self) -> Option<u64> {
+        let w = self.worst.load(Ordering::Relaxed);
+        (w != u64::MAX).then_some(w)
+    }
+
+    /// Folds one block's local heap into the global one and refreshes the
+    /// pruning snapshot.
+    pub fn merge(&self, local: TopKHeap) {
+        let mut heap = self.heap.lock().unwrap();
+        for (v, p) in local.into_sorted() {
+            heap.offer(v, p);
+        }
+        if let Some(r) = heap.worst_rank() {
+            self.worst.store(r, Ordering::Relaxed);
+        }
+    }
+
+    /// Consumes the bound, returning the global result best-first.
+    pub fn into_rows(self) -> Vec<TopKRow> {
+        rows_from(self.heap.into_inner().unwrap())
+    }
+}
+
+/// Whether the block's value zone proves no row can enter a heap whose
+/// k-th value has rank `worst`. Strictness matters: a zone *equal* to the
+/// bound may still win on the position tie-break (the heap can hold
+/// entries from later-numbered blocks under morsel interleaving), so only
+/// a strictly worse zone is skippable.
+pub(crate) fn zone_skips_topk(
+    zone: Option<corra_columnar::stats::ZoneMap>,
+    descending: bool,
+    worst: Option<u64>,
+) -> bool {
+    match (zone, worst) {
+        (Some(zone), Some(worst)) => {
+            let best = if descending { zone.max } else { zone.min };
+            rank(best, descending) > worst
+        }
+        _ => false,
+    }
+}
+
+/// Validates that `expr` names an integer column (and a well-formed
+/// filter) on `block` without running any kernel — the `k == 0` path and
+/// prune paths still type-check this way, so a malformed query never
+/// silently succeeds.
+pub(crate) fn validate_topk<B: BlockView + ?Sized>(block: &B, expr: &TopKExpr) -> Result<()> {
+    let idx = block.index_of(&expr.column)?;
+    int_column(block, idx)?;
+    if let Some(pred) = &expr.filter {
+        validate_pred(block, pred)?;
+    }
+    Ok(())
+}
+
+fn offer_selected<B: BlockView + ?Sized>(
+    block: &B,
+    idx: usize,
+    base: u64,
+    sel: &SelectionVector,
+    heap: &mut TopKHeap,
+) -> Result<()> {
+    match int_column(block, idx)? {
+        IntColumn::Vertical(enc) => enc.top_k_selected(base, sel, heap),
+        IntColumn::NonHier { enc, refs } => {
+            let mut out = Vec::new();
+            enc.gather_map(sel, |i| refs.get(i), &mut out);
+            for (&v, &p) in out.iter().zip(sel.positions()) {
+                heap.offer(v, base + p as u64);
+            }
+        }
+        IntColumn::Hier { enc, codes } => {
+            for &p in sel.positions() {
+                let i = p as usize;
+                heap.offer(enc.get_unchecked_len(i, codes.code(i)), base + p as u64);
+            }
+        }
+        IntColumn::MultiRef { enc, members } => {
+            let mut out = Vec::new();
+            enc.gather_masked(
+                sel,
+                |mask, i| eval_formula_mask(&members, mask, i),
+                &mut out,
+            );
+            for (&v, &p) in out.iter().zip(sel.positions()) {
+                heap.offer(v, base + p as u64);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn offer_full<B: BlockView + ?Sized>(
+    block: &B,
+    idx: usize,
+    base: u64,
+    heap: &mut TopKHeap,
+) -> Result<()> {
+    match int_column(block, idx)? {
+        IntColumn::Vertical(enc) => {
+            enc.top_k_into(base, heap);
+            Ok(())
+        }
+        IntColumn::Hier { enc, codes } => {
+            for i in 0..block.rows() {
+                heap.offer(enc.get_unchecked_len(i, codes.code(i)), base + i as u64);
+            }
+            Ok(())
+        }
+        // NonHier / MultiRef reconstruction runs through the same gather
+        // kernels the query path uses, over a full selection.
+        _ => {
+            let sel = SelectionVector::new((0..block.rows() as u32).collect());
+            offer_selected(block, idx, base, &sel, heap)
+        }
+    }
+}
+
+/// Runs the TOP-K kernel over one block, offering candidates into `heap`
+/// with positions based at `block_no << 32`.
+///
+/// Returns `(filter_pruned, rows_matched)`: whether the filter was
+/// answered entirely from zone maps, and how many rows passed it.
+pub(crate) fn top_k_block<B: BlockView + ?Sized>(
+    block: &B,
+    block_no: u32,
+    expr: &TopKExpr,
+    heap: &mut TopKHeap,
+) -> Result<(bool, usize)> {
+    let rows = block.rows();
+    let idx = block.index_of(&expr.column)?;
+    let base = (block_no as u64) << 32;
+    match &expr.filter {
+        Some(pred) => {
+            let (sel, pruned) = scan_pruned(block, pred)?;
+            let matched = sel.len();
+            if matched == 0 {
+                // Still type-check the target column: a string target must
+                // fail identically whether or not the filter matched.
+                int_column(block, idx)?;
+            } else if matched == rows {
+                // Full-block match: normalize to the unfiltered fast paths.
+                offer_full(block, idx, base, heap)?;
+            } else {
+                offer_selected(block, idx, base, &sel, heap)?;
+            }
+            Ok((pruned, matched))
+        }
+        None => {
+            offer_full(block, idx, base, heap)?;
+            Ok((false, rows))
+        }
+    }
+}
+
+/// Serial TOP-K over in-memory blocks (any [`BlockView`] — compressed
+/// blocks or store handles).
+///
+/// Result rows come back best-first with the deterministic tie-break
+/// `(value, block, row)`; [`ScanStats::rows_matched`] counts rows that
+/// passed the filter in non-pruned blocks.
+///
+/// # Errors
+///
+/// Unknown or non-integer target column, or an invalid filter.
+pub fn top_k_blocks<B: BlockView>(
+    blocks: &[B],
+    expr: &TopKExpr,
+) -> Result<(Vec<TopKRow>, ScanStats)> {
+    let mut stats = ScanStats::default();
+    let mut heap = TopKHeap::new(expr.k, expr.descending);
+    for (b, block) in blocks.iter().enumerate() {
+        stats.blocks += 1;
+        stats.rows_total += block.rows();
+        if expr.k == 0 {
+            validate_topk(block, expr)?;
+            continue;
+        }
+        let idx = block.index_of(&expr.column)?;
+        if zone_skips_topk(
+            column_bounds(block, idx),
+            expr.descending,
+            heap.worst_rank(),
+        ) {
+            stats.blocks_pruned += 1;
+            continue;
+        }
+        let (pruned, matched) = top_k_block(block, b as u32, expr, &mut heap)?;
+        if pruned {
+            stats.blocks_pruned += 1;
+        }
+        stats.rows_matched += matched;
+    }
+    Ok((rows_from(heap), stats))
+}
+
+/// Morsel-parallel TOP-K over in-memory blocks: workers pull block
+/// indices off a shared counter, prune against the shared [`TopKBound`],
+/// and merge per-block heaps. Result rows are bit-identical to
+/// [`top_k_blocks`] for any `threads`.
+///
+/// # Errors
+///
+/// Everything [`top_k_blocks`] reports, plus a worker panic surfacing as
+/// [`Error::InvalidData`].
+pub fn top_k_blocks_parallel<B: BlockView + Sync>(
+    blocks: &[B],
+    expr: &TopKExpr,
+    threads: usize,
+) -> Result<(Vec<TopKRow>, ScanStats)> {
+    let n = blocks.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 || expr.k == 0 {
+        return top_k_blocks(blocks, expr);
+    }
+    let bound = TopKBound::new(expr.k, expr.descending);
+    let next = AtomicUsize::new(0);
+    type Slot = Mutex<Option<Result<(usize, bool, usize)>>>;
+    let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panicked = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= n {
+                        break;
+                    }
+                    let block = &blocks[b];
+                    let out = (|| {
+                        let idx = block.index_of(&expr.column)?;
+                        let zone = column_bounds(block, idx);
+                        if zone_skips_topk(zone, expr.descending, bound.worst_rank()) {
+                            return Ok((block.rows(), true, 0));
+                        }
+                        let mut local = TopKHeap::new(expr.k, expr.descending);
+                        let (pruned, matched) = top_k_block(block, b as u32, expr, &mut local)?;
+                        bound.merge(local);
+                        Ok((block.rows(), pruned, matched))
+                    })();
+                    *slots[b].lock().unwrap() = Some(out);
+                })
+            })
+            .collect();
+        workers.into_iter().any(|w| w.join().is_err())
+    });
+    if panicked {
+        return Err(Error::invalid("parallel top-k worker panicked"));
+    }
+    let mut stats = ScanStats::default();
+    for slot in &slots {
+        let (rows, pruned, matched) = slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("every block slot visited")?;
+        stats.blocks += 1;
+        stats.rows_total += rows;
+        if pruned {
+            stats.blocks_pruned += 1;
+        }
+        stats.rows_matched += matched;
+    }
+    Ok((bound.into_rows(), stats))
+}
+
+/// An inner equi-join between a build side and a probe side, keyed on
+/// dictionary-encoded columns.
+#[derive(Debug, Clone)]
+pub struct JoinExpr {
+    build_key: String,
+    probe_key: String,
+}
+
+impl JoinExpr {
+    /// Joins `build_key` (build side) against `probe_key` (probe side).
+    pub fn on(build_key: impl Into<String>, probe_key: impl Into<String>) -> Self {
+        Self {
+            build_key: build_key.into(),
+            probe_key: probe_key.into(),
+        }
+    }
+
+    /// The build side's key column.
+    pub fn build_key(&self) -> &str {
+        &self.build_key
+    }
+
+    /// The probe side's key column.
+    pub fn probe_key(&self) -> &str {
+        &self.probe_key
+    }
+}
+
+/// One matched row pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinPair {
+    /// The build-side row.
+    pub build: RowId,
+    /// The probe-side row.
+    pub probe: RowId,
+}
+
+/// Counters for one join execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Rows on the build side.
+    pub build_rows: usize,
+    /// Rows on the probe side.
+    pub probe_rows: usize,
+    /// Distinct keys in the build table.
+    pub distinct_keys: usize,
+    /// Matched pairs emitted.
+    pub pairs: usize,
+    /// Store-side accounting (bytes, cache, segments) for store-backed
+    /// drivers; all-zero for in-memory joins.
+    pub io: ScanStats,
+}
+
+const MISS: u32 = u32::MAX;
+
+enum KeySpace {
+    Int(FxHashMap<i64, u32>),
+    Str(FxHashMap<String, u32>),
+}
+
+/// The build side of a dict-code hash join: a global key table plus, per
+/// key id, the build rows holding it (in `(block, row)` insertion order).
+pub(crate) struct BuildTable {
+    space: Option<KeySpace>,
+    rows_of: Vec<Vec<RowId>>,
+    build_rows: usize,
+}
+
+impl BuildTable {
+    pub(crate) fn new() -> Self {
+        Self {
+            space: None,
+            rows_of: Vec::new(),
+            build_rows: 0,
+        }
+    }
+
+    pub(crate) fn build_rows(&self) -> usize {
+        self.build_rows
+    }
+
+    pub(crate) fn distinct(&self) -> usize {
+        self.rows_of.len()
+    }
+
+    fn intern_int(&mut self, v: i64) -> u32 {
+        let space = self
+            .space
+            .get_or_insert_with(|| KeySpace::Int(FxHashMap::default()));
+        match space {
+            KeySpace::Int(m) => {
+                let next = self.rows_of.len() as u32;
+                let id = *m.entry(v).or_insert(next);
+                if id == next && self.rows_of.len() == next as usize {
+                    self.rows_of.push(Vec::new());
+                }
+                id
+            }
+            KeySpace::Str(_) => unreachable!("checked before interning"),
+        }
+    }
+
+    fn intern_str(&mut self, s: &str) -> u32 {
+        let space = self
+            .space
+            .get_or_insert_with(|| KeySpace::Str(FxHashMap::default()));
+        match space {
+            KeySpace::Str(m) => {
+                if let Some(&id) = m.get(s) {
+                    id
+                } else {
+                    let id = self.rows_of.len() as u32;
+                    m.insert(s.to_owned(), id);
+                    self.rows_of.push(Vec::new());
+                    id
+                }
+            }
+            KeySpace::Int(_) => unreachable!("checked before interning"),
+        }
+    }
+
+    /// Adds one build block: hashes each *distinct* key once into the
+    /// global table (the per-block code→global-id remap), then streams the
+    /// packed codes so per-row work is an array index.
+    pub(crate) fn add_block<B: BlockView + ?Sized>(
+        &mut self,
+        block: &B,
+        block_no: u32,
+        key: &str,
+    ) -> Result<()> {
+        let idx = block.index_of(key)?;
+        match block.view_codec(idx)? {
+            ColumnCodec::Int(IntEncoding::Dict(d)) => {
+                if matches!(self.space, Some(KeySpace::Str(_))) {
+                    return Err(Error::TypeMismatch {
+                        expected: "int join key",
+                        found: "str join key",
+                    });
+                }
+                let remap: Vec<u32> = d.dict().iter().map(|&v| self.intern_int(v)).collect();
+                let mut codes = Vec::new();
+                d.codes_into(&mut codes);
+                for (i, &c) in codes.iter().enumerate() {
+                    self.rows_of[remap[c as usize] as usize].push(RowId {
+                        block: block_no,
+                        row: i as u32,
+                    });
+                }
+                self.build_rows += codes.len();
+                Ok(())
+            }
+            ColumnCodec::Str(d) => {
+                if matches!(self.space, Some(KeySpace::Int(_))) {
+                    return Err(Error::TypeMismatch {
+                        expected: "str join key",
+                        found: "int join key",
+                    });
+                }
+                // String codes are first-occurrence-ordered
+                // (codes_are_ordered() == false), so nothing here compares
+                // codes across blocks — each distinct string is hashed
+                // once and rows ride on the remap.
+                let remap: Vec<u32> = (0..d.distinct())
+                    .map(|c| self.intern_str(d.pool().get(c)))
+                    .collect();
+                let mut codes = Vec::new();
+                d.codes_into(&mut codes);
+                for (i, &c) in codes.iter().enumerate() {
+                    self.rows_of[remap[c as usize] as usize].push(RowId {
+                        block: block_no,
+                        row: i as u32,
+                    });
+                }
+                self.build_rows += codes.len();
+                Ok(())
+            }
+            other => Err(Error::invalid(format!(
+                "join key '{key}' must be dictionary-encoded (got {})",
+                other.scheme()
+            ))),
+        }
+    }
+
+    /// Probes one block: resolves each *distinct* probe key against the
+    /// build table once (code→global-id remap), then streams the packed
+    /// codes emitting pairs in probe-row order.
+    pub(crate) fn probe_block<B: BlockView + ?Sized>(
+        &self,
+        block: &B,
+        block_no: u32,
+        key: &str,
+        pairs: &mut Vec<JoinPair>,
+    ) -> Result<usize> {
+        let idx = block.index_of(key)?;
+        let (remap, codes) = match block.view_codec(idx)? {
+            ColumnCodec::Int(IntEncoding::Dict(d)) => {
+                let remap: Vec<u32> = match &self.space {
+                    Some(KeySpace::Int(m)) => d
+                        .dict()
+                        .iter()
+                        .map(|v| m.get(v).copied().unwrap_or(MISS))
+                        .collect(),
+                    Some(KeySpace::Str(_)) => {
+                        return Err(Error::TypeMismatch {
+                            expected: "str join key",
+                            found: "int join key",
+                        })
+                    }
+                    // Empty build side: shape-check only, nothing matches.
+                    None => vec![MISS; d.dict().len()],
+                };
+                let mut codes = Vec::new();
+                d.codes_into(&mut codes);
+                (remap, codes)
+            }
+            ColumnCodec::Str(d) => {
+                let remap: Vec<u32> = match &self.space {
+                    Some(KeySpace::Str(m)) => (0..d.distinct())
+                        .map(|c| m.get(d.pool().get(c)).copied().unwrap_or(MISS))
+                        .collect(),
+                    Some(KeySpace::Int(_)) => {
+                        return Err(Error::TypeMismatch {
+                            expected: "int join key",
+                            found: "str join key",
+                        })
+                    }
+                    None => vec![MISS; d.distinct()],
+                };
+                let mut codes = Vec::new();
+                d.codes_into(&mut codes);
+                (remap, codes)
+            }
+            other => {
+                return Err(Error::invalid(format!(
+                    "join key '{key}' must be dictionary-encoded (got {})",
+                    other.scheme()
+                )))
+            }
+        };
+        for (i, &c) in codes.iter().enumerate() {
+            let id = remap[c as usize];
+            if id != MISS {
+                let probe = RowId {
+                    block: block_no,
+                    row: i as u32,
+                };
+                for &build in &self.rows_of[id as usize] {
+                    pairs.push(JoinPair { build, probe });
+                }
+            }
+        }
+        Ok(codes.len())
+    }
+}
+
+/// Serial dict-code hash join: builds over `build`, probes over `probe`.
+///
+/// Pairs come back in probe order — probe blocks ascending, probe rows
+/// ascending within a block, build rows in `(block, row)` order within a
+/// key — which is exactly what a decompress-then-hash-join oracle with
+/// insertion-ordered buckets produces.
+///
+/// # Errors
+///
+/// Unknown key columns, a non-dictionary key codec, or mismatched key
+/// types between the two sides.
+pub fn hash_join_blocks<B1: BlockView, B2: BlockView>(
+    build: &[B1],
+    probe: &[B2],
+    expr: &JoinExpr,
+) -> Result<(Vec<JoinPair>, JoinStats)> {
+    let mut table = BuildTable::new();
+    for (b, block) in build.iter().enumerate() {
+        table.add_block(block, b as u32, &expr.build_key)?;
+    }
+    let mut pairs = Vec::new();
+    let mut stats = JoinStats {
+        build_rows: table.build_rows(),
+        distinct_keys: table.distinct(),
+        ..JoinStats::default()
+    };
+    for (b, block) in probe.iter().enumerate() {
+        stats.probe_rows += table.probe_block(block, b as u32, &expr.probe_key, &mut pairs)?;
+    }
+    stats.pairs = pairs.len();
+    Ok((pairs, stats))
+}
+
+/// Morsel-parallel probe: the build phase stays serial (key-table ids are
+/// assigned in first-occurrence order), probe blocks fan out to workers,
+/// and per-block pair lists concatenate in block order — bit-identical to
+/// [`hash_join_blocks`] for any `threads`.
+///
+/// # Errors
+///
+/// Everything [`hash_join_blocks`] reports, plus a worker panic surfacing
+/// as [`Error::InvalidData`].
+pub fn hash_join_blocks_parallel<B1: BlockView, B2: BlockView + Sync>(
+    build: &[B1],
+    probe: &[B2],
+    expr: &JoinExpr,
+    threads: usize,
+) -> Result<(Vec<JoinPair>, JoinStats)> {
+    let n = probe.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return hash_join_blocks(build, probe, expr);
+    }
+    let mut table = BuildTable::new();
+    for (b, block) in build.iter().enumerate() {
+        table.add_block(block, b as u32, &expr.build_key)?;
+    }
+    let table = &table;
+    let next = AtomicUsize::new(0);
+    type Slot = Mutex<Option<Result<(Vec<JoinPair>, usize)>>>;
+    let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panicked = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= n {
+                        break;
+                    }
+                    let out = (|| {
+                        let mut pairs = Vec::new();
+                        let rows =
+                            table.probe_block(&probe[b], b as u32, &expr.probe_key, &mut pairs)?;
+                        Ok((pairs, rows))
+                    })();
+                    *slots[b].lock().unwrap() = Some(out);
+                })
+            })
+            .collect();
+        workers.into_iter().any(|w| w.join().is_err())
+    });
+    if panicked {
+        return Err(Error::invalid("parallel join worker panicked"));
+    }
+    let mut pairs = Vec::new();
+    let mut stats = JoinStats {
+        build_rows: table.build_rows(),
+        distinct_keys: table.distinct(),
+        ..JoinStats::default()
+    };
+    for slot in &slots {
+        let (mut block_pairs, rows) = slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("every probe slot visited")?;
+        stats.probe_rows += rows;
+        pairs.append(&mut block_pairs);
+    }
+    stats.pairs = pairs.len();
+    Ok((pairs, stats))
+}
+
+/// Late materialization for an arbitrary row-id list: `fetch` is called
+/// once per *touched block* with a sorted deduplicated selection and the
+/// full column list, and the per-block gathers are scattered back into
+/// `ids` order. Store-backed callers hand a closure that opens one lazy
+/// [`BlockView`] handle per block, so only the named columns load.
+///
+/// Returns one [`QueryOutput`] per requested column, each aligned with
+/// `ids`. An empty `ids` yields empty integer outputs (there is no row to
+/// reveal the column type).
+///
+/// # Errors
+///
+/// Whatever `fetch` reports (unknown columns, I/O, corruption).
+pub fn gather_rows_with<F>(
+    ids: &[RowId],
+    columns: &[&str],
+    mut fetch: F,
+) -> Result<Vec<QueryOutput>>
+where
+    F: FnMut(u32, &SelectionVector, &[&str]) -> Result<Vec<QueryOutput>>,
+{
+    let mut by_block: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for id in ids {
+        by_block.entry(id.block).or_default().push(id.row);
+    }
+    for rows in by_block.values_mut() {
+        rows.sort_unstable();
+        rows.dedup();
+    }
+    let mut fetched: BTreeMap<u32, Vec<QueryOutput>> = BTreeMap::new();
+    for (&block, rows) in &by_block {
+        let sel = SelectionVector::new(rows.clone());
+        let outs = fetch(block, &sel, columns)?;
+        debug_assert_eq!(outs.len(), columns.len());
+        fetched.insert(block, outs);
+    }
+    let mut result = Vec::with_capacity(columns.len());
+    for ci in 0..columns.len() {
+        let is_str = fetched
+            .values()
+            .next()
+            .map(|outs| matches!(outs[ci], QueryOutput::Str(_)))
+            .unwrap_or(false);
+        if is_str {
+            let mut out = Vec::with_capacity(ids.len());
+            for id in ids {
+                let j = by_block[&id.block]
+                    .binary_search(&id.row)
+                    .expect("id grouped above");
+                out.push(fetched[&id.block][ci].as_str_rows()?[j].clone());
+            }
+            result.push(QueryOutput::Str(out));
+        } else {
+            let mut out = Vec::with_capacity(ids.len());
+            for id in ids {
+                let j = by_block[&id.block]
+                    .binary_search(&id.row)
+                    .expect("id grouped above");
+                out.push(fetched[&id.block][ci].as_int()?[j]);
+            }
+            result.push(QueryOutput::Int(out));
+        }
+    }
+    Ok(result)
+}
+
+/// [`gather_rows_with`] over in-memory blocks.
+///
+/// # Errors
+///
+/// Unknown columns, or a row id referencing a block outside `blocks`.
+pub fn gather_rows<B: BlockView>(
+    blocks: &[B],
+    ids: &[RowId],
+    columns: &[&str],
+) -> Result<Vec<QueryOutput>> {
+    gather_rows_with(ids, columns, |b, sel, cols| {
+        let block = blocks
+            .get(b as usize)
+            .ok_or_else(|| Error::invalid(format!("row id references unknown block {b}")))?;
+        cols.iter().map(|c| query_column(block, c, sel)).collect()
+    })
+}
+
+/// Materializes payload `columns` for TOP-K winners, aligned with `rows`.
+///
+/// # Errors
+///
+/// See [`gather_rows`].
+pub fn top_k_materialize<B: BlockView>(
+    blocks: &[B],
+    rows: &[TopKRow],
+    columns: &[&str],
+) -> Result<Vec<QueryOutput>> {
+    let ids: Vec<RowId> = rows.iter().map(TopKRow::id).collect();
+    gather_rows(blocks, &ids, columns)
+}
+
+/// Materializes both sides of a join result: `build_columns` gather from
+/// the build blocks, `probe_columns` from the probe blocks, each aligned
+/// with `pairs`.
+///
+/// # Errors
+///
+/// See [`gather_rows`].
+pub fn join_materialize<B1: BlockView, B2: BlockView>(
+    build_blocks: &[B1],
+    probe_blocks: &[B2],
+    pairs: &[JoinPair],
+    build_columns: &[&str],
+    probe_columns: &[&str],
+) -> Result<(Vec<QueryOutput>, Vec<QueryOutput>)> {
+    let build_ids: Vec<RowId> = pairs.iter().map(|p| p.build).collect();
+    let probe_ids: Vec<RowId> = pairs.iter().map(|p| p.probe).collect();
+    Ok((
+        gather_rows(build_blocks, &build_ids, build_columns)?,
+        gather_rows(probe_blocks, &probe_ids, probe_columns)?,
+    ))
+}

@@ -40,6 +40,7 @@ use corra_columnar::error::{Error, Result};
 use corra_columnar::selection::SelectionVector;
 
 use crate::aggregate::{AggExpr, AggResult};
+use crate::operator::{TopKExpr, TopKRow};
 use crate::scan::{Predicate, ScanStats};
 use crate::store::{BlockHandle, SegmentedTable, TableReader};
 
@@ -71,6 +72,14 @@ pub trait ServeSource: Send + Sync {
     ///
     /// Unknown columns; decode or I/O failures.
     fn aggregate(&self, expr: &AggExpr) -> Result<(AggResult, ScanStats)>;
+
+    /// TOP-K / ORDER BY over every block (zone-map pruning against the
+    /// running k-th bound included).
+    ///
+    /// # Errors
+    ///
+    /// Unknown or non-integer target column; decode or I/O failures.
+    fn top_k(&self, expr: &TopKExpr) -> Result<(Vec<TopKRow>, ScanStats)>;
 }
 
 impl ServeSource for TableReader {
@@ -85,6 +94,10 @@ impl ServeSource for TableReader {
     fn aggregate(&self, expr: &AggExpr) -> Result<(AggResult, ScanStats)> {
         TableReader::aggregate(self, expr)
     }
+
+    fn top_k(&self, expr: &TopKExpr) -> Result<(Vec<TopKRow>, ScanStats)> {
+        TableReader::top_k(self, expr)
+    }
 }
 
 impl ServeSource for SegmentedTable {
@@ -98,6 +111,10 @@ impl ServeSource for SegmentedTable {
 
     fn aggregate(&self, expr: &AggExpr) -> Result<(AggResult, ScanStats)> {
         SegmentedTable::aggregate(self, expr)
+    }
+
+    fn top_k(&self, expr: &TopKExpr) -> Result<(Vec<TopKRow>, ScanStats)> {
+        SegmentedTable::top_k(self, expr)
     }
 }
 
@@ -115,6 +132,9 @@ pub enum ServeRequest {
     Scan(Predicate),
     /// Aggregate over every block (footer zone short-circuits included).
     Aggregate(AggExpr),
+    /// TOP-K / ORDER BY over every block (footer zone pruning against the
+    /// running k-th bound included).
+    TopK(TopKExpr),
 }
 
 impl ServeRequest {
@@ -137,6 +157,8 @@ pub enum ServeResult {
     Scan(Vec<SelectionVector>),
     /// Aggregate result.
     Aggregate(AggResult),
+    /// TOP-K winners, best-first.
+    TopK(Vec<TopKRow>),
 }
 
 /// Everything a [`ServeSession::run`] batch produced.
@@ -232,6 +254,10 @@ impl<S: ServeSource> ServeSession<S> {
             ServeRequest::Aggregate(expr) => {
                 let (agg, stats) = self.reader.aggregate(expr)?;
                 Ok((ServeResult::Aggregate(agg), stats))
+            }
+            ServeRequest::TopK(expr) => {
+                let (rows, stats) = self.reader.top_k(expr)?;
+                Ok((ServeResult::TopK(rows), stats))
             }
         }
     }

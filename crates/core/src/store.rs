@@ -60,11 +60,16 @@ use crate::cache::{next_table_id, CacheKey, CacheValue, ShardedCache};
 use crate::compressor::{decompress_column, BlockView, ColumnCodec, CompressedBlock};
 use crate::format::{read_codec_payload, CodecHeader, PayloadSpan};
 use crate::io::{checksum64, read_full_at, FileBackend, IoBackend, MemBackend};
+use crate::operator::{
+    top_k_block, zone_skips_topk, JoinExpr, JoinPair, JoinStats, RowId, TopKBound, TopKExpr,
+    TopKRow,
+};
 use crate::query::QueryOutput;
 use crate::scan::{
     column_bounds, scan_materialize, scan_pruned, tree_verdict, Predicate, Projection, ScanStats,
 };
 use corra_columnar::aggregate::{IntAggState, StrAggState};
+use corra_columnar::topk::TopKHeap;
 
 /// File magic framing a Corra table (leading and trailing).
 pub const TABLE_MAGIC: [u8; 8] = *b"CORRATBL";
@@ -582,7 +587,7 @@ pub struct TableReader {
 /// What one footer-addressed payload load cost: bytes fetched from the
 /// backend, and whether an attached cache answered it.
 #[derive(Debug, Clone, Copy, Default)]
-struct LoadCost {
+pub(crate) struct LoadCost {
     bytes: u64,
     cache_hits: u64,
     cache_misses: u64,
@@ -1257,6 +1262,310 @@ impl TableReader {
             reference.expect("Both projection returns a reference"),
         ))
     }
+
+    /// Mirrors the in-memory TOP-K validation with footer metadata alone
+    /// (names + string-ness), so pruned blocks report the same errors as
+    /// evaluated ones.
+    fn validate_topk_footer(&self, meta: &BlockMeta, expr: &TopKExpr) -> Result<()> {
+        let idx = self.col_index(expr.column())?;
+        if meta.columns[idx].header.is_string() {
+            return Err(Error::TypeMismatch {
+                expected: "integer column for TOP-K",
+                found: "string column",
+            });
+        }
+        if let Some(pred) = expr.filter() {
+            self.validate_pred_footer(meta, pred)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates TOP-K against one block, consulting footer zone maps
+    /// before touching any bytes: a block whose value zone cannot beat
+    /// `worst` (the current k-th bound) or whose filter verdict is
+    /// provably empty contributes nothing and reads **zero payload
+    /// bytes**. Candidates are offered into `heap` with positions based at
+    /// `global_no << 32`. Returns `(pruned, skipped_io, cost, matched)`.
+    pub(crate) fn top_k_block_inner(
+        &self,
+        block: usize,
+        global_no: u32,
+        expr: &TopKExpr,
+        worst: Option<u64>,
+        heap: &mut TopKHeap,
+    ) -> Result<(bool, bool, LoadCost, usize)> {
+        let meta = self.block_meta(block)?;
+        self.validate_topk_footer(meta, expr)?;
+        if meta.rows == 0 || expr.k() == 0 {
+            return Ok((true, true, LoadCost::default(), 0));
+        }
+        let idx = self.col_index(expr.column())?;
+        if zone_skips_topk(meta.columns[idx].zone, expr.descending(), worst) {
+            return Ok((true, true, LoadCost::default(), 0));
+        }
+        if let Some(pred) = expr.filter() {
+            let zone_of =
+                |name: &str| -> Option<ZoneMap> { meta.columns[self.col_index(name).ok()?].zone };
+            if matches!(tree_verdict(pred, &zone_of), RangeVerdict::None) {
+                return Ok((true, true, LoadCost::default(), 0));
+            }
+        }
+        let handle = self.block_handle(block)?;
+        let (pruned, matched) = top_k_block(&handle, global_no, expr, heap)?;
+        Ok((pruned, false, handle.load_cost(), matched))
+    }
+
+    /// TOP-K across every block, never touching the bytes of blocks the
+    /// footer zone maps prove cannot beat the running k-th bound
+    /// ([`ScanStats::blocks_skipped_io`] / [`ScanStats::bytes_read`]).
+    /// Result rows are identical to [`crate::operator::top_k_blocks`] over
+    /// the same blocks in memory.
+    ///
+    /// # Errors
+    ///
+    /// Unknown or non-integer target column, invalid filter, I/O errors,
+    /// or corruption.
+    pub fn top_k(&self, expr: &TopKExpr) -> Result<(Vec<TopKRow>, ScanStats)> {
+        let mut heap = TopKHeap::new(expr.k(), expr.descending());
+        let mut stats = ScanStats {
+            segments_opened: 1,
+            ..ScanStats::default()
+        };
+        for i in 0..self.n_blocks() {
+            let worst = heap.worst_rank();
+            let (pruned, skipped, cost, matched) =
+                self.top_k_block_inner(i, i as u32, expr, worst, &mut heap)?;
+            self.merge_topk_stats(&mut stats, i, pruned, skipped, cost, matched);
+        }
+        Ok((crate::operator::rows_from(heap), stats))
+    }
+
+    /// Morsel-parallel [`top_k`](Self::top_k): workers pull block indices
+    /// off an atomic counter and prune against a shared [`TopKBound`].
+    /// Result rows are bit-identical to the serial path for any thread
+    /// count; pruning counters may differ (which blocks get pruned depends
+    /// on how fast the bound tightens).
+    ///
+    /// # Errors
+    ///
+    /// As [`top_k`](Self::top_k); worker panics surface as errors.
+    pub fn top_k_parallel(
+        &self,
+        expr: &TopKExpr,
+        threads: usize,
+    ) -> Result<(Vec<TopKRow>, ScanStats)> {
+        let n = self.n_blocks();
+        let threads = threads.max(1).min(n.max(1));
+        if threads <= 1 || n <= 1 || expr.k() == 0 {
+            return self.top_k(expr);
+        }
+        let bound = TopKBound::new(expr.k(), expr.descending());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        type Slot = Mutex<Option<Result<(bool, bool, LoadCost, usize)>>>;
+        let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
+        let panicked = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let out = (|| {
+                            let mut local = TopKHeap::new(expr.k(), expr.descending());
+                            let res = self.top_k_block_inner(
+                                i,
+                                i as u32,
+                                expr,
+                                bound.worst_rank(),
+                                &mut local,
+                            )?;
+                            bound.merge(local);
+                            Ok(res)
+                        })();
+                        *slots[i].lock().expect("top-k slot poisoned") = Some(out);
+                    })
+                })
+                .collect();
+            workers.into_iter().any(|w| w.join().is_err())
+        });
+        if panicked {
+            return Err(Error::invalid("parallel store top-k worker panicked"));
+        }
+        let mut stats = ScanStats {
+            segments_opened: 1,
+            ..ScanStats::default()
+        };
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (pruned, skipped, cost, matched) = slot
+                .into_inner()
+                .expect("top-k slot poisoned")
+                .expect("every block visited")?;
+            self.merge_topk_stats(&mut stats, i, pruned, skipped, cost, matched);
+        }
+        Ok((bound.into_rows(), stats))
+    }
+
+    fn merge_topk_stats(
+        &self,
+        stats: &mut ScanStats,
+        block: usize,
+        pruned: bool,
+        skipped: bool,
+        cost: LoadCost,
+        matched: usize,
+    ) {
+        stats.blocks += 1;
+        stats.blocks_pruned += usize::from(pruned);
+        stats.blocks_skipped_io += usize::from(skipped);
+        stats.rows_total += self.footer.blocks[block].rows as usize;
+        stats.rows_matched += matched;
+        stats.bytes_read += cost.bytes;
+        stats.cache_hits += cost.cache_hits;
+        stats.cache_misses += cost.cache_misses;
+    }
+
+    /// Materializes `columns` for an arbitrary row-id list (TOP-K winners,
+    /// join sides) through lazy per-block handles: each touched block
+    /// opens one handle and loads only the named columns (plus reference
+    /// chains). Outputs align with `ids`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown columns, out-of-range row ids, I/O errors, or corruption.
+    pub fn gather_rows(&self, ids: &[RowId], columns: &[&str]) -> Result<Vec<QueryOutput>> {
+        crate::operator::gather_rows_with(ids, columns, |block, sel, cols| {
+            let handle = self.block_handle(block as usize)?;
+            cols.iter()
+                .map(|c| crate::query::query_column(&handle, c, sel))
+                .collect()
+        })
+    }
+
+    /// Dict-code hash join: builds over this table's `build_key` column,
+    /// probes `probe`'s `probe_key` column, loading only the two key
+    /// columns (one lazy handle per block). Pairs are identical to
+    /// [`crate::operator::hash_join_blocks`] over the same blocks in
+    /// memory; [`JoinStats::io`] accounts bytes/cache traffic across both
+    /// sides.
+    ///
+    /// # Errors
+    ///
+    /// Unknown key columns, non-dictionary key codecs, mismatched key
+    /// types, I/O errors, or corruption.
+    pub fn hash_join(
+        &self,
+        probe: &TableReader,
+        expr: &JoinExpr,
+    ) -> Result<(Vec<JoinPair>, JoinStats)> {
+        let (table, mut stats) = self.join_build(expr)?;
+        let mut pairs = Vec::new();
+        for b in 0..probe.n_blocks() {
+            let handle = probe.block_handle(b)?;
+            stats.probe_rows +=
+                table.probe_block(&handle, b as u32, expr.probe_key(), &mut pairs)?;
+            absorb_join_cost(&mut stats.io, handle.rows(), handle.load_cost());
+        }
+        stats.pairs = pairs.len();
+        Ok((pairs, stats))
+    }
+
+    /// Morsel-parallel [`hash_join`](Self::hash_join): the build phase
+    /// stays serial, probe blocks fan out to workers (each opening its own
+    /// lazy handle), and per-block pair lists concatenate in block order —
+    /// bit-identical to the serial join for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`hash_join`](Self::hash_join); worker panics surface as errors.
+    pub fn hash_join_parallel(
+        &self,
+        probe: &TableReader,
+        expr: &JoinExpr,
+        threads: usize,
+    ) -> Result<(Vec<JoinPair>, JoinStats)> {
+        let n = probe.n_blocks();
+        let threads = threads.max(1).min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.hash_join(probe, expr);
+        }
+        let (table, mut stats) = self.join_build(expr)?;
+        let table = &table;
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        type Slot = Mutex<Option<Result<(Vec<JoinPair>, usize, usize, LoadCost)>>>;
+        let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
+        let panicked = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let out = (|| {
+                            let handle = probe.block_handle(i)?;
+                            let mut pairs = Vec::new();
+                            let rows = table.probe_block(
+                                &handle,
+                                i as u32,
+                                expr.probe_key(),
+                                &mut pairs,
+                            )?;
+                            Ok((pairs, rows, handle.rows(), handle.load_cost()))
+                        })();
+                        *slots[i].lock().expect("join slot poisoned") = Some(out);
+                    })
+                })
+                .collect();
+            workers.into_iter().any(|w| w.join().is_err())
+        });
+        if panicked {
+            return Err(Error::invalid("parallel store join worker panicked"));
+        }
+        let mut pairs = Vec::new();
+        for slot in slots {
+            let (mut block_pairs, rows, block_rows, cost) = slot
+                .into_inner()
+                .expect("join slot poisoned")
+                .expect("every probe block visited")?;
+            stats.probe_rows += rows;
+            absorb_join_cost(&mut stats.io, block_rows, cost);
+            pairs.append(&mut block_pairs);
+        }
+        stats.pairs = pairs.len();
+        Ok((pairs, stats))
+    }
+
+    /// Builds the join key table over this reader's blocks; `stats.io`
+    /// starts with the build side's traffic and `segments_opened = 2`
+    /// (build + probe tables).
+    fn join_build(&self, expr: &JoinExpr) -> Result<(crate::operator::BuildTable, JoinStats)> {
+        let mut table = crate::operator::BuildTable::new();
+        let mut stats = JoinStats {
+            io: ScanStats {
+                segments_opened: 2,
+                ..ScanStats::default()
+            },
+            ..JoinStats::default()
+        };
+        for b in 0..self.n_blocks() {
+            let handle = self.block_handle(b)?;
+            table.add_block(&handle, b as u32, expr.build_key())?;
+            absorb_join_cost(&mut stats.io, handle.rows(), handle.load_cost());
+        }
+        stats.build_rows = table.build_rows();
+        stats.distinct_keys = table.distinct();
+        Ok((table, stats))
+    }
+}
+
+/// Folds one lazy handle's traffic into a join's I/O accounting.
+fn absorb_join_cost(io: &mut ScanStats, rows: usize, cost: LoadCost) {
+    io.blocks += 1;
+    io.rows_total += rows;
+    io.bytes_read += cost.bytes;
+    io.cache_hits += cost.cache_hits;
+    io.cache_misses += cost.cache_misses;
 }
 
 /// A lazy view over one block of a [`TableReader`]: every column's codec is
@@ -1571,6 +1880,235 @@ impl SegmentedTable {
             }
         }
         Ok((merger.finish(expr), stats))
+    }
+
+    /// The `(segment index, local block, global block)` triples, in table
+    /// order — the morsel list for cross-segment parallel drivers.
+    fn block_triples(&self) -> Vec<(usize, usize, u32)> {
+        let mut triples = Vec::with_capacity(self.n_blocks());
+        let mut global = 0u32;
+        for (seg, reader) in self.readers.iter().enumerate() {
+            for local in 0..reader.n_blocks() {
+                triples.push((seg, local, global));
+                global += 1;
+            }
+        }
+        triples
+    }
+
+    /// TOP-K across every segment's blocks, sharing one running k-th
+    /// bound — block numbering (and so the `(value, block, row)`
+    /// tie-break) runs through the segments in manifest order, identical
+    /// to a single file holding the same blocks.
+    ///
+    /// # Errors
+    ///
+    /// As [`TableReader::top_k`].
+    pub fn top_k(&self, expr: &TopKExpr) -> Result<(Vec<TopKRow>, ScanStats)> {
+        let mut heap = TopKHeap::new(expr.k(), expr.descending());
+        let mut stats = ScanStats {
+            segments_opened: self.readers.len(),
+            ..ScanStats::default()
+        };
+        for (seg, local, global) in self.block_triples() {
+            let reader = &self.readers[seg];
+            let worst = heap.worst_rank();
+            let (pruned, skipped, cost, matched) =
+                reader.top_k_block_inner(local, global, expr, worst, &mut heap)?;
+            reader.merge_topk_stats(&mut stats, local, pruned, skipped, cost, matched);
+        }
+        Ok((crate::operator::rows_from(heap), stats))
+    }
+
+    /// Morsel-parallel [`top_k`](Self::top_k) across all segments' blocks
+    /// (one shared [`TopKBound`]); result rows bit-identical to the serial
+    /// path for any thread count, pruning counters timing-dependent.
+    ///
+    /// # Errors
+    ///
+    /// As [`top_k`](Self::top_k); worker panics surface as errors.
+    pub fn top_k_parallel(
+        &self,
+        expr: &TopKExpr,
+        threads: usize,
+    ) -> Result<(Vec<TopKRow>, ScanStats)> {
+        let triples = self.block_triples();
+        let n = triples.len();
+        let threads = threads.max(1).min(n.max(1));
+        if threads <= 1 || n <= 1 || expr.k() == 0 {
+            return self.top_k(expr);
+        }
+        let bound = TopKBound::new(expr.k(), expr.descending());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        type Slot = Mutex<Option<Result<(bool, bool, LoadCost, usize)>>>;
+        let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
+        let panicked = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let (seg, local, global) = triples[i];
+                        let out = (|| {
+                            let mut heap = TopKHeap::new(expr.k(), expr.descending());
+                            let res = self.readers[seg].top_k_block_inner(
+                                local,
+                                global,
+                                expr,
+                                bound.worst_rank(),
+                                &mut heap,
+                            )?;
+                            bound.merge(heap);
+                            Ok(res)
+                        })();
+                        *slots[i].lock().expect("top-k slot poisoned") = Some(out);
+                    })
+                })
+                .collect();
+            workers.into_iter().any(|w| w.join().is_err())
+        });
+        if panicked {
+            return Err(Error::invalid("parallel segmented top-k worker panicked"));
+        }
+        let mut stats = ScanStats {
+            segments_opened: self.readers.len(),
+            ..ScanStats::default()
+        };
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (pruned, skipped, cost, matched) = slot
+                .into_inner()
+                .expect("top-k slot poisoned")
+                .expect("every block visited")?;
+            let (seg, local, _) = triples[i];
+            self.readers[seg].merge_topk_stats(&mut stats, local, pruned, skipped, cost, matched);
+        }
+        Ok((bound.into_rows(), stats))
+    }
+
+    /// Materializes `columns` for row ids addressed by *global* block
+    /// index, one lazy handle per touched block.
+    ///
+    /// # Errors
+    ///
+    /// As [`TableReader::gather_rows`].
+    pub fn gather_rows(&self, ids: &[RowId], columns: &[&str]) -> Result<Vec<QueryOutput>> {
+        crate::operator::gather_rows_with(ids, columns, |block, sel, cols| {
+            let handle = self.block_handle(block as usize)?;
+            cols.iter()
+                .map(|c| crate::query::query_column(&handle, c, sel))
+                .collect()
+        })
+    }
+
+    /// Dict-code hash join building over this table, probing `probe` —
+    /// block numbering on each side is global (manifest order), so pairs
+    /// are identical to single-file tables holding the same blocks.
+    ///
+    /// # Errors
+    ///
+    /// As [`TableReader::hash_join`].
+    pub fn hash_join(
+        &self,
+        probe: &SegmentedTable,
+        expr: &JoinExpr,
+    ) -> Result<(Vec<JoinPair>, JoinStats)> {
+        let (table, mut stats) = self.segmented_join_build(probe, expr)?;
+        let mut pairs = Vec::new();
+        for (seg, local, global) in probe.block_triples() {
+            let handle = probe.readers[seg].block_handle(local)?;
+            stats.probe_rows += table.probe_block(&handle, global, expr.probe_key(), &mut pairs)?;
+            absorb_join_cost(&mut stats.io, handle.rows(), handle.load_cost());
+        }
+        stats.pairs = pairs.len();
+        Ok((pairs, stats))
+    }
+
+    /// Morsel-parallel [`hash_join`](Self::hash_join): serial build,
+    /// probe blocks fan out across segments, pairs concatenate in global
+    /// block order — bit-identical to the serial join.
+    ///
+    /// # Errors
+    ///
+    /// As [`hash_join`](Self::hash_join); worker panics surface as errors.
+    pub fn hash_join_parallel(
+        &self,
+        probe: &SegmentedTable,
+        expr: &JoinExpr,
+        threads: usize,
+    ) -> Result<(Vec<JoinPair>, JoinStats)> {
+        let triples = probe.block_triples();
+        let n = triples.len();
+        let threads = threads.max(1).min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.hash_join(probe, expr);
+        }
+        let (table, mut stats) = self.segmented_join_build(probe, expr)?;
+        let table = &table;
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        type Slot = Mutex<Option<Result<(Vec<JoinPair>, usize, usize, LoadCost)>>>;
+        let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
+        let panicked = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let (seg, local, global) = triples[i];
+                        let out = (|| {
+                            let handle = probe.readers[seg].block_handle(local)?;
+                            let mut pairs = Vec::new();
+                            let rows =
+                                table.probe_block(&handle, global, expr.probe_key(), &mut pairs)?;
+                            Ok((pairs, rows, handle.rows(), handle.load_cost()))
+                        })();
+                        *slots[i].lock().expect("join slot poisoned") = Some(out);
+                    })
+                })
+                .collect();
+            workers.into_iter().any(|w| w.join().is_err())
+        });
+        if panicked {
+            return Err(Error::invalid("parallel segmented join worker panicked"));
+        }
+        let mut pairs = Vec::new();
+        for slot in slots {
+            let (mut block_pairs, rows, block_rows, cost) = slot
+                .into_inner()
+                .expect("join slot poisoned")
+                .expect("every probe block visited")?;
+            stats.probe_rows += rows;
+            absorb_join_cost(&mut stats.io, block_rows, cost);
+            pairs.append(&mut block_pairs);
+        }
+        stats.pairs = pairs.len();
+        Ok((pairs, stats))
+    }
+
+    fn segmented_join_build(
+        &self,
+        probe: &SegmentedTable,
+        expr: &JoinExpr,
+    ) -> Result<(crate::operator::BuildTable, JoinStats)> {
+        let mut table = crate::operator::BuildTable::new();
+        let mut stats = JoinStats {
+            io: ScanStats {
+                segments_opened: self.readers.len() + probe.readers.len(),
+                ..ScanStats::default()
+            },
+            ..JoinStats::default()
+        };
+        for (seg, local, global) in self.block_triples() {
+            let handle = self.readers[seg].block_handle(local)?;
+            table.add_block(&handle, global, expr.build_key())?;
+            absorb_join_cost(&mut stats.io, handle.rows(), handle.load_cost());
+        }
+        stats.build_rows = table.build_rows();
+        stats.distinct_keys = table.distinct();
+        Ok((table, stats))
     }
 }
 
@@ -1893,11 +2431,24 @@ mod tests {
         assert!(reader.read_block(0).is_err());
     }
 
+    /// A per-test unique scratch directory (process id + counter), so
+    /// concurrent test processes — or concurrent tests in one process —
+    /// never collide on a fixed path. Callers remove it when done.
+    fn unique_temp_dir(tag: &str) -> std::path::PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "corra_{tag}_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn file_backed_reader_matches_memory_reader() {
         let (raws, blocks, bytes) = three_block_table();
-        let dir = std::env::temp_dir().join("corra_store_unit");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_temp_dir("store_unit");
         let path = dir.join("t.corra");
         let written = write_table(&path, &blocks).unwrap();
         assert_eq!(written, bytes.len() as u64);
@@ -1918,6 +2469,6 @@ mod tests {
             .scan_blocks(&Predicate::between("l_shipdate", 108_000, 111_000))
             .unwrap();
         assert_eq!(sels, mem_sels);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

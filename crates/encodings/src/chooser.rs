@@ -45,6 +45,18 @@ pub enum IntEncoding {
 }
 
 impl IntEncoding {
+    /// The code-domain order guarantee of this encoding: `Some(true)` when
+    /// comparing per-row codes is equivalent to comparing decoded values,
+    /// `Some(false)` when codes carry no order, and `None` for encodings
+    /// without a code domain (see [`crate::traits::CodeOrder`]).
+    pub fn codes_are_ordered(&self) -> Option<bool> {
+        use crate::traits::CodeOrder;
+        match self {
+            IntEncoding::Dict(d) => Some(d.codes_are_ordered()),
+            _ => None,
+        }
+    }
+
     /// A short scheme name for experiment output.
     pub fn scheme(&self) -> &'static str {
         match self {

@@ -19,7 +19,7 @@ use corra_columnar::aggregate::{IntAggState, StrAggState};
 
 use crate::aggregate::{AggInt, AggStr};
 use crate::filter::{FilterInt, FilterStr};
-use crate::traits::{IntAccess, StrAccess, Validate};
+use crate::traits::{CodeOrder, IntAccess, StrAccess, Validate};
 
 /// Dictionary-encoded integer column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -265,6 +265,16 @@ impl AggInt for DictInt {
     }
 }
 
+impl CodeOrder for DictInt {
+    /// The dictionary is strictly sorted (enforced by [`Validate`]), so
+    /// code order *is* value order — the property `filter_into`'s code
+    /// intervals, `value_bounds`, and the TOP-K code-domain fast path rely
+    /// on.
+    fn codes_are_ordered(&self) -> bool {
+        true
+    }
+}
+
 impl Validate for DictInt {
     fn validate(&self) -> Result<()> {
         if self.dict.windows(2).any(|w| w[0] >= w[1]) {
@@ -494,6 +504,16 @@ impl AggStr for DictStr {
     }
 }
 
+impl CodeOrder for DictStr {
+    /// The pool is in *first-occurrence* order, so code comparison says
+    /// nothing about string order. Range-style reasoning (zones, ORDER BY,
+    /// code-interval filters) must not run in this code domain; only
+    /// equality (code identity) is meaningful.
+    fn codes_are_ordered(&self) -> bool {
+        false
+    }
+}
+
 impl Validate for DictStr {
     fn validate(&self) -> Result<()> {
         for i in 0..self.codes.len() {
@@ -633,6 +653,19 @@ mod tests {
         let zone = enc.value_bounds().unwrap();
         assert_eq!((zone.min, zone.max), (100, 900));
         assert!(DictInt::encode(&[]).value_bounds().is_none());
+    }
+
+    #[test]
+    fn code_order_capability() {
+        // Int dictionaries are sorted: code order is value order.
+        assert!(DictInt::encode(&[30, 10, 20]).codes_are_ordered());
+        // String pools are first-occurrence-ordered: code order disagrees
+        // with value order, and every consumer must gate on the capability
+        // instead of assuming sortedness.
+        let enc = DictStr::encode(["zebra", "apple"]);
+        assert!(!enc.codes_are_ordered());
+        assert!(enc.code_at(0) < enc.code_at(1));
+        assert!(enc.get(0) > enc.get(1));
     }
 
     #[test]

@@ -20,9 +20,13 @@
 //!
 //! Every integer scheme additionally implements [`filter::FilterInt`], the
 //! compressed-domain predicate kernel behind `corra-core::scan`'s pushdown,
-//! and [`aggregate::AggInt`], the compressed-domain fold kernel behind
+//! [`aggregate::AggInt`], the compressed-domain fold kernel behind
 //! `corra-core::aggregate` (COUNT/SUM/MIN/MAX/AVG without materializing
-//! values).
+//! values), and [`topk::TopKInt`], the bounded-selection kernel behind
+//! `corra-core::operator`'s TOP-K / ORDER BY (run-folding for RLE,
+//! code-domain selection for sorted dictionaries). Dictionary codecs
+//! declare their code-order guarantee via [`traits::CodeOrder`] — int
+//! dictionaries are sorted, string pools are first-occurrence-ordered.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,6 +40,7 @@ pub mod filter;
 pub mod frequency;
 pub mod plain;
 pub mod rle;
+pub mod topk;
 pub mod traits;
 
 // Format-v2 framing: every serializable encoding gains the length-prefix
@@ -60,4 +65,5 @@ pub use filter::{FilterInt, FilterStr};
 pub use frequency::FrequencyInt;
 pub use plain::{PlainInt, PlainStr};
 pub use rle::RleInt;
-pub use traits::{IntAccess, StrAccess, Validate};
+pub use topk::TopKInt;
+pub use traits::{CodeOrder, IntAccess, StrAccess, Validate};

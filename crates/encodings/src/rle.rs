@@ -57,6 +57,16 @@ impl RleInt {
         self.run_values.len()
     }
 
+    /// The per-run values (one entry per run, adjacent runs differ).
+    pub fn run_values(&self) -> &[i64] {
+        &self.run_values
+    }
+
+    /// The exclusive end position of each run (strictly increasing).
+    pub fn run_ends(&self) -> &[u32] {
+        &self.run_ends
+    }
+
     /// Serialized length of [`write_to`](Self::write_to).
     pub fn serialized_len(&self) -> usize {
         8 + self.run_values.len() * 8 + self.run_ends.len() * 4

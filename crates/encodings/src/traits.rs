@@ -78,3 +78,18 @@ pub trait Validate {
     /// Checks internal invariants, returning a corruption error if violated.
     fn validate(&self) -> Result<()>;
 }
+
+/// Order guarantee of a dictionary-style codec's code domain.
+///
+/// Integer dictionaries keep a *sorted* dictionary, so comparing two rows'
+/// codes orders them exactly like comparing their decoded values — range
+/// predicates, min/max zones, and TOP-K may run entirely in the code
+/// domain. String dictionaries store their pool in *first-occurrence*
+/// order, so code comparison is meaningless: every consumer of code order
+/// must gate on this capability (and either fall back to a value-domain
+/// path or reject the operation) instead of silently assuming sortedness.
+pub trait CodeOrder {
+    /// `true` iff comparing per-row codes is equivalent to comparing the
+    /// values they decode to (i.e. the dictionary is sorted).
+    fn codes_are_ordered(&self) -> bool;
+}

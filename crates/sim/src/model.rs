@@ -15,10 +15,13 @@ use corra_columnar::block::DataBlock;
 use corra_columnar::column::Column;
 use corra_columnar::selection::SelectionVector;
 use corra_columnar::strings::StringPool;
-use corra_core::{AggExpr, AggFunc, AggResult, AggValue, CmpOp, GroupKey, Predicate};
+use corra_core::{
+    AggExpr, AggFunc, AggResult, AggValue, CmpOp, GroupKey, JoinExpr, JoinPair, Predicate, RowId,
+    TopKExpr, TopKRow,
+};
 
 /// One model cell. All engine values are either `i64` or UTF-8.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Cell {
     /// Integer (also dates / timestamps / money).
     Int(i64),
@@ -318,6 +321,92 @@ impl ModelTable {
                 }
             }
         }
+    }
+
+    /// Naive TOP-K: filter row by row, stable-sort by value with the
+    /// engine's documented `(value, block, row)` tie-break, take `k`.
+    pub fn top_k(&self, expr: &TopKExpr) -> Vec<TopKRow> {
+        let c = self.col(expr.column());
+        let mut out = Vec::new();
+        for (b, &(start, len)) in self.block_spans.iter().enumerate() {
+            for r in 0..len {
+                let row = &self.rows[start + r];
+                if expr.filter().is_some_and(|p| !self.matches(row, p)) {
+                    continue;
+                }
+                let Cell::Int(v) = row[c] else {
+                    panic!("top-k over string column {}", expr.column())
+                };
+                out.push(TopKRow {
+                    value: v,
+                    block: b as u32,
+                    row: r as u32,
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            let ord = if expr.descending() {
+                b.value.cmp(&a.value)
+            } else {
+                a.value.cmp(&b.value)
+            };
+            ord.then(a.block.cmp(&b.block)).then(a.row.cmp(&b.row))
+        });
+        out.truncate(expr.k().min(out.len()));
+        out
+    }
+
+    /// Naive hash-free equi-join with `self` as the build side: probe rows
+    /// in global order, each matched against every equal build key in
+    /// build insertion order — the engine's documented pair order.
+    pub fn join(&self, expr: &JoinExpr, probe: &ModelTable) -> Vec<JoinPair> {
+        let bc = self.col(expr.build_key());
+        let pc = probe.col(expr.probe_key());
+        let mut by_key: BTreeMap<&Cell, Vec<RowId>> = BTreeMap::new();
+        for (b, &(start, len)) in self.block_spans.iter().enumerate() {
+            for r in 0..len {
+                by_key
+                    .entry(&self.rows[start + r][bc])
+                    .or_default()
+                    .push(RowId {
+                        block: b as u32,
+                        row: r as u32,
+                    });
+            }
+        }
+        let mut pairs = Vec::new();
+        for (b, &(start, len)) in probe.block_spans.iter().enumerate() {
+            for r in 0..len {
+                if let Some(builds) = by_key.get(&probe.rows[start + r][pc]) {
+                    for &build in builds {
+                        pairs.push(JoinPair {
+                            build,
+                            probe: RowId {
+                                block: b as u32,
+                                row: r as u32,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Pair count of [`join`](Self::join) without materializing the pairs
+    /// — used to cap scheduled join ops to a sane result size.
+    pub fn join_count(&self, expr: &JoinExpr, probe: &ModelTable) -> usize {
+        let bc = self.col(expr.build_key());
+        let pc = probe.col(expr.probe_key());
+        let mut counts: BTreeMap<&Cell, usize> = BTreeMap::new();
+        for row in &self.rows {
+            *counts.entry(&row[bc]).or_default() += 1;
+        }
+        probe
+            .rows
+            .iter()
+            .map(|row| counts.get(&row[pc]).copied().unwrap_or(0))
+            .sum()
     }
 
     /// Whether the named column holds strings.

@@ -34,8 +34,10 @@ use corra_core::store::{SegmentedTable, TableReader, TableWriter};
 use corra_core::vfs::{SimVfs, Vfs};
 use corra_core::{
     aggregate_blocks, aggregate_blocks_parallel, checksum64, compact, corruption_sweep,
-    scan_blocks, AggExpr, AggFunc, AggResult, ColumnPlan, CompactionConfig, CompressedBlock,
-    CompressionConfig, FaultPlan, FaultyBackend, MemBackend, Predicate, SweepOptions,
+    hash_join_blocks, hash_join_blocks_parallel, scan_blocks, top_k_blocks, top_k_blocks_parallel,
+    AggExpr, AggFunc, AggResult, ColumnPlan, CompactionConfig, CompressedBlock, CompressionConfig,
+    FaultPlan, FaultyBackend, JoinExpr, JoinPair, MemBackend, Predicate, SweepOptions, TopKExpr,
+    TopKRow,
 };
 use corra_datagen::{
     taxi, DmvParams, DmvTable, LineitemDates, MessageParams, MessageTable, TaxiParams, TaxiTable,
@@ -112,15 +114,36 @@ enum Op {
     ReadColumn(usize, String),
     Scan(Predicate, usize),
     Aggregate(AggExpr, usize),
+    TopK(TopKExpr, usize),
+    Join(JoinExpr, usize),
 }
 
 /// The oracle's expected result for one operation.
+///
+/// Joins are fingerprinted as `(pair count, digest)` rather than the full
+/// pair list: a self-join on a low-cardinality dict key can produce tens of
+/// thousands of pairs, and a multi-megabyte `Debug` string per op would
+/// dominate the fingerprint chain for no extra discriminating power.
 #[derive(Debug, Clone, PartialEq)]
 enum Expected {
     Block(CompressedBlock),
     Column(Column),
     Scan(Vec<SelectionVector>),
     Agg(AggResult),
+    TopK(Vec<TopKRow>),
+    Join(usize, u64),
+}
+
+/// Order-sensitive FNV-style fold over every pair's four coordinates, so a
+/// join result collapses to a compact digest without losing pair order.
+fn digest_pairs(pairs: &[JoinPair]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for p in pairs {
+        for v in [p.build.block, p.build.row, p.probe.block, p.probe.row] {
+            h = (h ^ u64::from(v)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
 }
 
 const WORKLOADS: [&str; 6] = ["tpch", "dmv", "ldbc", "taxi", "timeseries", "synthetic"];
@@ -200,6 +223,23 @@ impl Scenario {
         self.ops.len()
     }
 
+    /// `(TOP-K ops, join ops)` in the schedule — exposed so the replay
+    /// corpus can assert the operator pipeline stays exercised rather than
+    /// silently scheduled away.
+    pub fn operator_ops(&self) -> (usize, usize) {
+        let topk = self
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::TopK(..)))
+            .count();
+        let join = self
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Join(..)))
+            .count();
+        (topk, join)
+    }
+
     fn fail(&self, message: String) -> SimFailure {
         SimFailure {
             seed: self.seed,
@@ -236,6 +276,27 @@ impl Scenario {
                         .map_err(|e| self.fail(format!("op {i} parallel aggregate: {e}")))?;
                     if Expected::Agg(agg) != *want || Expected::Agg(par) != *want {
                         return Err(self.fail(format!("op {i} {op:?}: in-memory agg diverged")));
+                    }
+                }
+                Op::TopK(expr, threads) => {
+                    let (rows, _) = top_k_blocks(&self.blocks, expr)
+                        .map_err(|e| self.fail(format!("op {i} in-memory top-k: {e}")))?;
+                    let (par, _) = top_k_blocks_parallel(&self.blocks, expr, *threads)
+                        .map_err(|e| self.fail(format!("op {i} parallel top-k: {e}")))?;
+                    if Expected::TopK(rows) != *want || Expected::TopK(par) != *want {
+                        return Err(self.fail(format!("op {i} {op:?}: in-memory top-k diverged")));
+                    }
+                }
+                Op::Join(expr, threads) => {
+                    let (pairs, _) = hash_join_blocks(&self.blocks, &self.blocks, expr)
+                        .map_err(|e| self.fail(format!("op {i} in-memory join: {e}")))?;
+                    let (par, _) =
+                        hash_join_blocks_parallel(&self.blocks, &self.blocks, expr, *threads)
+                            .map_err(|e| self.fail(format!("op {i} parallel join: {e}")))?;
+                    let serial = Expected::Join(pairs.len(), digest_pairs(&pairs));
+                    let parallel = Expected::Join(par.len(), digest_pairs(&par));
+                    if serial != *want || parallel != *want {
+                        return Err(self.fail(format!("op {i} {op:?}: in-memory join diverged")));
                     }
                 }
                 Op::ReadBlock(_) | Op::ReadColumn(..) => {}
@@ -756,6 +817,26 @@ fn run_op(reader: &TableReader, op: &Op) -> corra_columnar::error::Result<Expect
             Expected::Scan(serial)
         }
         Op::Aggregate(expr, _) => Expected::Agg(reader.aggregate(expr)?.0),
+        Op::TopK(expr, threads) => {
+            let (serial, _) = reader.top_k(expr)?;
+            let (parallel, _) = reader.top_k_parallel(expr, *threads)?;
+            if serial != parallel {
+                return Err(corra_columnar::error::Error::invalid(
+                    "serial and parallel store top-k diverged",
+                ));
+            }
+            Expected::TopK(serial)
+        }
+        Op::Join(expr, threads) => {
+            let (serial, _) = reader.hash_join(reader, expr)?;
+            let (parallel, _) = reader.hash_join_parallel(reader, expr, *threads)?;
+            if serial != parallel {
+                return Err(corra_columnar::error::Error::invalid(
+                    "serial and parallel store joins diverged",
+                ));
+            }
+            Expected::Join(serial.len(), digest_pairs(&serial))
+        }
     })
 }
 
@@ -768,6 +849,11 @@ fn run_op_serial(reader: &TableReader, op: &Op) -> corra_columnar::error::Result
         Op::ReadColumn(b, name) => Expected::Column(reader.read_column(*b, name)?),
         Op::Scan(pred, _) => Expected::Scan(reader.scan_blocks(pred)?.0),
         Op::Aggregate(expr, _) => Expected::Agg(reader.aggregate(expr)?.0),
+        Op::TopK(expr, _) => Expected::TopK(reader.top_k(expr)?.0),
+        Op::Join(expr, _) => {
+            let (pairs, _) = reader.hash_join(reader, expr)?;
+            Expected::Join(pairs.len(), digest_pairs(&pairs))
+        }
     })
 }
 
@@ -786,6 +872,23 @@ fn run_op_parallel(reader: &TableReader, op: &Op) -> corra_columnar::error::Resu
                 .collect::<corra_columnar::error::Result<_>>()?;
             Expected::Agg(aggregate_blocks_parallel(&blocks, expr, *threads)?.0)
         }
+        // TOP-K and join pre-read their blocks serially, like aggregates:
+        // the store-parallel drivers prune via a shared bound whose state
+        // depends on thread timing, so *which* backend reads happen would
+        // vary run to run and scramble the positional fault replay.
+        Op::TopK(expr, threads) => {
+            let blocks: Vec<_> = (0..reader.n_blocks())
+                .map(|b| reader.read_block(b))
+                .collect::<corra_columnar::error::Result<_>>()?;
+            Expected::TopK(top_k_blocks_parallel(&blocks, expr, *threads)?.0)
+        }
+        Op::Join(expr, threads) => {
+            let blocks: Vec<_> = (0..reader.n_blocks())
+                .map(|b| reader.read_block(b))
+                .collect::<corra_columnar::error::Result<_>>()?;
+            let (pairs, _) = hash_join_blocks_parallel(&blocks, &blocks, expr, *threads)?;
+            Expected::Join(pairs.len(), digest_pairs(&pairs))
+        }
     })
 }
 
@@ -802,6 +905,17 @@ fn run_op_counted(reader: &TableReader, op: &Op) -> corra_columnar::error::Resul
         Op::Aggregate(expr, _) => {
             let (agg, stats) = reader.aggregate(expr)?;
             (Expected::Agg(agg), stats.cache_hits)
+        }
+        Op::TopK(expr, _) => {
+            let (rows, stats) = reader.top_k(expr)?;
+            (Expected::TopK(rows), stats.cache_hits)
+        }
+        Op::Join(expr, _) => {
+            let (pairs, stats) = reader.hash_join(reader, expr)?;
+            (
+                Expected::Join(pairs.len(), digest_pairs(&pairs)),
+                stats.io.cache_hits,
+            )
         }
     })
 }
@@ -824,6 +938,17 @@ fn run_op_segmented(
             let (agg, stats) = reader.aggregate(expr)?;
             (Expected::Agg(agg), stats.segments_opened as u64)
         }
+        Op::TopK(expr, _) => {
+            let (rows, stats) = reader.top_k(expr)?;
+            (Expected::TopK(rows), stats.segments_opened as u64)
+        }
+        Op::Join(expr, _) => {
+            let (pairs, stats) = reader.hash_join(reader, expr)?;
+            (
+                Expected::Join(pairs.len(), digest_pairs(&pairs)),
+                stats.io.segments_opened as u64,
+            )
+        }
     })
 }
 
@@ -833,6 +958,11 @@ fn expect(model: &ModelTable, blocks: &[CompressedBlock], op: &Op) -> Expected {
         Op::ReadColumn(b, name) => Expected::Column(model.column(*b, name)),
         Op::Scan(pred, _) => Expected::Scan(model.scan(pred)),
         Op::Aggregate(expr, _) => Expected::Agg(model.aggregate(expr)),
+        Op::TopK(expr, _) => Expected::TopK(model.top_k(expr)),
+        Op::Join(expr, _) => {
+            let pairs = model.join(expr, model);
+            Expected::Join(pairs.len(), digest_pairs(&pairs))
+        }
     }
 }
 
@@ -869,10 +999,32 @@ fn schedule_ops(
                     names[rng.gen_range(0..names.len())].clone(),
                 )
             }
-            3..=5 => Op::Scan(
+            3..=4 => Op::Scan(
                 random_predicate(rng, model, &int_cols, &str_cols, 2),
                 rng.gen_range(1..=4),
             ),
+            5..=6 => Op::TopK(
+                random_topk(rng, model, &int_cols, &str_cols),
+                rng.gen_range(1..=4),
+            ),
+            7 => {
+                // Self-join on one of the workload's dict-encoded key
+                // columns (the groupable set is dict-planned by every
+                // workload builder). Low-cardinality keys can explode
+                // quadratically on a self-join, so oversized picks fall
+                // back to an aggregate rather than stalling the harness.
+                let expr = (!groupable.is_empty()).then(|| {
+                    let key = &groupable[rng.gen_range(0..groupable.len())];
+                    JoinExpr::on(key, key)
+                });
+                match expr.filter(|e| model.join_count(e, model) <= 200_000) {
+                    Some(expr) => Op::Join(expr, rng.gen_range(1..=4)),
+                    None => Op::Aggregate(
+                        random_aggregate(rng, model, groupable, &int_cols, &str_cols),
+                        rng.gen_range(1..=4),
+                    ),
+                }
+            }
             _ => Op::Aggregate(
                 random_aggregate(rng, model, groupable, &int_cols, &str_cols),
                 rng.gen_range(1..=4),
@@ -880,6 +1032,32 @@ fn schedule_ops(
         });
     }
     ops
+}
+
+/// A random TOP-K / ORDER BY expression over an integer column: both
+/// directions, k spanning 0 / partial / >= rows (the ORDER BY degenerate
+/// case), and an optional row filter.
+fn random_topk(
+    rng: &mut StdRng,
+    model: &ModelTable,
+    int_cols: &[String],
+    str_cols: &[String],
+) -> TopKExpr {
+    let col = &int_cols[rng.gen_range(0..int_cols.len())];
+    let k = match rng.gen_range(0..10) {
+        0 => 0,
+        1..=2 => model.rows() + rng.gen_range(0..8usize),
+        _ => rng.gen_range(1..64),
+    };
+    let mut expr = if rng.gen_bool(0.5) {
+        TopKExpr::desc(col, k)
+    } else {
+        TopKExpr::asc(col, k)
+    };
+    if rng.gen_bool(0.4) {
+        expr = expr.with_filter(random_predicate(rng, model, int_cols, str_cols, 1));
+    }
+    expr
 }
 
 /// A random predicate tree, depth-bounded, with constants sampled from the

@@ -23,9 +23,17 @@ fn pinned_seed_corpus_replays_green() {
     for w in 0..6u64 {
         assert!(seeds.iter().any(|s| s % 6 == w), "corpus lost workload {w}");
     }
+    let (mut topk, mut join) = (0usize, 0usize);
     for seed in seeds {
+        let (t, j) = Scenario::build(seed, &QUICK).operator_ops();
+        topk += t;
+        join += j;
         run_seed(seed, &QUICK).unwrap_or_else(|f| panic!("{f}"));
     }
+    // The schedules must keep mixing the compressed-domain operators in;
+    // a scheduling regression that drops them would otherwise pass green.
+    assert!(topk > 0, "corpus schedules contain no TOP-K ops");
+    assert!(join > 0, "corpus schedules contain no join ops");
 }
 
 #[test]

@@ -29,7 +29,9 @@ fn main() {
 
     // Stream the blocks through the table writer: each segment goes to disk
     // as it is serialized, only footer metadata is buffered.
-    let dir = std::env::temp_dir().join("corra_storage_example");
+    // Process-unique scratch dir: concurrent example runs must not
+    // clobber each other's table file.
+    let dir = std::env::temp_dir().join(format!("corra_storage_example_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("tmp dir");
     let path = dir.join("message.corra");
     let file = std::fs::File::create(&path).expect("create file");
@@ -90,5 +92,5 @@ fn main() {
         Ok(_) => unreachable!("corruption must be detected"),
     }
 
-    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }
